@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark runs one paper experiment (at its quick configuration by
+default; set ``REPRO_BENCH_FULL=1`` for the full-scale configs), prints the
+regenerated table(s), attaches headline numbers to the pytest-benchmark
+record, and asserts the paper's shape criteria.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def assert_checks(checks):
+    """Print every shape check; fail the bench if one fails."""
+    failed = []
+    for check in checks:
+        print(check)
+        if not check.passed:
+            failed.append(check)
+    assert not failed, "shape criteria failed:\n" + "\n".join(map(str, failed))
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,61 @@
+"""Ablation: bulk-PUT message size.
+
+Section V: each 128 KB bulk message "carries up to 2570 key-value pairs and
+is 7x faster than regular puts".  We sweep the client's message budget from
+one-pair messages ("regular puts") up to the paper's 128 KB.
+"""
+
+from repro.bench.calibration import build_kvcsd_testbed
+from repro.bench.report import ResultTable, ShapeCheck
+from repro.units import KiB
+from repro.workloads import SyntheticSpec, generate_pairs, load_phase
+
+from conftest import assert_checks, run_once
+
+#: 64 B fits exactly one 16B/32B pair: the "regular put" case.
+MESSAGE_SIZES = (64, 4 * KiB, 32 * KiB, 128 * KiB)
+N_PAIRS = 8192
+
+
+def run_sweep():
+    pairs = generate_pairs(SyntheticSpec(n_pairs=N_PAIRS, seed=32))
+    times = {}
+    for message_bytes in MESSAGE_SIZES:
+        kv = build_kvcsd_testbed(seed=32, bulk_message_bytes=message_bytes)
+        report = load_phase(
+            kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))]
+        )
+        times[message_bytes] = report.seconds
+    return times
+
+
+def test_ablation_bulk_put_message_size(benchmark):
+    times = run_once(benchmark, run_sweep)
+    table = ResultTable(
+        "Ablation: insertion time vs bulk-PUT message size",
+        ["message_bytes", "insert_s", "speedup_vs_regular_put"],
+    )
+    regular = times[MESSAGE_SIZES[0]]
+    for size in MESSAGE_SIZES:
+        table.add_row(size, times[size], regular / times[size])
+    table.add_note("paper: 128KB bulk messages are ~7x faster than regular puts")
+    print()
+    print(table)
+    bulk_speedup = regular / times[128 * KiB]
+    benchmark.extra_info["bulk_vs_regular_speedup"] = round(bulk_speedup, 2)
+    assert_checks(
+        [
+            ShapeCheck(
+                "bulk PUTs are a multiple faster than regular puts (paper: 7x)",
+                bulk_speedup >= 3.0,
+                f"{bulk_speedup:.1f}x",
+            ),
+            ShapeCheck(
+                "throughput improves monotonically with message size",
+                all(
+                    times[MESSAGE_SIZES[i]] >= times[MESSAGE_SIZES[i + 1]]
+                    for i in range(len(MESSAGE_SIZES) - 1)
+                ),
+            ),
+        ]
+    )

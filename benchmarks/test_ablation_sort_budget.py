@@ -1,0 +1,77 @@
+"""Ablation: SoC DRAM budget for the external merge sort.
+
+Section V: "Sorting is done by running multiple rounds of merge sorts,
+depending on available SoC DRAM space.  Intermediate sorting results are
+stored in dynamically allocated zone clusters."  Shrinking the budget below
+the keyspace size forces run spills and merge passes: compaction slows down
+and temp-zone traffic appears — the DRAM/I-O trade LSM-style sorting makes.
+"""
+
+from repro.bench.calibration import TABLE1_CSD, build_kvcsd_testbed
+from repro.bench.report import ResultTable, ShapeCheck
+from repro.soc import SocSpec
+from repro.units import KiB, MiB
+from repro.workloads import SyntheticSpec, generate_pairs, load_phase
+
+from conftest import assert_checks, run_once
+
+BUDGETS = (256 * KiB, 1 * MiB, 64 * MiB)
+N_PAIRS = 16384  # ~1 MiB of klog+vlog per keyspace
+
+
+def run_sweep():
+    pairs = generate_pairs(SyntheticSpec(n_pairs=N_PAIRS, seed=33))
+    results = {}
+    for budget in BUDGETS:
+        soc = SocSpec(
+            n_cores=TABLE1_CSD.n_cores,
+            dram_bytes=TABLE1_CSD.dram_bytes,
+            arm_slowdown=TABLE1_CSD.arm_slowdown,
+            sort_budget_bytes=budget,
+        )
+        kv = build_kvcsd_testbed(seed=33, soc=soc)
+        load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
+        io_before = kv.ssd.stats.snapshot()
+        t0 = kv.env.now
+
+        def wait():
+            yield from kv.device.wait_for_jobs("ks")
+
+        kv.env.run(kv.env.process(wait()))
+        results[budget] = {
+            "compaction_s": kv.env.now - t0,
+            "bytes_written": kv.ssd.stats.delta(io_before).bytes_written,
+        }
+    return results
+
+
+def test_ablation_sort_budget(benchmark):
+    results = run_once(benchmark, run_sweep)
+    table = ResultTable(
+        "Ablation: device compaction vs SoC sort budget",
+        ["budget_bytes", "compaction_s", "temp+index_bytes_written"],
+    )
+    for budget in BUDGETS:
+        table.add_row(
+            budget, results[budget]["compaction_s"], results[budget]["bytes_written"]
+        )
+    print()
+    print(table)
+    small, large = results[BUDGETS[0]], results[BUDGETS[-1]]
+    benchmark.extra_info["slowdown_small_budget"] = round(
+        small["compaction_s"] / large["compaction_s"], 2
+    )
+    assert_checks(
+        [
+            ShapeCheck(
+                "a too-small DRAM budget slows compaction (merge passes)",
+                small["compaction_s"] > large["compaction_s"],
+                f"{small['compaction_s']:.4f}s vs {large['compaction_s']:.4f}s",
+            ),
+            ShapeCheck(
+                "spilled sorts write extra temp data to the zones",
+                small["bytes_written"] > large["bytes_written"],
+                f"{small['bytes_written']} vs {large['bytes_written']} bytes",
+            ),
+        ]
+    )

@@ -1,0 +1,57 @@
+"""Ablation: zone-cluster striping width.
+
+Section IV: zone clusters "enable striping I/O across multiple zones to
+better leverage available SSD bandwidth".  We sweep the cluster width and
+expect insertion to speed up with more zones per cluster (more channels
+driven concurrently) until the channel count saturates.
+"""
+
+from repro.bench.calibration import build_kvcsd_testbed
+from repro.bench.report import ResultTable, ShapeCheck
+from repro.workloads import SyntheticSpec, generate_pairs, load_phase
+
+from conftest import assert_checks, run_once
+
+WIDTHS = (1, 2, 4, 8)
+N_PAIRS = 16384
+VALUE_BYTES = 256  # larger values make the I/O path the bottleneck
+
+
+def run_sweep():
+    pairs = generate_pairs(
+        SyntheticSpec(n_pairs=N_PAIRS, value_bytes=VALUE_BYTES, seed=31)
+    )
+    times = {}
+    for width in WIDTHS:
+        kv = build_kvcsd_testbed(seed=31, cluster_zones=width)
+        report = load_phase(
+            kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))]
+        )
+        times[width] = report.seconds
+    return times
+
+
+def test_ablation_zone_cluster_striping(benchmark):
+    times = run_once(benchmark, run_sweep)
+    table = ResultTable(
+        "Ablation: insertion time vs zone-cluster width",
+        ["cluster_zones", "insert_s", "speedup_vs_1"],
+    )
+    for width in WIDTHS:
+        table.add_row(width, times[width], times[WIDTHS[0]] / times[width])
+    print()
+    print(table)
+    benchmark.extra_info["speedup_8_vs_1"] = round(times[1] / times[8], 2)
+    assert_checks(
+        [
+            ShapeCheck(
+                "wider clusters insert faster (channel parallelism)",
+                times[8] < times[1],
+                f"{times[1]:.4f}s @ 1 zone -> {times[8]:.4f}s @ 8 zones",
+            ),
+            ShapeCheck(
+                "striping gains are monotonic up to the channel count",
+                times[1] >= times[2] >= times[4],
+            ),
+        ]
+    )

@@ -1,0 +1,87 @@
+"""Extension: device bandwidth scaling with SSD channel count.
+
+Section IV's zone clusters exist to "better leverage available SSD
+bandwidth" by spreading I/O across the SSD's internal channels.  This
+sensitivity sweep varies the channel count (with cluster width tracking it)
+and measures insertion throughput — the structural ceiling KV-CSD's design
+is built against.
+"""
+
+from repro.bench.calibration import build_kvcsd_testbed
+from repro.bench.report import ResultTable, ShapeCheck
+from repro.ssd import SsdGeometry
+from repro.units import MiB
+from repro.workloads import SyntheticSpec, generate_pairs, load_phase
+
+from conftest import assert_checks, run_once
+
+CHANNELS = (1, 2, 4, 8)
+N_PAIRS = 8192
+VALUE_BYTES = 512  # enough data volume to be channel-bound
+
+
+def run_sweep():
+    pairs = generate_pairs(
+        SyntheticSpec(n_pairs=N_PAIRS, value_bytes=VALUE_BYTES, seed=50)
+    )
+    results = {}
+    for n_channels in CHANNELS:
+        geometry = SsdGeometry(
+            n_channels=n_channels,
+            n_zones=64 * n_channels,
+            zone_size=8 * MiB,
+        )
+        kv = build_kvcsd_testbed(
+            seed=50, geometry=geometry, cluster_zones=n_channels
+        )
+        t_insert = load_phase(
+            kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))]
+        ).seconds
+
+        def wait():
+            yield from kv.device.wait_for_jobs("ks")
+
+        t0 = kv.env.now
+        kv.env.run(kv.env.process(wait()))
+        results[n_channels] = {
+            "insert_s": t_insert,
+            "compact_s": kv.env.now - t0,
+        }
+    return results
+
+
+def test_ext_channel_scaling(benchmark):
+    results = run_once(benchmark, run_sweep)
+    table = ResultTable(
+        "Extension: KV-CSD performance vs SSD channel count",
+        ["channels", "insert_s", "compact_s", "insert_speedup_vs_1ch"],
+    )
+    base = results[1]["insert_s"]
+    for n in CHANNELS:
+        table.add_row(
+            n, results[n]["insert_s"], results[n]["compact_s"],
+            base / results[n]["insert_s"],
+        )
+    print()
+    print(table)
+    benchmark.extra_info["speedup_8ch"] = round(base / results[8]["insert_s"], 2)
+    assert_checks(
+        [
+            ShapeCheck(
+                "insertion speeds up with channel count (striping pays)",
+                results[8]["insert_s"] < results[1]["insert_s"],
+                f"{results[1]['insert_s']:.4f}s -> {results[8]['insert_s']:.4f}s",
+            ),
+            ShapeCheck(
+                "compaction also benefits from channel parallelism",
+                results[8]["compact_s"] < results[1]["compact_s"],
+            ),
+            ShapeCheck(
+                "scaling is monotonic",
+                results[1]["insert_s"]
+                >= results[2]["insert_s"]
+                >= results[4]["insert_s"]
+                >= results[8]["insert_s"],
+            ),
+        ]
+    )

@@ -1,0 +1,67 @@
+"""Extension: faster device compute (the paper's FPGA expectation).
+
+Section VI.C: "We expect production computational storage devices though to
+feature more optimized hardware such as FPGA such that it can process data
+much more quickly to accommodate extremer cases."  We sweep the SoC's
+compute capability (``arm_slowdown``: 6 = weak MCU, 3 = the A53 prototype,
+1 = host-class, 0.5 = FPGA-assisted) and measure device compaction time.
+"""
+
+from repro.bench.calibration import TABLE1_CSD, build_kvcsd_testbed
+from repro.bench.report import ResultTable, ShapeCheck
+from repro.soc import SocSpec
+from repro.workloads import SyntheticSpec, generate_pairs, load_phase
+
+from conftest import assert_checks, run_once
+
+SLOWDOWNS = (6.0, 3.0, 1.0, 0.5)
+N_PAIRS = 16384
+
+
+def run_sweep():
+    pairs = generate_pairs(SyntheticSpec(n_pairs=N_PAIRS, seed=41))
+    results = {}
+    for slowdown in SLOWDOWNS:
+        soc = SocSpec(
+            n_cores=TABLE1_CSD.n_cores,
+            dram_bytes=TABLE1_CSD.dram_bytes,
+            arm_slowdown=slowdown,
+            sort_budget_bytes=TABLE1_CSD.sort_budget_bytes,
+        )
+        kv = build_kvcsd_testbed(seed=41, soc=soc)
+        load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
+        t0 = kv.env.now
+
+        def wait():
+            yield from kv.device.wait_for_jobs("ks")
+
+        kv.env.run(kv.env.process(wait()))
+        results[slowdown] = kv.env.now - t0
+    return results
+
+
+def test_ext_fpga_compute_scaling(benchmark):
+    results = run_once(benchmark, run_sweep)
+    table = ResultTable(
+        "Extension: device compaction time vs SoC compute capability",
+        ["arm_slowdown", "compaction_s"],
+    )
+    for slowdown in SLOWDOWNS:
+        table.add_row(slowdown, results[slowdown])
+    table.add_note("3.0 = the paper's Cortex-A53 prototype; 0.5 = FPGA-assisted")
+    print()
+    print(table)
+    benchmark.extra_info["fpga_vs_a53"] = round(results[3.0] / results[0.5], 2)
+    assert_checks(
+        [
+            ShapeCheck(
+                "faster device compute shortens compaction monotonically",
+                results[6.0] >= results[3.0] >= results[1.0] >= results[0.5],
+            ),
+            ShapeCheck(
+                "FPGA-class compute is a multiple faster than the A53 prototype",
+                results[3.0] / results[0.5] > 1.3,
+                f"{results[3.0] / results[0.5]:.2f}x",
+            ),
+        ]
+    )

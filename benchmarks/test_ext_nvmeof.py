@@ -1,0 +1,93 @@
+"""Extension: NVMe-over-Fabrics remote access.
+
+Section II: flash enclosures shared over NVMeOF are the envisioned
+deployment; "nothing fundamental prevents us from extending it to NVMeOF
+for remote access".  We run the same insert+query workload over local PCIe
+and two fabric classes and report the remote-access overhead — which stays
+modest precisely because KV-CSD only moves commands and results.
+"""
+
+import numpy as np
+
+from repro.bench.calibration import bench_geometry
+from repro.bench.report import ResultTable, ShapeCheck
+from repro.core import KvCsdClient, KvCsdDevice
+from repro.host import ThreadCtx
+from repro.nvme.fabric import FABRIC_25GBE, FABRIC_100GBE
+from repro.nvme.transport import PcieLink
+from repro.sim import CpuPool, Environment
+from repro.soc import SocBoard
+from repro.ssd import ZnsSsd
+from repro.workloads import SyntheticSpec, generate_pairs
+
+from conftest import assert_checks, run_once
+
+N_PAIRS = 8192
+N_QUERIES = 200
+
+
+def run_transport(make_link):
+    env = Environment()
+    ssd = ZnsSsd(env, geometry=bench_geometry())
+    board = SocBoard(env, ssd)
+    device = KvCsdDevice(board, rng=np.random.default_rng(0))
+    client = KvCsdClient(device, make_link(env))
+    cpu = CpuPool(env, 8)
+    ctx = ThreadCtx(cpu=cpu, core=0)
+    pairs = generate_pairs(SyntheticSpec(n_pairs=N_PAIRS, seed=42))
+
+    def proc():
+        yield from client.create_keyspace("ks", ctx)
+        yield from client.open_keyspace("ks", ctx)
+        t0 = env.now
+        yield from client.bulk_put("ks", pairs, ctx)
+        insert_s = env.now - t0
+        yield from client.compact("ks", ctx)
+        yield from client.wait_for_device("ks", ctx)
+        t0 = env.now
+        for key, _ in pairs[:: N_PAIRS // N_QUERIES]:
+            yield from client.get("ks", key, ctx)
+        query_s = env.now - t0
+        return insert_s, query_s
+
+    return env.run(env.process(proc()))
+
+
+def test_ext_nvmeof_remote_access(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {
+            "local PCIe x16": run_transport(lambda env: PcieLink(env, lanes=16)),
+            "NVMeOF 100GbE": run_transport(FABRIC_100GBE),
+            "NVMeOF 25GbE": run_transport(FABRIC_25GBE),
+        },
+    )
+    table = ResultTable(
+        "Extension: local vs NVMe-oF access to a KV-CSD",
+        ["transport", "insert_s", "query_s"],
+    )
+    for name, (insert_s, query_s) in results.items():
+        table.add_row(name, insert_s, query_s)
+    print()
+    print(table)
+    local = results["local PCIe x16"]
+    fast = results["NVMeOF 100GbE"]
+    slow = results["NVMeOF 25GbE"]
+    benchmark.extra_info["remote_query_overhead"] = round(fast[1] / local[1], 2)
+    assert_checks(
+        [
+            ShapeCheck(
+                "remote access costs more than local PCIe",
+                fast[0] >= local[0] and fast[1] >= local[1],
+            ),
+            ShapeCheck(
+                "a slower fabric costs more",
+                slow[0] >= fast[0] and slow[1] >= fast[1],
+            ),
+            ShapeCheck(
+                "remote query overhead stays modest (only results cross the wire)",
+                fast[1] < 2.0 * local[1],
+                f"{fast[1] / local[1]:.2f}x local",
+            ),
+        ]
+    )

@@ -1,0 +1,12 @@
+"""Table I: hardware-specification encoding."""
+
+from repro.bench.table1 import table1, table1_checks
+
+from conftest import assert_checks, run_once
+
+
+def test_table1_config(benchmark):
+    result_table = run_once(benchmark, table1)
+    print()
+    print(result_table)
+    assert_checks(table1_checks())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: stand up a simulated KV-CSD and run the full key-value flow.
+
+The lifecycle mirrors Section V of the paper: create a keyspace, bulk-insert,
+invoke (asynchronous) device compaction, build a secondary index, then run
+point, range and secondary-index queries — all processed inside the device.
+
+Run:  python examples/quickstart.py
+"""
+
+import struct
+
+from repro.bench import build_kvcsd_testbed
+from repro.units import fmt_time
+
+
+def main() -> None:
+    tb = build_kvcsd_testbed(seed=1)
+    client, env = tb.client, tb.env
+    ctx = tb.thread_ctx(core=0)
+
+    # Records: key "sensor-XXXX", value = 8B payload + little-endian f64 reading.
+    n = 5000
+    pairs = [
+        (
+            f"sensor-{i:06d}".encode(),
+            bytes(8) + struct.pack("<d", (i * 37 % 1000) / 10.0),
+        )
+        for i in range(n)
+    ]
+
+    def app():
+        # --- write phase -----------------------------------------------------
+        yield from client.create_keyspace("telemetry", ctx)
+        yield from client.open_keyspace("telemetry", ctx)
+        t0 = env.now
+        yield from client.bulk_put("telemetry", pairs, ctx)
+        print(f"inserted {n} pairs in {fmt_time(env.now - t0)} (simulated)")
+
+        # --- offloaded reorganization -----------------------------------------
+        t0 = env.now
+        yield from client.compact("telemetry", ctx)
+        print(f"compaction invoked in {fmt_time(env.now - t0)} — device works async")
+        yield from client.wait_for_device("telemetry", ctx)
+        print(f"device finished compaction at t={fmt_time(env.now)}")
+
+        yield from client.build_secondary_index(
+            "telemetry", "reading", value_offset=8, width=8, dtype="f64", ctx=ctx
+        )
+        yield from client.wait_for_device("telemetry", ctx)
+        stat = yield from client.keyspace_stat("telemetry", ctx)
+        print(f"keyspace state: {stat['state']}, {stat['n_pairs']} pairs, "
+              f"indexes: {stat['secondary_indexes']}")
+
+        # --- query phase --------------------------------------------------------
+        value = yield from client.get("telemetry", b"sensor-001234", ctx)
+        print(f"point query:  sensor-001234 -> reading "
+              f"{struct.unpack('<d', value[8:])[0]:.1f}")
+
+        rows = yield from client.range_query(
+            "telemetry", b"sensor-000100", b"sensor-000105", ctx
+        )
+        print(f"range query:  {[k.decode() for k, _ in rows]}")
+
+        lo = struct.pack("<d", 99.0)
+        hi = struct.pack("<d", 99.3)
+        hot = yield from client.sidx_range_query("telemetry", "reading", lo, hi, ctx)
+        print(f"secondary-index query (99.0 <= reading < 99.3): {len(hot)} records")
+
+        yield from client.delete_keyspace("telemetry", ctx)
+        print(f"done at simulated t={fmt_time(env.now)}")
+
+    env.run(env.process(app()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation section: every table and figure.
+
+Run:  python examples/reproduce_paper.py [--quick] [--only fig7,fig11]
+                                         [--csv results/]
+
+``--quick`` uses the reduced configurations (seconds per experiment);
+the default full-scale configs take a few minutes in total.  ``--csv DIR``
+additionally writes every regenerated table as a CSV series for plotting.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="use the reduced experiment configurations")
+    parser.add_argument("--only", default="",
+                        help="comma-separated experiment ids (default: all)")
+    parser.add_argument("--csv", default="",
+                        help="directory to write per-table CSV files into")
+    args = parser.parse_args(argv)
+    if args.csv:
+        os.makedirs(args.csv, exist_ok=True)
+
+    wanted = [e.strip() for e in args.only.split(",") if e.strip()] or list(EXPERIMENTS)
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
+
+    all_ok = True
+    for exp_id in wanted:
+        exp = EXPERIMENTS[exp_id]
+        print(f"\n{'=' * 72}\n{exp_id}: {exp.description}\n{'=' * 72}")
+        t0 = time.time()
+        result = run_experiment(exp_id, quick=args.quick)
+        wall = time.time() - t0
+        tables = [result.table()]
+        if hasattr(result, "io_table"):
+            tables.append(result.io_table())
+        for i, table in enumerate(tables):
+            print(table)
+            if args.csv:
+                suffix = "" if i == 0 else f"_{i}"
+                path = os.path.join(args.csv, f"{exp_id}{suffix}.csv")
+                with open(path, "w") as fh:
+                    fh.write(table.to_csv())
+        checks = result.checks()
+        for check in checks:
+            print(check)
+        if any(not c.passed for c in checks):
+            all_ok = False
+        print(f"(ran in {wall:.1f}s wall clock)")
+    print("\nall shape criteria passed" if all_ok else "\nSOME SHAPE CRITERIA FAILED")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

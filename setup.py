@@ -1,0 +1,6 @@
+"""Shim so that `pip install -e .` works on environments without the
+`wheel` package (PEP 660 editable builds need it); all real metadata
+lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

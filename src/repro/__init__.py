@@ -1,0 +1,39 @@
+"""KV-CSD reproduction: a hardware-accelerated key-value store, in simulation.
+
+This package reproduces *KV-CSD: A Hardware-Accelerated Key-Value Store for
+Data-Intensive Applications* (IEEE CLUSTER 2023).  It provides:
+
+* ``repro.sim`` — a discrete-event simulation kernel (clock, processes,
+  resources, CPU pools);
+* ``repro.ssd`` — functional ZNS and conventional SSD models;
+* ``repro.nvme`` — NVMe queues, command sets (incl. the KV command set) and a
+  PCIe transport model;
+* ``repro.host`` / ``repro.soc`` — host software stack (ext4-like filesystem,
+  page cache) and the device SoC board;
+* ``repro.lsm`` — a from-scratch RocksDB-like LSM key-value store (the
+  paper's baseline);
+* ``repro.core`` — the KV-CSD device itself plus its host client library;
+* ``repro.workloads`` — synthetic and VPIC-like scientific workloads;
+* ``repro.bench`` — the harness reproducing every figure and table of the
+  paper's evaluation.
+
+See ``examples/quickstart.py`` for a first run.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    DbError,
+    KeyNotFoundError,
+    KeyspaceStateError,
+    ReproError,
+    StorageError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "StorageError",
+    "DbError",
+    "KeyNotFoundError",
+    "KeyspaceStateError",
+]

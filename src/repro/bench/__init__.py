@@ -1,0 +1,33 @@
+"""Benchmark harness reproducing every table and figure of the evaluation."""
+
+from repro.bench.calibration import (
+    HostSpec,
+    KvcsdTestbed,
+    RocksTestbed,
+    TABLE1_CSD,
+    TABLE1_HOST,
+    bench_db_options,
+    bench_geometry,
+    build_kvcsd_testbed,
+    build_rocksdb_testbed,
+)
+from repro.bench.experiments import EXPERIMENTS, Experiment, run_experiment
+from repro.bench.report import ResultTable, ShapeCheck, speedup
+
+__all__ = [
+    "HostSpec",
+    "TABLE1_HOST",
+    "TABLE1_CSD",
+    "bench_geometry",
+    "bench_db_options",
+    "KvcsdTestbed",
+    "RocksTestbed",
+    "build_kvcsd_testbed",
+    "build_rocksdb_testbed",
+    "EXPERIMENTS",
+    "Experiment",
+    "run_experiment",
+    "ResultTable",
+    "ShapeCheck",
+    "speedup",
+]

@@ -1,0 +1,120 @@
+"""Registry of every table/figure experiment, for the CLI and the benches.
+
+Each entry produces a result object exposing ``table()`` (or ``tables()``)
+and ``checks()``; the benchmark suite under ``benchmarks/`` runs these and
+asserts the shape criteria, and ``examples/reproduce_paper.py`` renders the
+full evaluation section in one go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench.fig7 import Fig7Config, run_fig7
+from repro.bench.fig8 import Fig8Config, run_fig8
+from repro.bench.fig9 import Fig9Config, run_fig9
+from repro.bench.fig10 import Fig10Config, run_fig10
+from repro.bench.fig11 import Fig11Config, run_fig11
+from repro.bench.fig12 import Fig12Config, run_fig12
+from repro.bench.report import ShapeCheck
+from repro.bench.table1 import table1, table1_checks
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "quick_config"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible table/figure of the paper's evaluation."""
+
+    exp_id: str
+    description: str
+    run: Callable[..., object]  #: returns a result with table()/checks()
+    default_config: object
+    quick_config: object  #: smaller parameters for CI-speed runs
+
+
+class _Table1Result:
+    """Adapter so Table I fits the common result interface."""
+
+    def table(self):
+        return table1()
+
+    def checks(self) -> list[ShapeCheck]:
+        return table1_checks()
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "table1": Experiment(
+        "table1",
+        "Hardware specification (configuration encoding)",
+        lambda config=None: _Table1Result(),
+        None,
+        None,
+    ),
+    "fig7": Experiment(
+        "fig7",
+        "PUT time + I/O stats vs host cores, shared keyspace",
+        lambda config=None: run_fig7(config or Fig7Config()),
+        Fig7Config(),
+        Fig7Config(n_pairs=16384, thread_counts=(1, 2, 4, 8)),
+    ),
+    "fig8": Experiment(
+        "fig8",
+        "Insertion time vs value size (32B-4KB)",
+        lambda config=None: run_fig8(config or Fig8Config()),
+        Fig8Config(),
+        Fig8Config(
+            n_pairs=4096,
+            value_sizes=(32, 512, 4096),
+            rocksdb_threads=8,
+            kvcsd_thread_counts=(2, 8),
+        ),
+    ),
+    "fig9": Experiment(
+        "fig9",
+        "Multi-keyspace scaling; RocksDB auto/deferred/none",
+        lambda config=None: run_fig9(config or Fig9Config()),
+        Fig9Config(),
+        Fig9Config(pairs_per_thread=4096, thread_counts=(1, 4, 8)),
+    ),
+    "fig10": Experiment(
+        "fig10",
+        "Random GET time + read inflation",
+        lambda config=None: run_fig10(config or Fig10Config()),
+        Fig10Config(),
+        Fig10Config(
+            n_keyspaces=8,
+            pairs_per_keyspace=8192,
+            query_counts=(64, 128, 256, 512),
+        ),
+    ),
+    "fig11": Experiment(
+        "fig11",
+        "VPIC write-phase breakdown (effective write time)",
+        lambda config=None: run_fig11(config or Fig11Config()),
+        Fig11Config(),
+        Fig11Config(n_particles=32768),
+    ),
+    "fig12": Experiment(
+        "fig12",
+        "VPIC secondary-index query time vs selectivity",
+        lambda config=None: run_fig12(config or Fig12Config()),
+        Fig12Config(),
+        Fig12Config(
+            n_particles=65536, n_files=8, selectivities=(0.001, 0.01, 0.1, 0.2)
+        ),
+    ),
+}
+
+
+def run_experiment(exp_id: str, quick: bool = False):
+    """Run one experiment by id; returns its result object."""
+    exp = EXPERIMENTS[exp_id]
+    config = exp.quick_config if quick else exp.default_config
+    return exp.run(config)
+
+
+def quick_config(exp_id: str):
+    """The reduced config used by fast runs."""
+    return EXPERIMENTS[exp_id].quick_config

@@ -1,0 +1,65 @@
+"""Table I: the hardware specification, as encoded in the calibration.
+
+The paper's Table I is a configuration table, not a measurement; this module
+renders our simulation-scale encoding of it next to the paper values so the
+scale factors are explicit, and sanity-checks the internal consistency of
+the encoded specs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.calibration import TABLE1_CSD, TABLE1_HOST, bench_geometry
+from repro.bench.report import ResultTable, ShapeCheck
+from repro.units import fmt_bytes
+
+__all__ = ["table1", "table1_checks"]
+
+
+def table1() -> ResultTable:
+    geometry = bench_geometry()
+    t = ResultTable(
+        "Table I: hardware specification (paper -> simulation scale)",
+        ["component", "paper", "simulation"],
+    )
+    t.add_row("Host CPU", "32 AMD EPYC cores", f"{TABLE1_HOST.n_cores} cores")
+    t.add_row("Host RAM (page cache)", "512 GB DDR4",
+              fmt_bytes(TABLE1_HOST.page_cache_bytes))
+    t.add_row("Host<->CSD link", "16x PCIe Gen3",
+              f"{TABLE1_HOST.pcie_lanes_to_csd}x PCIe Gen3")
+    t.add_row("SoC CPU", "4 ARM Cortex A53 cores", f"{TABLE1_CSD.n_cores} cores")
+    t.add_row("SoC RAM", "8 GB DDR4", fmt_bytes(TABLE1_CSD.dram_bytes))
+    t.add_row("SoC sort budget", "bounded by 8 GB DRAM",
+              fmt_bytes(TABLE1_CSD.sort_budget_bytes))
+    t.add_row("ZNS SSD", "15 TB NVMe E1.L", fmt_bytes(geometry.capacity))
+    t.add_row("SSD channels", "(not disclosed)", str(geometry.n_channels))
+    t.add_row("Zone size", "(not disclosed)", fmt_bytes(geometry.zone_size))
+    t.add_note(
+        "capacity-like quantities scale together; latency-like quantities "
+        "(NAND, PCIe, per-entry CPU costs) are unscaled"
+    )
+    return t
+
+
+def table1_checks() -> list[ShapeCheck]:
+    geometry = bench_geometry()
+    return [
+        ShapeCheck(
+            "Host has 8x the SoC's core count (32 vs 4 in the paper)",
+            TABLE1_HOST.n_cores == 8 * TABLE1_CSD.n_cores,
+            f"{TABLE1_HOST.n_cores} vs {TABLE1_CSD.n_cores}",
+        ),
+        ShapeCheck(
+            "SoC cores are weaker than host cores (A53 vs EPYC)",
+            TABLE1_CSD.arm_slowdown > 1.0,
+            f"slowdown {TABLE1_CSD.arm_slowdown}x",
+        ),
+        ShapeCheck(
+            "SoC sort budget fits in SoC DRAM",
+            TABLE1_CSD.sort_budget_bytes <= TABLE1_CSD.dram_bytes,
+        ),
+        ShapeCheck(
+            "SSD capacity dwarfs SoC DRAM (15 TB vs 8 GB in the paper)",
+            geometry.capacity >= 4 * TABLE1_CSD.dram_bytes,
+            f"{fmt_bytes(geometry.capacity)} vs {fmt_bytes(TABLE1_CSD.dram_bytes)}",
+        ),
+    ]

@@ -1,0 +1,110 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                 — show the experiment registry;
+* ``run <exp-id> [...]``   — run experiments and print their tables/checks;
+* ``table1``               — print the hardware-spec encoding;
+* ``selftest``             — a fast end-to-end sanity run of both stores.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_list(_args) -> int:
+    from repro.bench.experiments import EXPERIMENTS
+
+    width = max(len(e) for e in EXPERIMENTS)
+    for exp_id, exp in EXPERIMENTS.items():
+        print(f"{exp_id.ljust(width)}  {exp.description}")
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    from repro.bench.table1 import table1, table1_checks
+
+    print(table1())
+    for check in table1_checks():
+        print(check)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    ok = True
+    for exp_id in args.experiments:
+        t0 = time.time()
+        result = run_experiment(exp_id, quick=args.quick)
+        print(result.table())
+        if hasattr(result, "io_table"):
+            print(result.io_table())
+        for check in result.checks():
+            print(check)
+            ok = ok and check.passed
+        print(f"({time.time() - t0:.1f}s wall clock)")
+    return 0 if ok else 1
+
+
+def _cmd_selftest(_args) -> int:
+    from repro.bench import build_kvcsd_testbed, build_rocksdb_testbed
+    from repro.workloads import SyntheticSpec, generate_pairs, get_phase, load_phase
+
+    pairs = generate_pairs(SyntheticSpec(n_pairs=2000, seed=0))
+    keys = [k for k, _ in pairs[::50]]
+
+    kv = build_kvcsd_testbed(seed=0)
+    load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
+
+    def ready():
+        yield from kv.adapter.prepare_queries("ks", kv.thread_ctx(0))
+
+    kv.env.run(kv.env.process(ready()))
+    get_phase(kv.env, kv.adapter, [("ks", keys, kv.thread_ctx(0))])
+    print(f"kv-csd ok ({kv.env.now:.4f} simulated seconds)")
+
+    rk = build_rocksdb_testbed(seed=0, n_test_threads=1, data_bytes=2000 * 48)
+    load_phase(rk.env, rk.adapter, [("db", pairs, rk.thread_ctx(0))])
+    get_phase(rk.env, rk.adapter, [("db", keys, rk.thread_ctx(0))])
+    print(f"rocksdb-baseline ok ({rk.env.now:.4f} simulated seconds)")
+    print("selftest passed")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="KV-CSD reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the paper's experiments").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("table1", help="print the Table I encoding").set_defaults(
+        func=_cmd_table1
+    )
+    run = sub.add_parser("run", help="run experiments and print their tables")
+    run.add_argument("experiments", nargs="+", help="experiment ids (see `list`)")
+    run.add_argument("--quick", action="store_true", help="reduced configurations")
+    run.set_defaults(func=_cmd_run)
+    sub.add_parser("selftest", help="fast sanity run of both stores").set_defaults(
+        func=_cmd_selftest
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""KV-CSD: the paper's hardware-accelerated key-value store.
+
+Public surface::
+
+    from repro.core import KvCsdDevice, KvCsdClient, SidxConfig
+"""
+
+from repro.core.client import KvCsdClient
+from repro.core.costs import ClientCostModel, CsdCostModel
+from repro.core.device import KvCsdDevice
+from repro.core.dispatch import KvCommandDispatcher
+from repro.core.keyspace import Keyspace, KeyspaceState
+from repro.core.membuf import MEMBUF_BYTES, MemBuffer
+from repro.core.pidx import PidxSketch
+from repro.core.query import QueryEngine
+from repro.core.sidx import SidxConfig, SidxSketch, encode_skey, decode_skey
+from repro.core.sort import ExternalSorter, plan_external_sort
+from repro.core.wire import BULK_MESSAGE_BYTES
+from repro.core.zone_manager import ZoneCluster, ZoneManager
+
+__all__ = [
+    "KvCsdDevice",
+    "KvCsdClient",
+    "KvCommandDispatcher",
+    "CsdCostModel",
+    "ClientCostModel",
+    "Keyspace",
+    "KeyspaceState",
+    "MemBuffer",
+    "MEMBUF_BYTES",
+    "BULK_MESSAGE_BYTES",
+    "PidxSketch",
+    "SidxConfig",
+    "SidxSketch",
+    "encode_skey",
+    "decode_skey",
+    "QueryEngine",
+    "ExternalSorter",
+    "plan_external_sort",
+    "ZoneManager",
+    "ZoneCluster",
+]

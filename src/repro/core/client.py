@@ -1,0 +1,243 @@
+"""The KV-CSD host client library — the public application API.
+
+"User applications communicate with KV-CSD through a lightweight client
+library that exposes a key-value interface similar to that of a software
+key-value store" (Section I).  The client packs operations into messages,
+moves them over the PCIe link with DMA, and lets the device do all storage
+processing; only commands go down and only results come back up — the
+data-movement asymmetry the evaluation leans on.
+
+Every method is a simulation generator taking the calling thread's
+:class:`~repro.host.threads.ThreadCtx`, so client-side packing costs land on
+the right host core.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Sequence
+
+from repro.core.costs import ClientCostModel
+from repro.core.device import KvCsdDevice
+from repro.core.sidx import SidxConfig
+from repro.core.wire import BULK_MESSAGE_BYTES, pair_wire_size, split_into_messages
+from repro.host.threads import ThreadCtx
+from repro.nvme.transport import PcieLink
+
+__all__ = ["KvCsdClient"]
+
+#: Small fixed wire size of a command without payload.
+COMMAND_WIRE_BYTES = 64
+
+
+class KvCsdClient:
+    """One application's handle to a KV-CSD device."""
+
+    def __init__(
+        self,
+        device: KvCsdDevice,
+        link: PcieLink,
+        costs: ClientCostModel | None = None,
+        bulk_message_bytes: int = BULK_MESSAGE_BYTES,
+    ):
+        self.device = device
+        self.link = link
+        self.costs = costs or ClientCostModel()
+        self.bulk_message_bytes = bulk_message_bytes
+        self.env = device.env
+
+    # ------------------------------------------------------------------ plumbing
+    def _send_command(self, payload_bytes: int, ctx: ThreadCtx) -> Generator:
+        """Client-side cost + host->device transfer of one command."""
+        yield from ctx.execute(
+            self.costs.per_command + self.costs.pack_per_byte * payload_bytes
+        )
+        yield from self.link.send(COMMAND_WIRE_BYTES + payload_bytes)
+
+    def _receive_result(self, result_bytes: int, ctx: ThreadCtx) -> Generator:
+        """Device->host transfer + client-side decode of a result."""
+        yield from self.link.receive(result_bytes)
+        yield from ctx.execute(self.costs.unpack_per_byte * result_bytes)
+
+    # ------------------------------------------------------------------ keyspaces
+    def create_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
+        """Create a new (EMPTY) keyspace on the device."""
+        yield from self._send_command(len(name), ctx)
+        yield from self.device.create_keyspace(name, ctx)
+        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+
+    def open_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
+        """Open a keyspace for insertion (EMPTY -> WRITABLE)."""
+        yield from self._send_command(len(name), ctx)
+        yield from self.device.open_keyspace(name, ctx)
+        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+
+    def delete_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
+        """Delete a keyspace and reclaim its zones."""
+        yield from self._send_command(len(name), ctx)
+        yield from self.device.delete_keyspace(name, ctx)
+        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+
+    def list_keyspaces(self, ctx: ThreadCtx) -> Generator:
+        """Names of all live keyspaces."""
+        yield from self._send_command(0, ctx)
+        names = self.device.list_keyspaces()
+        yield from self._receive_result(sum(len(n) for n in names) + 16, ctx)
+        return names
+
+    def keyspace_stat(self, name: str, ctx: ThreadCtx) -> Generator:
+        """State + metadata of one keyspace."""
+        yield from self._send_command(len(name), ctx)
+        stat = self.device.keyspace_stat(name)
+        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        return stat
+
+    # ------------------------------------------------------------------ writes
+    def put(self, keyspace: str, key: bytes, value: bytes, ctx: ThreadCtx) -> Generator:
+        """Store one pair (a degenerate one-pair bulk message)."""
+        yield from self.bulk_put(keyspace, [(key, value)], ctx)
+
+    def bulk_put(
+        self,
+        keyspace: str,
+        pairs: Sequence[tuple[bytes, bytes]],
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """Insert pairs using 128 KB bulk-PUT messages (Section V).
+
+        Pairs are chunked into messages; each message is packed on the host,
+        DMA'd to the device, and ingested into the keyspace's write buffer.
+        """
+        for message in split_into_messages(list(pairs), self.bulk_message_bytes):
+            message_bytes = 4 + sum(pair_wire_size(k, v) for k, v in message)
+            yield from self._send_command(message_bytes, ctx)
+            yield from self.device.bulk_put(keyspace, message, message_bytes, ctx)
+            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+
+    def bulk_delete(
+        self, keyspace: str, keys: Sequence[bytes], ctx: ThreadCtx
+    ) -> Generator:
+        """Delete keys (tombstones resolved by compaction)."""
+        payload = sum(len(k) + 2 for k in keys)
+        yield from self._send_command(payload, ctx)
+        yield from self.device.bulk_delete(keyspace, list(keys), ctx)
+        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+
+    def fsync(self, keyspace: str, ctx: ThreadCtx) -> Generator:
+        """Force buffered writes to the device's zones (durability point)."""
+        yield from self._send_command(len(keyspace), ctx)
+        yield from self.device.fsync(keyspace, ctx)
+        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+
+    # ------------------------------------------------------------------ offloaded ops
+    def compact(
+        self,
+        keyspace: str,
+        ctx: ThreadCtx,
+        secondary_indexes: Sequence[SidxConfig] = (),
+    ) -> Generator:
+        """Invoke deferred compaction; returns as soon as the device accepts.
+
+        The device runs the compaction asynchronously — the application can
+        exit (the paper's insertion benchmark does exactly that).
+
+        ``secondary_indexes`` requests single-pass index construction: the
+        device builds those indexes during the compaction, while values are
+        still in SoC DRAM, instead of rescanning the keyspace per index
+        (the consolidation Section V anticipates as future work).
+        """
+        yield from self._send_command(
+            len(keyspace) + 24 * len(secondary_indexes), ctx
+        )
+        yield from self.device.compact(
+            keyspace, ctx, sidx_configs=tuple(secondary_indexes)
+        )
+        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+
+    def build_secondary_index(
+        self,
+        keyspace: str,
+        index_name: str,
+        value_offset: int,
+        width: int,
+        dtype: str = "bytes",
+        ctx: ThreadCtx = None,
+    ) -> Generator:
+        """Configure + kick off asynchronous secondary-index construction."""
+        config = SidxConfig(
+            name=index_name, value_offset=value_offset, width=width, dtype=dtype
+        )
+        yield from self._send_command(len(keyspace) + len(index_name) + 16, ctx)
+        yield from self.device.build_sidx(keyspace, config, ctx)
+        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+
+    def wait_for_device(self, keyspace: str, ctx: ThreadCtx) -> Generator:
+        """Block until the keyspace's offloaded jobs (compaction, index
+        builds) are complete.  Applications use this before querying."""
+        yield from self._send_command(len(keyspace), ctx)
+        yield from self.device.wait_for_jobs(keyspace)
+        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+
+    # ------------------------------------------------------------------ queries
+    def get(self, keyspace: str, key: bytes, ctx: ThreadCtx) -> Generator:
+        """Primary-index point query; raises KeyNotFoundError when absent."""
+        yield from self._send_command(len(key), ctx)
+        value = yield from self.device.point_query(keyspace, key, ctx)
+        yield from self._receive_result(len(value), ctx)
+        return value
+
+    def multi_get(
+        self, keyspace: str, keys: Sequence[bytes], ctx: ThreadCtx
+    ) -> Generator:
+        """Batched point queries in one command; returns {key: value}.
+
+        The device shares PIDX block reads and coalesces value fetches
+        across the batch — many GETs for the price of few media reads.
+        Missing keys are absent from the result dict.
+        """
+        payload = sum(len(k) + 2 for k in keys)
+        yield from self._send_command(payload, ctx)
+        result = yield from self.device.multi_point_query(keyspace, list(keys), ctx)
+        result_bytes = sum(len(k) + len(v) for k, v in result.items())
+        yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
+        return result
+
+    def range_query(
+        self, keyspace: str, lo: bytes, hi: bytes, ctx: ThreadCtx
+    ) -> Generator:
+        """Primary-index range query over [lo, hi); returns (key, value) pairs."""
+        yield from self._send_command(len(lo) + len(hi), ctx)
+        result = yield from self.device.range_query(keyspace, lo, hi, ctx)
+        result_bytes = sum(len(k) + len(v) for k, v in result)
+        yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
+        return result
+
+    def sidx_range_query(
+        self,
+        keyspace: str,
+        index_name: str,
+        lo_raw: bytes,
+        hi_raw: bytes,
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """Secondary-index range query; returns full (primary key, value)
+        records whose secondary key lies in [lo, hi)."""
+        yield from self._send_command(len(lo_raw) + len(hi_raw) + len(index_name), ctx)
+        result = yield from self.device.sidx_range_query(
+            keyspace, index_name, lo_raw, hi_raw, ctx
+        )
+        result_bytes = sum(len(k) + len(v) for k, v in result)
+        yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
+        return result
+
+    def sidx_point_query(
+        self, keyspace: str, index_name: str, skey_raw: bytes, ctx: ThreadCtx
+    ) -> Generator:
+        """All records whose secondary key equals ``skey_raw``."""
+        yield from self._send_command(len(skey_raw) + len(index_name), ctx)
+        result = yield from self.device.sidx_point_query(
+            keyspace, index_name, skey_raw, ctx
+        )
+        result_bytes = sum(len(k) + len(v) for k, v in result)
+        yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
+        return result

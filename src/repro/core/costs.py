@@ -1,0 +1,51 @@
+"""CPU cost model for KV-CSD firmware and client library.
+
+All values are *host-core* seconds; work executed on the SoC is multiplied
+by ``SocSpec.arm_slowdown`` (the Cortex-A53's deficit against an EPYC core)
+before being charged — so the same cost table drives both sides, and the
+device can be "upgraded" for ablations (e.g. an FPGA-accelerated sort is a
+slowdown < 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+from repro.units import nsec, usec
+
+__all__ = ["CsdCostModel", "ClientCostModel"]
+
+
+@dataclass(frozen=True)
+class CsdCostModel:
+    """Firmware-side CPU costs (host-core seconds; scaled by arm_slowdown)."""
+
+    request_overhead: float = usec(2)  #: parse/route one command
+    unpack_per_byte: float = nsec(0.15)  #: bulk message decode (memcpy-like)
+    membuf_insert_per_pair: float = nsec(60)  #: append into the write buffer
+    record_parse: float = nsec(40)  #: decode one KLOG record
+    key_compare: float = nsec(25)  #: one comparator call during sorts
+    block_build_per_byte: float = nsec(0.20)  #: serialize PIDX/SIDX/value blocks
+    gather_per_record: float = nsec(80)  #: place one value during reorder
+    sketch_search: float = nsec(300)  #: binary-search a sketch
+    extract_per_record: float = nsec(50)  #: pull a secondary key from a value
+
+    def __post_init__(self) -> None:
+        for field_name, value in self.__dict__.items():
+            if value < 0:
+                raise CalibrationError(f"negative cost {field_name}")
+
+
+@dataclass(frozen=True)
+class ClientCostModel:
+    """Host-side client library costs (host-core seconds)."""
+
+    pack_per_byte: float = nsec(0.12)  #: serialize pairs into a message
+    per_command: float = usec(1.5)  #: build command + doorbell + poll completion
+    unpack_per_byte: float = nsec(0.12)  #: decode query results
+
+    def __post_init__(self) -> None:
+        for field_name, value in self.__dict__.items():
+            if value < 0:
+                raise CalibrationError(f"negative cost {field_name}")

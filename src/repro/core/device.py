@@ -1,0 +1,846 @@
+"""The KV-CSD device: keyspace manager, write path, and offloaded jobs.
+
+This is the firmware that runs on the SoC (Figure 4 of the paper): a
+keyspace manager maintaining the in-memory keyspace table (backed by a
+metadata zone), a zone manager handing out striped zone clusters, the
+membuf -> KLOG/VLOG insertion path, asynchronous device-side compaction
+(external merge sort under the DRAM budget), secondary-index construction,
+and query execution.
+
+Every operation executes as simulation processes on the SoC's CPU pool and
+its SSD's channels — the host is *not* involved beyond sending commands and
+receiving results, which is the paper's entire point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Optional
+
+import numpy as np
+
+from repro.core.costs import CsdCostModel
+from repro.core.keyspace import Keyspace, KeyspaceState
+from repro.core.klog import pack_klog_records, unpack_klog_records
+from repro.core.membuf import MEMBUF_BYTES, MemBuffer
+from repro.core.metadata import encode_delete, encode_upsert, replay_records
+from repro.core.pidx import PidxSketch, build_pidx_blocks
+from repro.core.query import QueryEngine
+from repro.core.sidx import (
+    SidxConfig,
+    SidxSketch,
+    build_sidx_blocks,
+    encode_skey,
+    pack_sidx_pairs,
+    unpack_sidx_pairs,
+)
+from repro.core.sort import ExternalSorter
+from repro.core.zone_manager import ZoneCluster, ZoneManager, ZonePointer
+from repro.errors import (
+    DbError,
+    KeyspaceExistsError,
+    KeyspaceNotFoundError,
+    KeyspaceStateError,
+    SecondaryIndexError,
+    ZoneFullError,
+)
+from repro.host.threads import ThreadCtx
+from repro.sim.core import Environment, Event
+from repro.sim.resources import Resource
+from repro.sim.stats import StatsRegistry
+from repro.soc.board import SocBoard
+from repro.units import KiB
+
+__all__ = ["KvCsdDevice"]
+
+#: Zone-append group size for VLOG/KLOG/PIDX/SIDX flushes: one stripe unit.
+FLUSH_GROUP_BYTES = 48 * KiB
+#: The fixed zone holding the keyspace table (Section IV's metadata zone).
+METADATA_ZONE_ID = 0
+
+
+class KvCsdDevice:
+    """Firmware state of one KV-CSD device."""
+
+    def __init__(
+        self,
+        board: SocBoard,
+        rng: np.random.Generator,
+        costs: CsdCostModel | None = None,
+        cluster_zones: int = 4,
+        membuf_bytes: int = MEMBUF_BYTES,
+        block_bytes: int = 4 * KiB,
+        max_inflight: int = 64,
+    ):
+        self.board = board
+        self.env: Environment = board.env
+        self.ssd = board.ssd
+        self.costs = costs or CsdCostModel()
+        self.cluster_zones = cluster_zones
+        self.membuf_bytes = membuf_bytes
+        self.block_bytes = block_bytes
+        self.zone_manager = ZoneManager(self.ssd, rng, cluster_zones)
+        self.keyspaces: dict[str, Keyspace] = {}
+        self._membufs: dict[str, MemBuffer] = {}
+        #: per-keyspace ingestion mutex: the firmware serialises writes into
+        #: one keyspace's membuf/logs (concurrent host threads sharing a
+        #: keyspace queue here — why Figure 7a's KV-CSD saturates at ~2 host
+        #: cores while Figure 9's multi-keyspace runs scale further)
+        self._write_locks: dict[str, Resource] = {}
+        self._seqs: dict[str, int] = {}
+        #: async job completion events per keyspace (compaction + sidx builds)
+        self._jobs: dict[str, list[Event]] = {}
+        self._inflight = Resource(self.env, capacity=max_inflight)
+        self.query_engine = QueryEngine(self.ssd, self.costs, board.scale_cpu)
+        self.stats = StatsRegistry("kvcsd")
+        #: durations of the latest offloaded jobs, for Figure 11's breakdown
+        self.job_durations: dict[tuple[str, str], float] = {}
+        #: the keyspace table's backing store is a fixed, well-known zone so
+        #: a remounted device finds it after a power cycle
+        self._metadata_cluster = self.zone_manager.reserve_zone(METADATA_ZONE_ID)
+
+    # ------------------------------------------------------------------ plumbing
+    def _ctx(self, priority: int = 0) -> ThreadCtx:
+        return self.board.firmware_ctx(priority=priority)
+
+    def _exec(self, ctx: ThreadCtx, host_seconds: float) -> Generator:
+        yield from ctx.execute(self.board.scale_cpu(host_seconds))
+
+    def _keyspace(self, name: str) -> Keyspace:
+        ks = self.keyspaces.get(name)
+        if ks is None:
+            raise KeyspaceNotFoundError(name)
+        return ks
+
+    def _metadata_update(self, ctx: ThreadCtx, ks: Keyspace | None = None) -> Generator:
+        """Persist a keyspace-table change to the metadata zone.
+
+        ``ks`` appends that keyspace's upsert record; ``None`` appends a
+        delete-consistent checkpoint trigger (used by deletions, whose name
+        is already gone from the table).  A full zone triggers a checkpoint:
+        reset, then snapshot every live keyspace.
+        """
+        if ks is not None:
+            record = encode_upsert(ks, self._seqs.get(ks.name, 0))
+        else:
+            record = None
+        try:
+            if record is not None:
+                yield from self._metadata_cluster.append_group(record)
+            else:
+                yield from self._checkpoint_metadata(ctx)
+        except ZoneFullError:
+            yield from self._checkpoint_metadata(ctx)
+        self.stats.counter("metadata_updates").add()
+
+    def _metadata_delete(self, ctx: ThreadCtx, name: str) -> Generator:
+        """Record a keyspace deletion."""
+        try:
+            yield from self._metadata_cluster.append_group(encode_delete(name))
+        except ZoneFullError:
+            yield from self._checkpoint_metadata(ctx)
+        self.stats.counter("metadata_updates").add()
+
+    def _checkpoint_metadata(self, ctx: ThreadCtx) -> Generator:
+        """Reset the metadata zone and snapshot the whole keyspace table."""
+        for zone_id in self._metadata_cluster.zone_ids:
+            yield from self.ssd.reset_zone(zone_id)
+        for name in sorted(self.keyspaces):
+            snapshot = encode_upsert(self.keyspaces[name], self._seqs.get(name, 0))
+            yield from self._metadata_cluster.append_group(snapshot)
+        self.stats.counter("metadata_checkpoints").add()
+
+    def _append_stream(
+        self,
+        clusters: list[ZoneCluster],
+        groups: list[bytes],
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """Append groups across a cluster chain, growing it on demand.
+
+        Returns one :data:`ZonePointer` per group, in order.
+        """
+        pointers: list[ZonePointer] = []
+        if not clusters:
+            clusters.append(self.zone_manager.allocate_cluster(self.cluster_zones))
+        remaining = list(groups)
+        while remaining:
+            try:
+                ptrs = yield from clusters[-1].append_groups(remaining)
+                pointers.extend(ptrs)
+                break
+            except ZoneFullError:
+                # Fill what still fits, one group at a time, then grow the chain.
+                while remaining:
+                    try:
+                        ptr = yield from clusters[-1].append_group(remaining[0])
+                    except ZoneFullError:
+                        break
+                    pointers.append(ptr)
+                    remaining.pop(0)
+                if remaining:
+                    clusters.append(
+                        self.zone_manager.allocate_cluster(self.cluster_zones)
+                    )
+        return pointers
+
+    # ------------------------------------------------------------------ keyspace lifecycle
+    def create_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
+        """Create an EMPTY keyspace (unique name)."""
+        yield from self._exec(ctx, self.costs.request_overhead)
+        if name in self.keyspaces:
+            raise KeyspaceExistsError(name)
+        ks = Keyspace(name=name)
+        self.keyspaces[name] = ks
+        self._membufs[name] = MemBuffer(self.membuf_bytes)
+        self._write_locks[name] = Resource(self.env, capacity=1)
+        self._seqs[name] = 0
+        self._jobs[name] = []
+        yield from self._metadata_update(ctx, ks)
+        self.stats.counter("keyspaces_created").add()
+
+    def open_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
+        """Open for insertion: EMPTY -> WRITABLE."""
+        yield from self._exec(ctx, self.costs.request_overhead)
+        ks = self._keyspace(name)
+        ks.open_for_write()
+        yield from self._metadata_update(ctx, ks)
+
+    def delete_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
+        """Delete at any state; deferred until running jobs complete."""
+        yield from self._exec(ctx, self.costs.request_overhead)
+        ks = self._keyspace(name)
+        ks.deletion_pending = True
+        for job in list(self._jobs.get(name, [])):
+            yield job
+        for cluster in ks.all_clusters():
+            yield from self.zone_manager.release_cluster(cluster)
+        del self.keyspaces[name]
+        self._membufs.pop(name, None)
+        self._write_locks.pop(name, None)
+        self._seqs.pop(name, None)
+        self._jobs.pop(name, None)
+        yield from self._metadata_delete(ctx, name)
+        self.stats.counter("keyspaces_deleted").add()
+
+    def list_keyspaces(self) -> list[str]:
+        """Names of all live keyspaces (table lookup, no device time)."""
+        return sorted(self.keyspaces)
+
+    # ------------------------------------------------------------------ mount/recovery
+    def recover(self, ctx: ThreadCtx) -> Generator:
+        """Rebuild the keyspace table after a device power cycle.
+
+        Replays the metadata zone to restore keyspace states, zone-cluster
+        mappings and index sketches; re-derives sequence numbers and pair
+        counts of WRITABLE keyspaces by scanning their KLOGs (the log tail
+        may postdate the last table write); reverts keyspaces that were
+        COMPACTING to WRITABLE (their logs are intact, the job is simply
+        re-run); and resets orphan zones (partial compaction outputs).
+
+        Data buffered in the 192 KB membuf at power loss is gone — the same
+        volatility window a real device has unless it flushes on plug-pull.
+        """
+        if self.keyspaces:
+            raise DbError("recover() requires a freshly constructed device")
+        wp = self.ssd.zone(METADATA_ZONE_ID).write_pointer
+        blob = b""
+        if wp:
+            blob = yield from self.ssd.read(METADATA_ZONE_ID, 0, wp)
+        table = replay_records(blob, self.ssd)
+        used_zones: set[int] = set(self._metadata_cluster.zone_ids)
+        for name, (ks, last_seq) in table.items():
+            if ks.state is KeyspaceState.COMPACTING:
+                # The job died with the power; its inputs (KLOG/VLOG) are
+                # referenced by the recovered record, its partial outputs are
+                # orphans cleaned below.
+                ks.state = KeyspaceState.WRITABLE
+            self.keyspaces[name] = ks
+            self._membufs[name] = MemBuffer(self.membuf_bytes)
+            self._write_locks[name] = Resource(self.env, capacity=1)
+            self._jobs[name] = []
+            self._seqs[name] = last_seq
+            for cluster in ks.all_clusters():
+                used_zones.update(cluster.zone_ids)
+            if ks.state is KeyspaceState.WRITABLE and ks.klog_clusters:
+                yield from self._rescan_klog(ks, ctx)
+        self.zone_manager.mark_used(sorted(used_zones))
+        # Orphans: written zones nobody references (failed jobs, torn flushes).
+        from repro.ssd.zone import ZoneState
+
+        for zone in self.ssd.zones:
+            if zone.state is not ZoneState.EMPTY and zone.zone_id not in used_zones:
+                yield from self.ssd.reset_zone(zone.zone_id)
+                self.stats.counter("orphan_zones_reclaimed").add()
+        self.zone_manager.rebuild_free_list()
+        for zone in self.ssd.zones:
+            if (
+                zone.state is ZoneState.EMPTY
+                and zone.zone_id not in used_zones
+                and zone.zone_id not in self.zone_manager._free
+            ):
+                self.zone_manager._free.append(zone.zone_id)
+        self.stats.counter("recoveries").add()
+
+    def _rescan_klog(self, ks: Keyspace, ctx: ThreadCtx) -> Generator:
+        """Re-derive seq/pair-count/key-bounds from a WRITABLE keyspace's log."""
+        max_seq = self._seqs[ks.name]
+        n_pairs = 0
+        for cluster in ks.klog_clusters:
+            contents = yield from cluster.read_all()
+            for blob in contents.values():
+                for key, seq, pointer in unpack_klog_records(blob):
+                    max_seq = max(max_seq, seq)
+                    if pointer is not None:
+                        n_pairs += 1
+                        ks.observe_key(key)
+        yield from self._exec(ctx, self.costs.record_parse * max(1, n_pairs))
+        self._seqs[ks.name] = max_seq
+        ks.n_pairs = n_pairs
+
+    def keyspace_stat(self, name: str) -> dict:
+        """State and metadata of one keyspace (no device time: table lookup)."""
+        ks = self._keyspace(name)
+        return {
+            "name": ks.name,
+            "state": ks.state.value,
+            "n_pairs": ks.n_pairs,
+            "min_key": ks.min_key,
+            "max_key": ks.max_key,
+            "secondary_indexes": sorted(ks.sidx),
+        }
+
+    def report(self) -> dict:
+        """Device-wide observability snapshot: counters, zones, DRAM, jobs.
+
+        The analogue of an NVMe log page / SMART report for the KV-CSD
+        firmware; the benchmark harness and operators read this, never the
+        private fields.
+        """
+        counters = self.stats.counter_values()
+        return {
+            "keyspaces": {
+                name: self.keyspace_stat(name) for name in self.keyspaces
+            },
+            "counters": counters,
+            "free_zones": self.zone_manager.free_zone_count,
+            "allocated_clusters": self.zone_manager.allocated_clusters,
+            "dram_available": self.board.dram.available,
+            "soc_busy_seconds": self.board.cpu.total_busy_time(),
+            "ssd": {
+                "bytes_read": self.ssd.stats.bytes_read,
+                "bytes_written": self.ssd.stats.bytes_written,
+                "erase_ops": self.ssd.stats.erase_ops,
+            },
+            "pending_jobs": {
+                name: len(jobs) for name, jobs in self._jobs.items() if jobs
+            },
+            "job_durations": dict(self.job_durations),
+        }
+
+    # ------------------------------------------------------------------ insertion
+    def bulk_put(
+        self,
+        name: str,
+        pairs: list[tuple[bytes, bytes]],
+        message_bytes: int,
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """Ingest one bulk-PUT message into the keyspace's membuf."""
+        with self._inflight.request() as slot:
+            yield slot
+            ks = self._keyspace(name)
+            ks.require(KeyspaceState.WRITABLE)
+            with self._write_locks[name].request() as lock:
+                yield lock
+                yield from self._exec(
+                    ctx,
+                    self.costs.request_overhead
+                    + self.costs.unpack_per_byte * message_bytes
+                    + self.costs.membuf_insert_per_pair * len(pairs),
+                )
+                membuf = self._membufs[name]
+                for key, value in pairs:
+                    self._seqs[name] += 1
+                    membuf.add(key, value, self._seqs[name])
+                    ks.observe_key(key)
+                ks.n_pairs += len(pairs)
+                self.stats.counter("pairs_inserted").add(len(pairs))
+                if membuf.should_flush:
+                    yield from self._flush_membuf(ks, ctx)
+
+    def bulk_delete(self, name: str, keys: list[bytes], ctx: ThreadCtx) -> Generator:
+        """Record tombstones; masked pairs disappear during compaction."""
+        with self._inflight.request() as slot:
+            yield slot
+            ks = self._keyspace(name)
+            ks.require(KeyspaceState.WRITABLE)
+            with self._write_locks[name].request() as lock:
+                yield lock
+                yield from self._exec(
+                    ctx,
+                    self.costs.request_overhead
+                    + self.costs.membuf_insert_per_pair * len(keys),
+                )
+                records = []
+                for key in keys:
+                    self._seqs[name] += 1
+                    records.append((key, self._seqs[name], None))
+                blob = pack_klog_records(records)
+                clusters_before = len(ks.klog_clusters)
+                yield from self._append_stream(ks.klog_clusters, [blob], ctx)
+                if len(ks.klog_clusters) != clusters_before:
+                    yield from self._metadata_update(ctx, ks)
+                self.stats.counter("tombstones").add(len(keys))
+
+    def fsync(self, name: str, ctx: ThreadCtx) -> Generator:
+        """Make all acknowledged writes durable (Section VI: "Like RocksDB
+        and others, KV-CSD ... supports explicit 'fsync'").
+
+        Flushes the keyspace's membuf to its KLOG/VLOG zones, closing the
+        volatility window a power loss would otherwise claim.
+        """
+        ks = self._keyspace(name)
+        ks.require(KeyspaceState.WRITABLE, KeyspaceState.EMPTY)
+        if ks.state is KeyspaceState.EMPTY:
+            if False:  # pragma: no cover - keep generator shape
+                yield None
+            return
+        with self._write_locks[name].request() as lock:
+            yield lock
+            yield from self._exec(ctx, self.costs.request_overhead)
+            yield from self._flush_membuf(ks, ctx)
+        self.stats.counter("fsyncs").add()
+
+    def _flush_membuf(self, ks: Keyspace, ctx: ThreadCtx) -> Generator:
+        """Write buffered pairs: values to VLOG, keys+pointers to KLOG."""
+        pairs = self._membufs[ks.name].drain()
+        if not pairs:
+            return
+        clusters_before = len(ks.klog_clusters) + len(ks.vlog_clusters)
+        # Pack values into stripe groups; remember each value's place.
+        groups: list[bytes] = []
+        placements: list[tuple[int, int, int]] = []  # (group_idx, offset, len)
+        current: list[bytes] = []
+        used = 0
+        for _key, value, _seq in pairs:
+            if current and used + len(value) > FLUSH_GROUP_BYTES:
+                groups.append(b"".join(current))
+                current, used = [], 0
+            placements.append((len(groups), used, len(value)))
+            current.append(value)
+            used += len(value)
+        if current:
+            groups.append(b"".join(current))
+        yield from self._exec(
+            ctx,
+            self.costs.block_build_per_byte * sum(len(g) for g in groups),
+        )
+        group_ptrs = yield from self._append_stream(ks.vlog_clusters, groups, ctx)
+        records = []
+        for (key, _value, seq), (gidx, off, length) in zip(pairs, placements):
+            zone_id, zone_off, _ = group_ptrs[gidx]
+            records.append((key, seq, (zone_id, zone_off + off, length)))
+        blob = pack_klog_records(records)
+        yield from self._exec(ctx, self.costs.block_build_per_byte * len(blob))
+        yield from self._append_stream(ks.klog_clusters, [blob], ctx)
+        if len(ks.klog_clusters) + len(ks.vlog_clusters) != clusters_before:
+            # New zone clusters joined the keyspace: persist the mapping so a
+            # power cycle can find the data (the keyspace table is the only
+            # pointer to these zones).
+            yield from self._metadata_update(ctx, ks)
+        self.stats.counter("membuf_flushes").add()
+
+    # ------------------------------------------------------------------ compaction
+    def compact(
+        self,
+        name: str,
+        ctx: ThreadCtx,
+        sidx_configs: tuple[SidxConfig, ...] = (),
+    ) -> Generator:
+        """Kick off asynchronous compaction; returns immediately.
+
+        WRITABLE -> COMPACTING now; COMPACTING -> COMPACTED when the
+        background job completes.  The application does not wait (that is
+        the deferred-compaction design of Section V).
+
+        ``sidx_configs`` enables the paper's future-work optimisation:
+        building secondary indexes *in the same pass* as the compaction,
+        while the values are still in SoC DRAM, instead of re-reading the
+        keyspace per index.  If the values exceed the sort budget the
+        device falls back to separate per-index scans, exactly as the paper
+        anticipates ("resort back to separated index construction when DRAM
+        resources become a bottleneck").
+        """
+        yield from self._exec(ctx, self.costs.request_overhead)
+        ks = self._keyspace(name)
+        ks.require(KeyspaceState.WRITABLE)
+        names = [config.name for config in sidx_configs]
+        if len(set(names)) != len(names):
+            raise SecondaryIndexError(f"duplicate index names in request: {names}")
+        for config in sidx_configs:
+            if config.name in ks.sidx:
+                raise SecondaryIndexError(
+                    f"keyspace {name!r} already has index {config.name!r}"
+                )
+        with self._write_locks[name].request() as lock:
+            yield lock
+            yield from self._flush_membuf(ks, ctx)
+        ks.begin_compaction()
+        yield from self._metadata_update(ctx, ks)
+        done = Event(self.env)
+        self._jobs[name].append(done)
+        self.env.process(
+            self._compact_job(ks, done, sidx_configs), name=f"compact-{name}"
+        )
+
+    def wait_for_jobs(self, name: str) -> Generator:
+        """Wait until every outstanding offloaded job of ``name`` completes.
+
+        Loops until the job list drains, so jobs that *other jobs* spawn
+        (e.g. per-index fallback scans launched by a combined compaction)
+        are waited on too.
+        """
+        while True:
+            jobs = list(self._jobs.get(name, []))
+            if not jobs:
+                return
+            for job in jobs:
+                yield job
+
+    def _compact_job(
+        self,
+        ks: Keyspace,
+        done: Event,
+        sidx_configs: tuple[SidxConfig, ...] = (),
+    ) -> Generator:
+        ctx = self._ctx(priority=5)
+        t0 = self.env.now
+        try:
+            # ---- step 1: read back the unordered KLOG records
+            records: list[tuple[bytes, tuple[int, ZonePointer | None]]] = []
+            klog_bytes = 0
+            for cluster in ks.klog_clusters:
+                contents = yield from cluster.read_all()
+                for blob in contents.values():
+                    klog_bytes += len(blob)
+                    for key, seq, pointer in unpack_klog_records(blob):
+                        records.append((key, (seq, pointer)))
+            yield from self._exec(ctx, self.costs.record_parse * len(records))
+
+            # ---- step 2: sort the keys (external merge sort under the budget)
+            sorter = ExternalSorter(
+                self.zone_manager,
+                budget_bytes=self.board.spec.sort_budget_bytes,
+                compare_cost=self.board.scale_cpu(self.costs.key_compare),
+                pack=lambda recs: pack_klog_records(
+                    [(k, s, p) for k, (s, p) in recs]
+                ),
+                unpack=lambda blob: [
+                    (k, (s, p)) for k, s, p in unpack_klog_records(blob)
+                ],
+                sort_key=lambda rec: (rec[0], -rec[1][0]),  # key asc, seq desc
+            )
+            sorted_records = yield from sorter.sort(records, klog_bytes, ctx)
+            # Newest-wins dedup; tombstones drop their key entirely.
+            live: list[tuple[bytes, ZonePointer]] = []
+            last_key: Optional[bytes] = None
+            for key, (_seq, pointer) in sorted_records:
+                if key == last_key:
+                    continue
+                last_key = key
+                if pointer is not None:
+                    live.append((key, pointer))
+
+            # ---- step 3: read values and write them in key order
+            vlog_bytes = sum(c.bytes_stored() for c in ks.vlog_clusters)
+            value_passes = max(
+                1, -(-vlog_bytes // self.board.spec.sort_budget_bytes)
+            )
+            zone_blobs: dict[int, bytes] = {}
+            for _pass in range(value_passes):
+                for cluster in ks.vlog_clusters:
+                    contents = yield from cluster.read_all()
+                    zone_blobs.update(contents)
+            yield from self._exec(ctx, self.costs.gather_per_record * len(live))
+
+            groups: list[bytes] = []
+            placements: list[tuple[int, int, int]] = []
+            current: list[bytes] = []
+            used = 0
+            for _key, (zone_id, offset, length) in live:
+                value = zone_blobs[zone_id][offset : offset + length]
+                if current and used + length > FLUSH_GROUP_BYTES:
+                    groups.append(b"".join(current))
+                    current, used = [], 0
+                placements.append((len(groups), used, length))
+                current.append(value)
+                used += length
+            if current:
+                groups.append(b"".join(current))
+            yield from self._exec(
+                ctx, self.costs.block_build_per_byte * sum(map(len, groups))
+            )
+            group_ptrs = yield from self._append_stream(
+                ks.sorted_value_clusters, groups, ctx
+            )
+            value_pointers: list[ZonePointer] = []
+            for gidx, off, length in placements:
+                zone_id, zone_off, _ = group_ptrs[gidx]
+                value_pointers.append((zone_id, zone_off + off, length))
+
+            # ---- step 4: build the PIDX blocks and the sketch
+            pidx_entries = [
+                (key, pointer)
+                for (key, _old), pointer in zip(live, value_pointers)
+            ]
+            blocks = build_pidx_blocks(pidx_entries, self.block_bytes)
+            yield from self._exec(
+                ctx,
+                self.costs.block_build_per_byte
+                * sum(len(blob) for _p, blob in blocks),
+            )
+            block_ptrs = yield from self._append_stream(
+                ks.pidx_clusters, [blob for _p, blob in blocks], ctx
+            )
+            sketch = PidxSketch()
+            for (pivot, _blob), pointer in zip(blocks, block_ptrs):
+                sketch.add_block(pivot, pointer)
+            ks.pidx_sketch = sketch
+            ks.n_pairs = len(pidx_entries)
+
+            # ---- step 5: drop the unsorted logs, flip the state
+            for cluster in ks.klog_clusters + ks.vlog_clusters:
+                yield from self.zone_manager.release_cluster(cluster)
+            ks.klog_clusters = []
+            ks.vlog_clusters = []
+            ks.finish_compaction()
+            yield from self._metadata_update(ctx, ks)
+            self.stats.counter("compactions").add()
+            self.job_durations[(ks.name, "compaction")] = self.env.now - t0
+
+            # ---- step 6 (optional): single-pass secondary indexes.
+            # The values are still in DRAM (zone_blobs + placements); build
+            # every requested index without re-reading the keyspace — unless
+            # that working set would not have fit the sort budget.
+            if sidx_configs:
+                values_resident = sum(len(g) for g in groups)
+                if values_resident <= self.board.spec.sort_budget_bytes:
+                    value_by_key = {}
+                    for (key, _old), (gidx, off, length) in zip(live, placements):
+                        blob = groups[gidx]
+                        value_by_key[key] = blob[off : off + length]
+                    # Each index sorts an independent pair set: build them
+                    # concurrently across the SoC cores.
+                    from repro.sim.sync import AllOf
+
+                    procs = [
+                        self.env.process(
+                            self._build_sidx_inline(ks, config, value_by_key, ctx),
+                            name=f"sidx-inline-{ks.name}-{config.name}",
+                        )
+                        for config in sidx_configs
+                    ]
+                    if procs:
+                        yield AllOf(self.env, procs)
+                else:
+                    for config in sidx_configs:
+                        fallback = Event(self.env)
+                        self._jobs[ks.name].append(fallback)
+                        self.env.process(
+                            self._sidx_job(ks, config, fallback),
+                            name=f"sidx-{ks.name}-{config.name}",
+                        )
+        finally:
+            self._jobs[ks.name].remove(done)
+            done.succeed()
+
+    def _build_sidx_inline(
+        self,
+        ks: Keyspace,
+        config: SidxConfig,
+        value_by_key: dict[bytes, bytes],
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """Build one secondary index from values already resident in DRAM."""
+        t0 = self.env.now
+        yield from self._exec(
+            ctx, self.costs.extract_per_record * len(value_by_key)
+        )
+        pairs = [
+            (encode_skey(config.extract(value), config.dtype), key)
+            for key, value in value_by_key.items()
+        ]
+        pair_bytes = sum(len(s) + len(p) + 4 for s, p in pairs)
+        sorter = ExternalSorter(
+            self.zone_manager,
+            budget_bytes=self.board.spec.sort_budget_bytes,
+            compare_cost=self.board.scale_cpu(self.costs.key_compare),
+            pack=pack_sidx_pairs,
+            unpack=unpack_sidx_pairs,
+            sort_key=lambda pair: pair,
+        )
+        sorted_pairs = yield from sorter.sort(pairs, pair_bytes, ctx)
+        blocks = build_sidx_blocks(sorted_pairs, self.block_bytes)
+        yield from self._exec(
+            ctx,
+            self.costs.block_build_per_byte * sum(len(b) for _p, b in blocks),
+        )
+        clusters: list[ZoneCluster] = []
+        block_ptrs = yield from self._append_stream(
+            clusters, [blob for _p, blob in blocks], ctx
+        )
+        ks.sidx_clusters[config.name] = clusters
+        sketch = SidxSketch(skey_width=config.width)
+        for (pivot, _blob), pointer in zip(blocks, block_ptrs):
+            sketch.add_block(pivot, pointer)
+        ks.sidx[config.name] = (config, sketch)
+        yield from self._metadata_update(ctx, ks)
+        self.stats.counter("sidx_builds_inline").add()
+        self.job_durations[(ks.name, f"sidx:{config.name}")] = self.env.now - t0
+
+    # ------------------------------------------------------------------ secondary indexes
+    def build_sidx(
+        self,
+        name: str,
+        config: SidxConfig,
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """Kick off asynchronous secondary-index construction."""
+        yield from self._exec(ctx, self.costs.request_overhead)
+        ks = self._keyspace(name)
+        ks.require(KeyspaceState.COMPACTED)
+        if config.name in ks.sidx:
+            raise SecondaryIndexError(
+                f"keyspace {name!r} already has index {config.name!r}"
+            )
+        done = Event(self.env)
+        self._jobs[name].append(done)
+        self.env.process(
+            self._sidx_job(ks, config, done), name=f"sidx-{name}-{config.name}"
+        )
+
+    def _sidx_job(self, ks: Keyspace, config: SidxConfig, done: Event) -> Generator:
+        ctx = self._ctx(priority=5)
+        t0 = self.env.now
+        try:
+            # ---- full scan: PIDX for keys+pointers, SORTED_VALUES for values
+            assert ks.pidx_sketch is not None
+            entries: list[tuple[bytes, ZonePointer]] = []
+            from repro.core.pidx import read_block_entries
+
+            blobs = yield from self.query_engine._read_blocks(
+                list(ks.pidx_sketch.block_pointers), ctx
+            )
+            for blob in blobs:
+                entries.extend(read_block_entries(blob))
+            zone_blobs: dict[int, bytes] = {}
+            for cluster in ks.sorted_value_clusters:
+                contents = yield from cluster.read_all()
+                zone_blobs.update(contents)
+            yield from self._exec(
+                ctx, self.costs.extract_per_record * len(entries)
+            )
+            pairs: list[tuple[bytes, bytes]] = []
+            for key, (zone_id, offset, length) in entries:
+                value = zone_blobs[zone_id][offset : offset + length]
+                raw = config.extract(value)
+                pairs.append((encode_skey(raw, config.dtype), key))
+
+            # ---- sort <skey, pkey> pairs
+            pair_bytes = sum(len(s) + len(p) + 4 for s, p in pairs)
+            sorter = ExternalSorter(
+                self.zone_manager,
+                budget_bytes=self.board.spec.sort_budget_bytes,
+                compare_cost=self.board.scale_cpu(self.costs.key_compare),
+                pack=pack_sidx_pairs,
+                unpack=unpack_sidx_pairs,
+                sort_key=lambda pair: pair,  # (skey, pkey) lexicographic
+            )
+            sorted_pairs = yield from sorter.sort(pairs, pair_bytes, ctx)
+
+            # ---- write SIDX blocks + sketch
+            blocks = build_sidx_blocks(sorted_pairs, self.block_bytes)
+            yield from self._exec(
+                ctx,
+                self.costs.block_build_per_byte
+                * sum(len(blob) for _p, blob in blocks),
+            )
+            clusters: list[ZoneCluster] = []
+            block_ptrs = yield from self._append_stream(
+                clusters, [blob for _p, blob in blocks], ctx
+            )
+            ks.sidx_clusters[config.name] = clusters
+            sketch = SidxSketch(skey_width=config.width)
+            for (pivot, _blob), pointer in zip(blocks, block_ptrs):
+                sketch.add_block(pivot, pointer)
+            ks.sidx[config.name] = (config, sketch)
+            yield from self._metadata_update(ctx, ks)
+            self.stats.counter("sidx_builds").add()
+            self.job_durations[(ks.name, f"sidx:{config.name}")] = self.env.now - t0
+        finally:
+            self._jobs[ks.name].remove(done)
+            done.succeed()
+
+    # ------------------------------------------------------------------ queries
+    def point_query(self, name: str, key: bytes, ctx: ThreadCtx) -> Generator:
+        """GET over the primary index; returns the value or raises."""
+        with self._inflight.request() as slot:
+            yield slot
+            yield from self._exec(ctx, self.costs.request_overhead)
+            ks = self._keyspace(name)
+            value = yield from self.query_engine.point_query(ks, key, ctx)
+            self.stats.counter("point_queries").add()
+            return value
+
+    def multi_point_query(
+        self, name: str, keys: list[bytes], ctx: ThreadCtx
+    ) -> Generator:
+        """Batched GETs with shared block reads; returns {key: value}."""
+        with self._inflight.request() as slot:
+            yield slot
+            yield from self._exec(ctx, self.costs.request_overhead)
+            ks = self._keyspace(name)
+            result = yield from self.query_engine.multi_point_query(ks, keys, ctx)
+            self.stats.counter("multi_point_queries").add()
+            return result
+
+    def range_query(
+        self, name: str, lo: bytes, hi: bytes, ctx: ThreadCtx
+    ) -> Generator:
+        """Primary-index range query over [lo, hi)."""
+        with self._inflight.request() as slot:
+            yield slot
+            yield from self._exec(ctx, self.costs.request_overhead)
+            ks = self._keyspace(name)
+            result = yield from self.query_engine.range_query(ks, lo, hi, ctx)
+            self.stats.counter("range_queries").add()
+            return result
+
+    def sidx_range_query(
+        self, name: str, index_name: str, lo_raw: bytes, hi_raw: bytes, ctx: ThreadCtx
+    ) -> Generator:
+        """Secondary-index range query; returns full matching records."""
+        with self._inflight.request() as slot:
+            yield slot
+            yield from self._exec(ctx, self.costs.request_overhead)
+            ks = self._keyspace(name)
+            result = yield from self.query_engine.sidx_range_query(
+                ks, index_name, lo_raw, hi_raw, ctx
+            )
+            self.stats.counter("sidx_queries").add()
+            return result
+
+    def sidx_point_query(
+        self, name: str, index_name: str, skey_raw: bytes, ctx: ThreadCtx
+    ) -> Generator:
+        """All records whose secondary key equals ``skey_raw``."""
+        with self._inflight.request() as slot:
+            yield slot
+            yield from self._exec(ctx, self.costs.request_overhead)
+            ks = self._keyspace(name)
+            result = yield from self.query_engine.sidx_point_query(
+                ks, index_name, skey_raw, ctx
+            )
+            self.stats.counter("sidx_queries").add()
+            return result

@@ -1,0 +1,139 @@
+"""Command-set dispatcher: NVMe-KV commands -> device operations.
+
+The client library calls :class:`~repro.core.device.KvCsdDevice` methods
+directly (they model the post-decode fast path), but the device also speaks
+the declarative command set of :mod:`repro.nvme.kv_commands` — what an
+NVMe-oF target or an alternative client implementation would submit.  This
+module is that decode ring: it executes any :class:`KvCommand` and returns
+an NVMe :class:`~repro.nvme.commands.Completion`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.core.device import KvCsdDevice
+from repro.core.sidx import SidxConfig
+from repro.errors import ReproError
+from repro.host.threads import ThreadCtx
+from repro.nvme.commands import Completion
+from repro.nvme.kv_commands import (
+    BuildSidxCmd,
+    CompactCmd,
+    CreateKeyspaceCmd,
+    DeleteKeyspaceCmd,
+    KeyspaceStatCmd,
+    KvBulkPutCmd,
+    KvCommand,
+    KvDeleteCmd,
+    KvExistCmd,
+    KvGetCmd,
+    KvPutCmd,
+    ListKeyspacesCmd,
+    OpenKeyspaceCmd,
+    PointQueryCmd,
+    RangeQueryCmd,
+    SidxPointQueryCmd,
+    SidxRangeQueryCmd,
+    WaitCompactionCmd,
+)
+
+__all__ = ["KvCommandDispatcher"]
+
+
+class KvCommandDispatcher:
+    """Executes declarative KV commands against one device."""
+
+    def __init__(self, device: KvCsdDevice):
+        self.device = device
+
+    def execute(self, command: KvCommand, ctx: ThreadCtx) -> Generator:
+        """Run ``command``; returns a :class:`Completion`.
+
+        Library errors become error completions carrying the exception's
+        class name as the status, mirroring NVMe status codes.
+        """
+        try:
+            value = yield from self._dispatch(command, ctx)
+        except ReproError as exc:
+            return Completion(status=type(exc).__name__, value=str(exc))
+        return Completion(status="OK", value=value)
+
+    def _dispatch(self, command: KvCommand, ctx: ThreadCtx) -> Generator:
+        device = self.device
+        if isinstance(command, CreateKeyspaceCmd):
+            return (yield from device.create_keyspace(command.name, ctx))
+        if isinstance(command, OpenKeyspaceCmd):
+            return (yield from device.open_keyspace(command.name, ctx))
+        if isinstance(command, DeleteKeyspaceCmd):
+            return (yield from device.delete_keyspace(command.name, ctx))
+        if isinstance(command, ListKeyspacesCmd):
+            if False:  # pragma: no cover - keep generator shape
+                yield None
+            return device.list_keyspaces()
+        if isinstance(command, KeyspaceStatCmd):
+            if False:  # pragma: no cover - keep generator shape
+                yield None
+            return device.keyspace_stat(command.name)
+        if isinstance(command, KvPutCmd):
+            return (
+                yield from device.bulk_put(
+                    command.keyspace,
+                    [(command.key, command.value)],
+                    len(command.key) + len(command.value) + 10,
+                    ctx,
+                )
+            )
+        if isinstance(command, KvBulkPutCmd):
+            pairs = list(zip(command.keys, command.values))
+            message_bytes = command.message_bytes or sum(
+                len(k) + len(v) + 6 for k, v in pairs
+            )
+            return (
+                yield from device.bulk_put(command.keyspace, pairs, message_bytes, ctx)
+            )
+        if isinstance(command, KvDeleteCmd):
+            return (
+                yield from device.bulk_delete(command.keyspace, [command.key], ctx)
+            )
+        if isinstance(command, CompactCmd):
+            return (yield from device.compact(command.keyspace, ctx))
+        if isinstance(command, WaitCompactionCmd):
+            return (yield from device.wait_for_jobs(command.keyspace))
+        if isinstance(command, BuildSidxCmd):
+            config = SidxConfig(
+                name=command.index_name,
+                value_offset=command.value_offset,
+                width=command.width,
+                dtype=command.dtype,
+            )
+            return (yield from device.build_sidx(command.keyspace, config, ctx))
+        if isinstance(command, (KvGetCmd, PointQueryCmd)):
+            return (yield from device.point_query(command.keyspace, command.key, ctx))
+        if isinstance(command, KvExistCmd):
+            from repro.errors import KeyNotFoundError
+
+            try:
+                yield from device.point_query(command.keyspace, command.key, ctx)
+            except KeyNotFoundError:
+                return False
+            return True
+        if isinstance(command, RangeQueryCmd):
+            return (
+                yield from device.range_query(
+                    command.keyspace, command.lo, command.hi, ctx
+                )
+            )
+        if isinstance(command, SidxPointQueryCmd):
+            return (
+                yield from device.sidx_point_query(
+                    command.keyspace, command.index_name, command.skey, ctx
+                )
+            )
+        if isinstance(command, SidxRangeQueryCmd):
+            return (
+                yield from device.sidx_range_query(
+                    command.keyspace, command.index_name, command.lo, command.hi, ctx
+                )
+            )
+        raise ReproError(f"unsupported KV command {type(command).__name__}")

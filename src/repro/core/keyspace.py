@@ -1,0 +1,102 @@
+"""Keyspaces: named containers of key-value pairs with a 4-state lifecycle.
+
+Section IV of the paper: *"Each keyspace in KV-CSD can exist in one of the
+following four states: EMPTY, WRITABLE, COMPACTING, and COMPACTED"* — with
+writes only in WRITABLE, queries only in COMPACTED, and secondary indexes
+addable only in COMPACTED.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import KeyspaceStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.sidx import SidxConfig, SidxSketch
+    from repro.core.pidx import PidxSketch
+    from repro.core.zone_manager import ZoneCluster
+
+__all__ = ["Keyspace", "KeyspaceState"]
+
+
+class KeyspaceState(enum.Enum):
+    """Lifecycle states (Section IV of the paper)."""
+
+    EMPTY = "empty"
+    WRITABLE = "writable"
+    COMPACTING = "compacting"
+    COMPACTED = "compacted"
+
+
+@dataclass
+class Keyspace:
+    """One keyspace's metadata as tracked by the keyspace manager.
+
+    The in-memory keyspace table entry: state, pair count, key bounds, zone
+    mappings, and the index sketches used as query starting points.
+    """
+
+    name: str
+    state: KeyspaceState = KeyspaceState.EMPTY
+    n_pairs: int = 0
+    min_key: Optional[bytes] = None
+    max_key: Optional[bytes] = None
+    #: unsorted log clusters (WRITABLE phase)
+    klog_clusters: list["ZoneCluster"] = field(default_factory=list)
+    vlog_clusters: list["ZoneCluster"] = field(default_factory=list)
+    #: sorted clusters (COMPACTED phase)
+    pidx_clusters: list["ZoneCluster"] = field(default_factory=list)
+    sorted_value_clusters: list["ZoneCluster"] = field(default_factory=list)
+    sidx_clusters: dict[str, list["ZoneCluster"]] = field(default_factory=dict)
+    #: query starting points, kept in the keyspace manager's table
+    pidx_sketch: Optional["PidxSketch"] = None
+    sidx: dict[str, tuple["SidxConfig", "SidxSketch"]] = field(default_factory=dict)
+    #: device write buffer contents (the 192 KB membuf is per keyspace)
+    deletion_pending: bool = False
+
+    # -- state machine ---------------------------------------------------------
+    def require(self, *states: KeyspaceState) -> None:
+        """Raise unless the keyspace is in one of ``states``."""
+        if self.state not in states:
+            allowed = "/".join(s.value for s in states)
+            raise KeyspaceStateError(
+                f"keyspace {self.name!r} is {self.state.value}, "
+                f"operation requires {allowed}"
+            )
+
+    def open_for_write(self) -> None:
+        """EMPTY -> WRITABLE (idempotent while WRITABLE)."""
+        self.require(KeyspaceState.EMPTY, KeyspaceState.WRITABLE)
+        self.state = KeyspaceState.WRITABLE
+
+    def begin_compaction(self) -> None:
+        """WRITABLE -> COMPACTING; the keyspace becomes read-only."""
+        self.require(KeyspaceState.WRITABLE)
+        self.state = KeyspaceState.COMPACTING
+
+    def finish_compaction(self) -> None:
+        """COMPACTING -> COMPACTED; the keyspace becomes queryable."""
+        self.require(KeyspaceState.COMPACTING)
+        self.state = KeyspaceState.COMPACTED
+
+    def observe_key(self, key: bytes) -> None:
+        """Track min/max keys as data is inserted."""
+        if self.min_key is None or key < self.min_key:
+            self.min_key = key
+        if self.max_key is None or key > self.max_key:
+            self.max_key = key
+
+    def all_clusters(self) -> list["ZoneCluster"]:
+        """Every zone cluster currently mapped to this keyspace."""
+        out = (
+            list(self.klog_clusters)
+            + list(self.vlog_clusters)
+            + list(self.pidx_clusters)
+            + list(self.sorted_value_clusters)
+        )
+        for clusters in self.sidx_clusters.values():
+            out.extend(clusters)
+        return out

@@ -1,0 +1,89 @@
+"""KLOG record format: keys plus pointers to their values.
+
+Section V of the paper: "values are written to VLOG zone clusters while
+keys, along with pointers to the values, are written to KLOG zone clusters"
+— the key-value separation that lets compaction sort keys first and values
+second.
+
+Each record also carries the keyspace-local sequence number assigned at
+insertion, so compaction resolves duplicate keys (and tombstones from bulk
+deletes) newest-wins even though the log itself is unordered.
+
+One record::
+
+    u16 key_len | key | u64 seq | u32 zone_id | u64 offset | u32 value_len
+
+A ``value_len`` of ``0xFFFFFFFF`` marks a tombstone (bulk delete); its
+pointer fields are zero and it carries no VLOG data.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.core.zone_manager import ZonePointer
+from repro.errors import DbError
+
+__all__ = [
+    "KlogRecord",
+    "TOMBSTONE_LEN",
+    "pack_klog_records",
+    "unpack_klog_records",
+    "klog_record_size",
+]
+
+_KLEN = struct.Struct("<H")
+_BODY = struct.Struct("<QIQI")  # seq, zone, offset, value_len
+
+#: value_len sentinel marking a delete.
+TOMBSTONE_LEN = 0xFFFFFFFF
+
+#: (key, seq, value_pointer-or-None) — None pointer means tombstone.
+KlogRecord = tuple[bytes, int, Optional[ZonePointer]]
+
+
+def klog_record_size(key: bytes) -> int:
+    """Serialized size of one KLOG record."""
+    return _KLEN.size + len(key) + _BODY.size
+
+
+def pack_klog_records(records: list[KlogRecord]) -> bytes:
+    """Serialize (key, seq, pointer|None) records."""
+    parts = []
+    for key, seq, pointer in records:
+        if len(key) > 0xFFFF:
+            raise DbError(f"key too large for KLOG: {len(key)} bytes")
+        parts.append(_KLEN.pack(len(key)))
+        parts.append(key)
+        if pointer is None:
+            parts.append(_BODY.pack(seq, 0, 0, TOMBSTONE_LEN))
+        else:
+            zone_id, offset, length = pointer
+            if length == TOMBSTONE_LEN:
+                raise DbError("value length collides with the tombstone sentinel")
+            parts.append(_BODY.pack(seq, zone_id, offset, length))
+    return b"".join(parts)
+
+
+def unpack_klog_records(blob: bytes) -> list[KlogRecord]:
+    """Parse a KLOG extent back into (key, seq, pointer|None) records."""
+    out: list[KlogRecord] = []
+    pos = 0
+    n = len(blob)
+    while pos < n:
+        if pos + _KLEN.size > n:
+            raise DbError("truncated KLOG record header")
+        (klen,) = _KLEN.unpack_from(blob, pos)
+        pos += _KLEN.size
+        if pos + klen + _BODY.size > n:
+            raise DbError("truncated KLOG record body")
+        key = blob[pos : pos + klen]
+        pos += klen
+        seq, zone_id, offset, length = _BODY.unpack_from(blob, pos)
+        pos += _BODY.size
+        if length == TOMBSTONE_LEN:
+            out.append((key, seq, None))
+        else:
+            out.append((key, seq, (zone_id, offset, length)))
+    return out

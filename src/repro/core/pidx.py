@@ -1,0 +1,105 @@
+"""Primary index: PIDX blocks plus the in-memory sketch.
+
+After compaction, sorted keys (each with a pointer to its value in the
+SORTED_VALUES clusters) are packed into 4 KB PIDX blocks.  "A small sketch
+of the PIDX data, consisting of a pivot primary index key and a block
+pointer for every constituent PIDX data block, is additionally built and
+stored as keyspace metadata ... It serves as the starting point for all
+primary index queries" (Section V).
+
+Block serialization reuses the library's common block format
+(:mod:`repro.lsm.block`): sorted entries with an offset trailer for in-block
+binary search; the entry value is the packed value pointer.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.errors import DbError
+from repro.core.zone_manager import ZonePointer
+from repro.lsm.block import BlockBuilder, BlockReader
+
+__all__ = ["PidxSketch", "build_pidx_blocks", "pack_value_pointer", "unpack_value_pointer"]
+
+_PTR = struct.Struct("<IQI")
+
+
+def pack_value_pointer(pointer: ZonePointer) -> bytes:
+    return _PTR.pack(*pointer)
+
+
+def unpack_value_pointer(blob: bytes) -> ZonePointer:
+    zone_id, offset, length = _PTR.unpack(blob)
+    return (zone_id, offset, length)
+
+
+def build_pidx_blocks(
+    sorted_entries: list[tuple[bytes, ZonePointer]], block_bytes: int = 4096
+) -> list[tuple[bytes, bytes]]:
+    """Pack sorted (key, value-pointer) entries into blocks.
+
+    Returns ``[(first_key, block_blob), ...]`` in key order.
+    """
+    blocks: list[tuple[bytes, bytes]] = []
+    builder = BlockBuilder(block_bytes)
+    for key, pointer in sorted_entries:
+        builder.add(key, pack_value_pointer(pointer))
+        if builder.full:
+            assert builder.first_key is not None
+            blocks.append((builder.first_key, builder.finish()))
+            builder = BlockBuilder(block_bytes)
+    if not builder.empty:
+        assert builder.first_key is not None
+        blocks.append((builder.first_key, builder.finish()))
+    return blocks
+
+
+@dataclass
+class PidxSketch:
+    """Pivot key + block pointer per PIDX block; the query starting point."""
+
+    pivots: list[bytes] = field(default_factory=list)
+    block_pointers: list[ZonePointer] = field(default_factory=list)
+
+    def add_block(self, pivot: bytes, pointer: ZonePointer) -> None:
+        if self.pivots and pivot <= self.pivots[-1]:
+            raise DbError("sketch pivots must be strictly increasing")
+        self.pivots.append(pivot)
+        self.block_pointers.append(pointer)
+
+    def __len__(self) -> int:
+        return len(self.pivots)
+
+    def find_block(self, key: bytes) -> int | None:
+        """Index of the block that may contain ``key``."""
+        if not self.pivots:
+            return None
+        idx = bisect_right(self.pivots, key) - 1
+        if idx < 0:
+            return None  # key sorts before the first block
+        return idx
+
+    def blocks_for_range(self, lo: bytes, hi: bytes) -> range:
+        """Indices of blocks that may hold keys in [lo, hi)."""
+        if not self.pivots or lo >= hi:
+            return range(0)
+        start = max(0, bisect_right(self.pivots, lo) - 1)
+        stop = bisect_right(self.pivots, hi)
+        # hi is exclusive: a block whose pivot == hi holds only keys >= hi
+        while stop > start and self.pivots[stop - 1] >= hi:
+            stop -= 1
+        return range(start, stop)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate in-DRAM footprint of the sketch."""
+        return sum(len(p) for p in self.pivots) + 16 * len(self.block_pointers)
+
+
+def read_block_entries(blob: bytes) -> list[tuple[bytes, ZonePointer]]:
+    """Decode one PIDX block into (key, value-pointer) entries."""
+    reader = BlockReader(blob)
+    return [(k, unpack_value_pointer(v)) for k, v in reader.entries()]

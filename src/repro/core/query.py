@@ -1,0 +1,306 @@
+"""Device-side query execution over compacted keyspaces.
+
+"To handle a query, KV-CSD first identifies the keyspace from the keyspace
+manager's in-memory keyspace table.  It then uses the keyspace's metadata to
+locate all related primary or secondary index data blocks on the SSD, and
+use them to process the incoming query.  Because [the] query is entirely
+processed in a computational storage device, only query results need to be
+transferred back to the application." (Section V)
+
+All block and value reads happen on the device's SSD; point lookups touch
+one PIDX block plus one value extent, range scans touch a contiguous block
+span and coalesce adjacent value pointers into large reads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Optional
+
+from repro.core.costs import CsdCostModel
+from repro.core.keyspace import Keyspace, KeyspaceState
+from repro.core.pidx import read_block_entries
+from repro.core.sidx import SidxConfig, SidxSketch, encode_skey, read_sidx_block
+from repro.core.zone_manager import ZonePointer
+from repro.errors import KeyNotFoundError, SecondaryIndexError
+from repro.host.threads import ThreadCtx
+from repro.sim.sync import AllOf
+from repro.ssd.zns import ZnsSsd
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Executes point/range queries against one device's keyspaces."""
+
+    def __init__(self, ssd: ZnsSsd, costs: CsdCostModel, scale_cpu):
+        self.ssd = ssd
+        self.costs = costs
+        self._scale = scale_cpu  # host-seconds -> SoC-seconds
+
+    def _exec(self, ctx: ThreadCtx, host_seconds: float) -> Generator:
+        yield from ctx.execute(self._scale(host_seconds))
+
+    # -- shared plumbing ----------------------------------------------------------
+    def _read_blocks(
+        self, pointers: list[ZonePointer], ctx: ThreadCtx
+    ) -> Generator:
+        """Read several blocks concurrently; returns blobs in input order."""
+        env = self.ssd.env
+        procs = []
+        for zone_id, offset, length in pointers:
+
+            def one(z=zone_id, o=offset, n=length):
+                data = yield from self.ssd.read(z, o, n)
+                return data
+
+            procs.append(env.process(one()))
+        result = yield AllOf(env, procs)
+        return [result[p] for p in procs]
+
+    #: NAND page granularity: the device reads whole 4 KiB pages, so value
+    #: fetches are aligned and deduplicated at page level — scattered hits in
+    #: one page cost a single media read.
+    PAGE = 4096
+
+    def _coalesce(self, pointers: list[ZonePointer]) -> list[tuple[ZonePointer, list[int]]]:
+        """Group value pointers into page-aligned, merged extents.
+
+        Returns ``[(extent, [input_index...]), ...]``.  Each pointer's byte
+        range is widened to page boundaries; overlapping or adjacent ranges
+        in the same zone merge, so both dense ranges (consecutive keys) and
+        scattered-but-clustered secondary hits read in few large extents.
+        """
+        page = self.PAGE
+        order = sorted(
+            range(len(pointers)),
+            key=lambda i: (pointers[i][0], pointers[i][1]),
+        )
+        out: list[tuple[ZonePointer, list[int]]] = []
+        for i in order:
+            zone_id, offset, length = pointers[i]
+            lo = (offset // page) * page
+            hi = -(-(offset + length) // page) * page
+            if out:
+                (ezone, eoff, elen), members = out[-1]
+                if ezone == zone_id and lo <= eoff + elen:
+                    new_hi = max(eoff + elen, hi)
+                    out[-1] = ((ezone, eoff, new_hi - eoff), members + [i])
+                    continue
+            out.append(((zone_id, lo, hi - lo), [i]))
+        return out
+
+    def _fetch_values(
+        self, pointers: list[ZonePointer], ctx: ThreadCtx
+    ) -> Generator:
+        """Read many value extents, page-coalesced; values in input order."""
+        extents = self._coalesce(pointers)
+        # Clip each extent to the zone's written bytes (the final page of a
+        # zone may be partial).
+        clipped = []
+        for (zone_id, off, length), members in extents:
+            wp = self.ssd.zone(zone_id).write_pointer
+            clipped.append(((zone_id, off, min(length, wp - off)), members))
+        blobs = yield from self._read_blocks([e for e, _ in clipped], ctx)
+        values: list[Optional[bytes]] = [None] * len(pointers)
+        for (extent, members), blob in zip(clipped, blobs):
+            _, ext_off, _ = extent
+            for i in members:
+                _, off, length = pointers[i]
+                start = off - ext_off
+                values[i] = blob[start : start + length]
+        yield from self._exec(ctx, self.costs.gather_per_record * len(pointers))
+        return values  # type: ignore[return-value]
+
+    # -- primary index ---------------------------------------------------------------
+    def point_query(self, ks: Keyspace, key: bytes, ctx: ThreadCtx) -> Generator:
+        """GET over the primary index; returns the value."""
+        ks.require(KeyspaceState.COMPACTED)
+        yield from self._exec(ctx, self.costs.sketch_search)
+        sketch = ks.pidx_sketch
+        if sketch is None or (idx := sketch.find_block(key)) is None:
+            raise KeyNotFoundError(key)
+        blobs = yield from self._read_blocks([sketch.block_pointers[idx]], ctx)
+        entries = read_block_entries(blobs[0])
+        yield from self._exec(ctx, self.costs.key_compare * 12)
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(entries) or entries[lo][0] != key:
+            raise KeyNotFoundError(key)
+        pointer = entries[lo][1]
+        values = yield from self._fetch_values([pointer], ctx)
+        return values[0]
+
+    def multi_point_query(
+        self, ks: Keyspace, keys: list[bytes], ctx: ThreadCtx
+    ) -> Generator:
+        """Batched GETs: shared PIDX block reads, coalesced value fetches.
+
+        Returns ``{key: value}`` for the keys that exist (absent keys are
+        simply missing from the result — the batched analogue of raising
+        per key).
+        """
+        ks.require(KeyspaceState.COMPACTED)
+        yield from self._exec(ctx, self.costs.sketch_search)
+        sketch = ks.pidx_sketch
+        if sketch is None or not keys:
+            return {}
+        needed_blocks: dict[int, list[bytes]] = {}
+        for key in keys:
+            idx = sketch.find_block(key)
+            if idx is not None:
+                needed_blocks.setdefault(idx, []).append(key)
+        block_ids = sorted(needed_blocks)
+        blobs = yield from self._read_blocks(
+            [sketch.block_pointers[i] for i in block_ids], ctx
+        )
+        found_keys: list[bytes] = []
+        pointers: list[ZonePointer] = []
+        for idx, blob in zip(block_ids, blobs):
+            wanted = set(needed_blocks[idx])
+            for key, pointer in read_block_entries(blob):
+                if key in wanted:
+                    found_keys.append(key)
+                    pointers.append(pointer)
+        yield from self._exec(ctx, self.costs.key_compare * 12 * len(keys))
+        if not found_keys:
+            return {}
+        values = yield from self._fetch_values(pointers, ctx)
+        return dict(zip(found_keys, values))
+
+    def range_query(
+        self, ks: Keyspace, lo: bytes, hi: bytes, ctx: ThreadCtx
+    ) -> Generator:
+        """Primary-index range scan over [lo, hi); returns (key, value) pairs."""
+        ks.require(KeyspaceState.COMPACTED)
+        yield from self._exec(ctx, self.costs.sketch_search)
+        sketch = ks.pidx_sketch
+        if sketch is None:
+            return []
+        block_range = sketch.blocks_for_range(lo, hi)
+        if not block_range:
+            return []
+        blobs = yield from self._read_blocks(
+            [sketch.block_pointers[i] for i in block_range], ctx
+        )
+        keys: list[bytes] = []
+        pointers: list[ZonePointer] = []
+        for blob in blobs:
+            for key, pointer in read_block_entries(blob):
+                if lo <= key < hi:
+                    keys.append(key)
+                    pointers.append(pointer)
+        yield from self._exec(
+            ctx, self.costs.key_compare * sum(len(b) for b in blobs) / 64
+        )
+        if not keys:
+            return []
+        values = yield from self._fetch_values(pointers, ctx)
+        return list(zip(keys, values))
+
+    # -- secondary index ----------------------------------------------------------------
+    def _sidx_pairs_in_range(
+        self,
+        config: SidxConfig,
+        sketch: SidxSketch,
+        lo_enc: bytes,
+        hi_enc: bytes,
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """(encoded_skey, primary_key) pairs with lo <= skey < hi."""
+        yield from self._exec(ctx, self.costs.sketch_search)
+        block_range = sketch.blocks_for_range(lo_enc, hi_enc)
+        if not block_range:
+            return []
+        blobs = yield from self._read_blocks(
+            [sketch.block_pointers[i] for i in block_range], ctx
+        )
+        pairs: list[tuple[bytes, bytes]] = []
+        for blob in blobs:
+            for skey_enc, pkey in read_sidx_block(blob, sketch.skey_width):
+                if lo_enc <= skey_enc < hi_enc:
+                    pairs.append((skey_enc, pkey))
+        yield from self._exec(
+            ctx, self.costs.key_compare * sum(len(b) for b in blobs) / 64
+        )
+        return pairs
+
+    def sidx_range_query(
+        self,
+        ks: Keyspace,
+        index_name: str,
+        lo_raw: bytes,
+        hi_raw: bytes,
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """Secondary-index range query; returns full (primary_key, value) records.
+
+        ``lo_raw``/``hi_raw`` are raw (little-endian) secondary-key bounds as
+        they appear inside values; the device encodes them for index order.
+        """
+        ks.require(KeyspaceState.COMPACTED)
+        entry = ks.sidx.get(index_name)
+        if entry is None:
+            raise SecondaryIndexError(
+                f"keyspace {ks.name!r} has no secondary index {index_name!r}"
+            )
+        config, sketch = entry
+        lo_enc = encode_skey(lo_raw, config.dtype)
+        hi_enc = encode_skey(hi_raw, config.dtype)
+        pairs = yield from self._sidx_pairs_in_range(config, sketch, lo_enc, hi_enc, ctx)
+        if not pairs:
+            return []
+        # Resolve primary keys to records via the primary index, batched:
+        # sort the keys, walk the PIDX blocks once, read values coalesced.
+        pkeys = sorted(pkey for _, pkey in pairs)
+        sketch_p = ks.pidx_sketch
+        assert sketch_p is not None
+        needed_blocks: dict[int, list[bytes]] = {}
+        for pkey in pkeys:
+            idx = sketch_p.find_block(pkey)
+            if idx is not None:
+                needed_blocks.setdefault(idx, []).append(pkey)
+        block_ids = sorted(needed_blocks)
+        blobs = yield from self._read_blocks(
+            [sketch_p.block_pointers[i] for i in block_ids], ctx
+        )
+        found_keys: list[bytes] = []
+        pointers: list[ZonePointer] = []
+        for idx, blob in zip(block_ids, blobs):
+            wanted = set(needed_blocks[idx])
+            for key, pointer in read_block_entries(blob):
+                if key in wanted:
+                    found_keys.append(key)
+                    pointers.append(pointer)
+        yield from self._exec(ctx, self.costs.key_compare * 12 * len(pkeys))
+        values = yield from self._fetch_values(pointers, ctx)
+        return list(zip(found_keys, values))
+
+    def sidx_point_query(
+        self, ks: Keyspace, index_name: str, skey_raw: bytes, ctx: ThreadCtx
+    ) -> Generator:
+        """All records whose secondary key equals ``skey_raw``."""
+        entry = ks.sidx.get(index_name)
+        if entry is None:
+            raise SecondaryIndexError(
+                f"keyspace {ks.name!r} has no secondary index {index_name!r}"
+            )
+        config, _ = entry
+        lo_enc = encode_skey(skey_raw, config.dtype)
+        hi_enc = lo_enc + b"\x00"  # smallest strictly-greater encoded bound
+        # Reuse the range machinery with an exclusive upper bound just above.
+        ks.require(KeyspaceState.COMPACTED)
+        _, sketch = entry
+        pairs = yield from self._sidx_pairs_in_range(config, sketch, lo_enc, hi_enc, ctx)
+        exact = [(s, p) for s, p in pairs if s == lo_enc]
+        if not exact:
+            return []
+        by_key = yield from self.multi_point_query(
+            ks, [pkey for _, pkey in exact], ctx
+        )
+        return sorted(by_key.items())

@@ -1,0 +1,213 @@
+"""Zone manager: allocates ZNS zones in striped *zone clusters*.
+
+Section IV of the paper: the zone manager "allocat[es] and deallocat[es]
+zones as requested by the keyspace manager, and group[s] zones into clusters
+to enable parallel I/O across zones".  Each cluster carries a random
+rotation ("KV-CSD associates a random number with each zone cluster to
+determine which zone to perform the next write") so concurrent writers do
+not all hammer the same SSD channels.
+
+A cluster stripes *groups* of data round-robin over its zones; each group is
+one zone-append, so groups on different zones (hence channels) proceed in
+parallel while records stay contiguous for pointer-based reads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from repro.errors import OutOfSpaceError, StorageError, ZoneFullError
+from repro.sim.sync import AllOf
+from repro.ssd.zns import ZnsSsd
+from repro.ssd.zone import ZoneState
+
+__all__ = ["ZoneManager", "ZoneCluster", "ZonePointer"]
+
+#: (zone_id, offset, length) triple locating one record/extent on the SSD.
+ZonePointer = tuple[int, int, int]
+
+
+class ZoneCluster:
+    """A group of zones striped for parallel I/O."""
+
+    def __init__(self, ssd: ZnsSsd, zone_ids: list[int], rotation: int):
+        if not zone_ids:
+            raise StorageError("a zone cluster needs at least one zone")
+        self.ssd = ssd
+        self.zone_ids = list(zone_ids)
+        #: random starting stripe, decorrelating channel use across clusters
+        self.rotation = rotation % len(zone_ids)
+        self._next = self.rotation
+
+    # -- capacity ---------------------------------------------------------------
+    def remaining(self) -> int:
+        """Total bytes still appendable across the cluster."""
+        return sum(self.ssd.zone(z).remaining for z in self.zone_ids)
+
+    def max_group(self) -> int:
+        """Largest single group that currently fits in some zone."""
+        return max(self.ssd.zone(z).remaining for z in self.zone_ids)
+
+    def bytes_stored(self) -> int:
+        return sum(self.ssd.zone(z).write_pointer for z in self.zone_ids)
+
+    # -- writes ------------------------------------------------------------------
+    def append_group(self, data: bytes) -> Generator:
+        """Append ``data`` contiguously to the next zone in rotation.
+
+        Returns a :data:`ZonePointer`.  Skips full zones; raises
+        :class:`ZoneFullError` when no zone can hold the group.
+        """
+        for _ in range(len(self.zone_ids)):
+            zone_id = self.zone_ids[self._next % len(self.zone_ids)]
+            self._next += 1
+            if self.ssd.zone(zone_id).remaining >= len(data):
+                offset = yield from self.ssd.append(zone_id, data)
+                return (zone_id, offset, len(data))
+        raise ZoneFullError(
+            f"no zone in cluster {self.zone_ids} can hold {len(data)} bytes"
+        )
+
+    def append_groups(self, groups: list[bytes]) -> Generator:
+        """Append several groups concurrently (one zone each, striped).
+
+        Returns pointers in input order.  All groups must fit; the caller
+        checks :meth:`remaining` / :meth:`max_group` first.
+        """
+        env = self.ssd.env
+        # Reserve zones synchronously first — accounting for bytes already
+        # promised to earlier groups in this batch — so the batch either
+        # fully fits or fails before any I/O is issued.
+        planned: dict[int, int] = {}
+        assignments: list[int] = []
+        for group in groups:
+            chosen = None
+            for _ in range(len(self.zone_ids)):
+                zone_id = self.zone_ids[self._next % len(self.zone_ids)]
+                self._next += 1
+                free = self.ssd.zone(zone_id).remaining - planned.get(zone_id, 0)
+                if free >= len(group):
+                    chosen = zone_id
+                    break
+            if chosen is None:
+                raise ZoneFullError("cluster cannot hold the group batch")
+            planned[chosen] = planned.get(chosen, 0) + len(group)
+            assignments.append(chosen)
+        procs = []
+        for group, zone_id in zip(groups, assignments):
+
+            def one(zone_id=zone_id, data=group):
+                offset = yield from self.ssd.append(zone_id, data)
+                return (zone_id, offset, len(data))
+
+            procs.append(env.process(one()))
+        result = yield AllOf(env, procs)
+        return [result[p] for p in procs]
+
+    # -- reads --------------------------------------------------------------------
+    def read(self, pointer: ZonePointer) -> Generator:
+        """Read the extent a pointer names."""
+        zone_id, offset, length = pointer
+        data = yield from self.ssd.read(zone_id, offset, length)
+        return data
+
+    def read_all(self) -> Generator:
+        """Read every zone's contents concurrently; returns zone_id -> bytes."""
+        env = self.ssd.env
+        procs = []
+        for zone_id in self.zone_ids:
+            length = self.ssd.zone(zone_id).write_pointer
+
+            def one(zone_id=zone_id, length=length):
+                if length == 0:
+                    if False:  # pragma: no cover - keep generator shape
+                        yield None
+                    return (zone_id, b"")
+                data = yield from self.ssd.read(zone_id, 0, length)
+                return (zone_id, data)
+
+            procs.append(env.process(one()))
+        result = yield AllOf(env, procs)
+        return dict(result[p] for p in procs)
+
+
+class ZoneManager:
+    """Tracks free zones of one ZNS SSD and hands out clusters."""
+
+    def __init__(self, ssd: ZnsSsd, rng: np.random.Generator, cluster_zones: int = 4):
+        if cluster_zones < 1:
+            raise StorageError("cluster size must be >= 1")
+        self.ssd = ssd
+        self.rng = rng
+        self.cluster_zones = cluster_zones
+        self._free = [
+            z.zone_id for z in ssd.zones if z.state == ZoneState.EMPTY
+        ]
+        self.allocated_clusters = 0
+
+    @property
+    def free_zone_count(self) -> int:
+        return len(self._free)
+
+    def reserve_zone(self, zone_id: int) -> ZoneCluster:
+        """Claim a specific zone (e.g. the fixed metadata zone) regardless of
+        its current state; removes it from the free pool if present."""
+        self._free = [z for z in self._free if z != zone_id]
+        self.allocated_clusters += 1
+        return ZoneCluster(self.ssd, [zone_id], rotation=0)
+
+    def mark_used(self, zone_ids: list[int]) -> None:
+        """Remove recovered zones from the free pool (device mount)."""
+        used = set(zone_ids)
+        self._free = [z for z in self._free if z not in used]
+
+    def rebuild_free_list(self) -> None:
+        """Recompute the free pool from the SSD's zone states, keeping only
+        EMPTY zones (used after orphan cleanup during recovery)."""
+        currently_free = set(self._free)
+        self._free = [
+            z.zone_id
+            for z in self.ssd.zones
+            if z.state == ZoneState.EMPTY and z.zone_id in currently_free
+        ]
+
+    def allocate_cluster(self, n_zones: int | None = None) -> ZoneCluster:
+        """Take ``n_zones`` free zones (spread across channels) as a cluster."""
+        want = n_zones or self.cluster_zones
+        if len(self._free) < want:
+            raise OutOfSpaceError(
+                f"need {want} free zones, only {len(self._free)} available"
+            )
+        # Prefer zones on distinct channels so the stripe actually parallelises.
+        by_channel: dict[int, list[int]] = {}
+        for zone_id in self._free:
+            by_channel.setdefault(self.ssd.geometry.channel_of_zone(zone_id), []).append(
+                zone_id
+            )
+        chosen: list[int] = []
+        channels = sorted(by_channel)
+        idx = 0
+        while len(chosen) < want:
+            ch = channels[idx % len(channels)]
+            if by_channel[ch]:
+                chosen.append(by_channel[ch].pop(0))
+            idx += 1
+            if idx > want * len(channels) + len(channels):
+                break
+        if len(chosen) < want:  # not enough channel spread; take anything left
+            leftovers = [z for zs in by_channel.values() for z in zs]
+            chosen.extend(leftovers[: want - len(chosen)])
+        chosen_set = set(chosen)
+        self._free = [z for z in self._free if z not in chosen_set]
+        rotation = int(self.rng.integers(0, want))
+        self.allocated_clusters += 1
+        return ZoneCluster(self.ssd, chosen, rotation)
+
+    def release_cluster(self, cluster: ZoneCluster) -> Generator:
+        """Reset a cluster's zones and return them to the free pool."""
+        for zone_id in cluster.zone_ids:
+            yield from self.ssd.reset_zone(zone_id)
+        self._free.extend(cluster.zone_ids)
+        self.allocated_clusters -= 1

@@ -1,0 +1,7 @@
+"""Host software substrate: threads, page cache, and the ext4-like filesystem."""
+
+from repro.host.filesystem import Filesystem, FsCostModel
+from repro.host.pagecache import PageCache
+from repro.host.threads import ThreadCtx
+
+__all__ = ["ThreadCtx", "PageCache", "Filesystem", "FsCostModel"]

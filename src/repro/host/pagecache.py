@@ -1,0 +1,119 @@
+"""OS page cache: an LRU of 4 KiB pages with dirty tracking.
+
+RocksDB's read performance in the paper (Figures 10 and 12) is dominated by
+"aggressive client-side caching" — the OS page cache absorbing repeated reads
+— while its write path buffers file appends until fsync.  This class models
+exactly that: clean/dirty pages keyed by ``(file_id, page_index)`` with LRU
+eviction (dirty pages must be written back by the owner before eviction
+completes, which the filesystem coordinates).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.errors import FilesystemError
+
+__all__ = ["PageCache"]
+
+
+class PageCache:
+    """LRU page cache shared by all files of one filesystem."""
+
+    def __init__(self, capacity_bytes: int, page_size: int = 4096):
+        if capacity_bytes < page_size:
+            raise FilesystemError("page cache smaller than one page")
+        self.capacity_bytes = capacity_bytes
+        self.page_size = page_size
+        self._pages: "OrderedDict[tuple[int, int], bytes]" = OrderedDict()
+        self._dirty: set[tuple[int, int]] = set()
+        self.hits = 0
+        self.misses = 0
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        return len(self._pages) * self.page_size
+
+    @property
+    def dirty_bytes(self) -> int:
+        return len(self._dirty) * self.page_size
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- lookup ------------------------------------------------------------------
+    def get(self, file_id: int, page_idx: int) -> Optional[bytes]:
+        """Return the cached page (promoting it), or None on a miss."""
+        key = (file_id, page_idx)
+        page = self._pages.get(key)
+        if page is None:
+            self.misses += 1
+            return None
+        self._pages.move_to_end(key)
+        self.hits += 1
+        return page
+
+    def contains(self, file_id: int, page_idx: int) -> bool:
+        """Membership test that does not perturb LRU order or hit stats."""
+        return (file_id, page_idx) in self._pages
+
+    # -- population ----------------------------------------------------------------
+    def put(self, file_id: int, page_idx: int, data: bytes, dirty: bool) -> list[tuple[int, int, bytes]]:
+        """Insert/replace a page; returns evicted *dirty* pages.
+
+        Evicted clean pages are silently dropped.  The caller (the
+        filesystem) must write returned dirty pages to the device.
+        """
+        if len(data) != self.page_size:
+            raise FilesystemError(
+                f"cache pages must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+        key = (file_id, page_idx)
+        self._pages[key] = data
+        self._pages.move_to_end(key)
+        if dirty:
+            self._dirty.add(key)
+        evicted_dirty: list[tuple[int, int, bytes]] = []
+        while len(self._pages) * self.page_size > self.capacity_bytes:
+            old_key, old_page = self._pages.popitem(last=False)
+            if old_key in self._dirty:
+                self._dirty.discard(old_key)
+                evicted_dirty.append((old_key[0], old_key[1], old_page))
+        return evicted_dirty
+
+    # -- dirty management -------------------------------------------------------------
+    def dirty_pages_of(self, file_id: int) -> list[tuple[int, bytes]]:
+        """(page_idx, data) for every dirty page of ``file_id``, sorted."""
+        out = [
+            (page_idx, self._pages[(fid, page_idx)])
+            for (fid, page_idx) in self._dirty
+            if fid == file_id
+        ]
+        out.sort()
+        return out
+
+    def mark_clean(self, file_id: int, page_indices: Iterable[int]) -> None:
+        """Clear the dirty bit after a successful writeback."""
+        for page_idx in page_indices:
+            self._dirty.discard((file_id, page_idx))
+
+    # -- invalidation -------------------------------------------------------------------
+    def invalidate_file(self, file_id: int) -> None:
+        """Drop every page (clean or dirty) belonging to ``file_id``."""
+        doomed = [key for key in self._pages if key[0] == file_id]
+        for key in doomed:
+            del self._pages[key]
+            self._dirty.discard(key)
+
+    def drop_clean(self) -> int:
+        """Drop all clean pages (``echo 1 > drop_caches``); returns pages dropped.
+
+        Dirty pages stay — the kernel behaves the same way.
+        """
+        doomed = [key for key in self._pages if key not in self._dirty]
+        for key in doomed:
+            del self._pages[key]
+        return len(doomed)

@@ -1,0 +1,60 @@
+"""Thread execution contexts.
+
+A :class:`ThreadCtx` records where a simulated thread is allowed to run (one
+pinned core, a core set, or anywhere in a pool) and with what priority, so
+that every layer it calls into — filesystem, LSM, client library — can charge
+CPU work to the right place.  The paper pins each test thread to a specific
+core and lets RocksDB's background compaction workers float over the pinned
+cores; both policies are expressed as contexts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.cpu import CpuPool
+
+__all__ = ["ThreadCtx"]
+
+
+@dataclass(frozen=True)
+class ThreadCtx:
+    """Binding of a logical thread to CPU resources.
+
+    Attributes
+    ----------
+    cpu:
+        The pool this thread executes on.
+    core:
+        Pin to exactly this core (mutually exclusive with ``cores``).
+    cores:
+        Allow any core in this set (RocksDB background workers).
+    priority:
+        Queue priority when a core is contended; lower wins.
+    """
+
+    cpu: CpuPool
+    core: Optional[int] = None
+    cores: Optional[tuple[int, ...]] = None
+    priority: int = 0
+
+    def execute(self, seconds: float) -> Generator:
+        """Charge ``seconds`` of CPU time under this context (generator)."""
+        yield from self.cpu.execute(
+            seconds,
+            core=self.core,
+            cores=list(self.cores) if self.cores is not None else None,
+            priority=self.priority,
+        )
+
+    def pinned(self, core: int) -> "ThreadCtx":
+        """A copy of this context pinned to ``core``."""
+        return ThreadCtx(cpu=self.cpu, core=core, cores=None, priority=self.priority)
+
+    def floating(self, cores: Sequence[int]) -> "ThreadCtx":
+        """A copy allowed to run on any core in ``cores``."""
+        return ThreadCtx(
+            cpu=self.cpu, core=None, cores=tuple(sorted(cores)), priority=self.priority
+        )

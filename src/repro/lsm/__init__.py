@@ -1,0 +1,32 @@
+"""A from-scratch RocksDB-like LSM key-value store (the paper's baseline).
+
+Public surface::
+
+    from repro.lsm import Db, DbOptions, CompactionMode
+"""
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.cache import BlockCache
+from repro.lsm.db import Db
+from repro.lsm.memtable import LookupState, Memtable
+from repro.lsm.options import CompactionMode, DbOptions, LsmCostModel
+from repro.lsm.sstable import TableBuilder, TableMeta, TableReader
+from repro.lsm.version import CompactionTask, VersionSet
+from repro.lsm.wal import WriteAheadLog
+
+__all__ = [
+    "Db",
+    "DbOptions",
+    "CompactionMode",
+    "LsmCostModel",
+    "Memtable",
+    "LookupState",
+    "BloomFilter",
+    "BlockCache",
+    "TableBuilder",
+    "TableReader",
+    "TableMeta",
+    "VersionSet",
+    "CompactionTask",
+    "WriteAheadLog",
+]

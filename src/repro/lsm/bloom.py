@@ -1,0 +1,84 @@
+"""Bloom filter over table keys.
+
+Functional (real bit array, real hashing) and deterministic across runs:
+hashing uses CRC-32 pairs rather than Python's salted ``hash()``.  Double
+hashing (Kirsch-Mitzenmacher) derives the k probe positions from two base
+hashes, matching what LevelDB/RocksDB do.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+import numpy as np
+
+from repro.errors import DbError
+
+__all__ = ["BloomFilter"]
+
+
+def _hash_pair(key: bytes) -> tuple[int, int]:
+    h1 = zlib.crc32(key)
+    h2 = zlib.crc32(key, 0x9E3779B9) | 1  # odd so probes cycle the whole table
+    return h1, h2
+
+
+class BloomFilter:
+    """A classic Bloom filter sized by bits-per-key."""
+
+    def __init__(self, n_keys: int, bits_per_key: int = 10):
+        if n_keys < 0 or bits_per_key < 1:
+            raise DbError("invalid bloom filter parameters")
+        self.n_bits = max(64, n_keys * bits_per_key)
+        # ln(2) * bits/key rounded is the optimal probe count.
+        self.k = max(1, min(30, round(bits_per_key * math.log(2))))
+        self._bits = np.zeros((self.n_bits + 7) // 8, dtype=np.uint8)
+        self.n_added = 0
+
+    def add(self, key: bytes) -> None:
+        h1, h2 = _hash_pair(key)
+        for i in range(self.k):
+            bit = (h1 + i * h2) % self.n_bits
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+        self.n_added += 1
+
+    def add_many(self, keys: list[bytes]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def may_contain(self, key: bytes) -> bool:
+        h1, h2 = _hash_pair(key)
+        for i in range(self.k):
+            bit = (h1 + i * h2) % self.n_bits
+            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    # -- serialization (tables persist their filters) ---------------------------
+    def to_bytes(self) -> bytes:
+        header = self.n_bits.to_bytes(8, "little") + self.k.to_bytes(
+            2, "little"
+        ) + self.n_added.to_bytes(8, "little")
+        return header + self._bits.tobytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "BloomFilter":
+        if len(blob) < 18:
+            raise DbError("truncated bloom filter")
+        n_bits = int.from_bytes(blob[0:8], "little")
+        k = int.from_bytes(blob[8:10], "little")
+        n_added = int.from_bytes(blob[10:18], "little")
+        bits = np.frombuffer(blob[18:], dtype=np.uint8).copy()
+        if len(bits) != (n_bits + 7) // 8:
+            raise DbError("corrupt bloom filter payload")
+        filt = cls.__new__(cls)
+        filt.n_bits = n_bits
+        filt.k = k
+        filt.n_added = n_added
+        filt._bits = bits
+        return filt
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits) + 18

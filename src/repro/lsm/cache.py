@@ -1,0 +1,72 @@
+"""Block cache: an LRU of parsed data blocks, charged by on-disk size.
+
+RocksDB keeps uncompressed data blocks in a user-space LRU distinct from the
+OS page cache; hits skip the filesystem entirely.  The paper attributes
+RocksDB's improving GET times across a run to exactly this "aggressive
+client-side caching" (Figures 10 and 12).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import DbError
+from repro.lsm.block import BlockReader
+
+__all__ = ["BlockCache"]
+
+
+class BlockCache:
+    """LRU over ``(table_id, block_offset) -> BlockReader``."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 4096:
+            raise DbError("block cache must be at least one block")
+        self.capacity_bytes = capacity_bytes
+        self._blocks: "OrderedDict[tuple[int, int], tuple[BlockReader, int]]" = (
+            OrderedDict()
+        )
+        self._charged = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self._charged
+
+    def get(self, table_id: int, offset: int) -> Optional[BlockReader]:
+        key = (table_id, offset)
+        hit = self._blocks.get(key)
+        if hit is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return hit[0]
+
+    def put(self, table_id: int, offset: int, reader: BlockReader, nbytes: int) -> None:
+        key = (table_id, offset)
+        if key in self._blocks:
+            _, old = self._blocks.pop(key)
+            self._charged -= old
+        self._blocks[key] = (reader, nbytes)
+        self._charged += nbytes
+        while self._charged > self.capacity_bytes and self._blocks:
+            _, (_, evicted) = self._blocks.popitem(last=False)
+            self._charged -= evicted
+
+    def evict_table(self, table_id: int) -> None:
+        """Drop every block of a deleted table."""
+        doomed = [key for key in self._blocks if key[0] == table_id]
+        for key in doomed:
+            _, nbytes = self._blocks.pop(key)
+            self._charged -= nbytes
+
+    def clear(self) -> None:
+        self._blocks.clear()
+        self._charged = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,126 @@
+"""Manifest (version-edit log) serialization.
+
+Like LevelDB's MANIFEST, the DB appends one *version edit* per metadata
+change (flush installs a table, compaction swaps tables); replaying the
+edits reconstructs the exact level layout after a crash or clean shutdown.
+
+Record format (little-endian)::
+
+    u32 record_len |
+      u16 n_added | [u8 level | table_meta]*  |
+      u16 n_removed | u64 table_id *
+
+    table_meta := u64 table_id | u64 l0_seq(+1, 0 = none) | u64 n_entries |
+                  u64 file_bytes | u16 path_len | path |
+                  u16 smallest_len | smallest | u16 largest_len | largest
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import DbError
+from repro.lsm.sstable import TableMeta
+
+__all__ = ["VersionEdit", "encode_edit", "decode_edits"]
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_META_FIXED = struct.Struct("<QQQQ")
+
+
+@dataclass(frozen=True)
+class VersionEdit:
+    """One atomic change to the level layout."""
+
+    added: tuple[tuple[int, TableMeta], ...] = ()  # (level, meta)
+    removed: tuple[int, ...] = ()  # table ids
+
+
+def _encode_meta(meta: TableMeta) -> bytes:
+    path = meta.path.encode()
+    parts = [
+        _META_FIXED.pack(
+            meta.table_id, meta.l0_seq + 1, meta.n_entries, meta.file_bytes
+        ),
+        _U16.pack(len(path)),
+        path,
+        _U16.pack(len(meta.smallest)),
+        meta.smallest,
+        _U16.pack(len(meta.largest)),
+        meta.largest,
+    ]
+    return b"".join(parts)
+
+
+def _decode_meta(blob: bytes, pos: int) -> tuple[TableMeta, int]:
+    table_id, seq_plus_one, n_entries, file_bytes = _META_FIXED.unpack_from(blob, pos)
+    pos += _META_FIXED.size
+    (path_len,) = _U16.unpack_from(blob, pos)
+    pos += _U16.size
+    path = blob[pos : pos + path_len].decode()
+    pos += path_len
+    (small_len,) = _U16.unpack_from(blob, pos)
+    pos += _U16.size
+    smallest = blob[pos : pos + small_len]
+    pos += small_len
+    (large_len,) = _U16.unpack_from(blob, pos)
+    pos += _U16.size
+    largest = blob[pos : pos + large_len]
+    pos += large_len
+    meta = TableMeta(
+        path=path,
+        table_id=table_id,
+        smallest=smallest,
+        largest=largest,
+        n_entries=n_entries,
+        file_bytes=file_bytes,
+        l0_seq=seq_plus_one - 1,
+    )
+    return meta, pos
+
+
+def encode_edit(edit: VersionEdit) -> bytes:
+    """Serialize one edit as a length-prefixed record."""
+    body = [_U16.pack(len(edit.added))]
+    for level, meta in edit.added:
+        body.append(bytes([level]))
+        body.append(_encode_meta(meta))
+    body.append(_U16.pack(len(edit.removed)))
+    for table_id in edit.removed:
+        body.append(struct.pack("<Q", table_id))
+    payload = b"".join(body)
+    return _U32.pack(len(payload)) + payload
+
+
+def decode_edits(blob: bytes) -> list[VersionEdit]:
+    """Parse a manifest file back into its edits (in append order)."""
+    edits: list[VersionEdit] = []
+    pos = 0
+    n = len(blob)
+    while pos + _U32.size <= n:
+        (record_len,) = _U32.unpack_from(blob, pos)
+        pos += _U32.size
+        if record_len == 0 or pos + record_len > n:
+            break  # zero padding / torn tail record: stop replay here
+        end = pos + record_len
+        (n_added,) = _U16.unpack_from(blob, pos)
+        pos += _U16.size
+        added = []
+        for _ in range(n_added):
+            level = blob[pos]
+            pos += 1
+            meta, pos = _decode_meta(blob, pos)
+            added.append((level, meta))
+        (n_removed,) = _U16.unpack_from(blob, pos)
+        pos += _U16.size
+        removed = []
+        for _ in range(n_removed):
+            (table_id,) = struct.unpack_from("<Q", blob, pos)
+            pos += 8
+            removed.append(table_id)
+        if pos != end:
+            raise DbError("corrupt manifest record")
+        edits.append(VersionEdit(added=tuple(added), removed=tuple(removed)))
+    return edits

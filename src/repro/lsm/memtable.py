@@ -1,0 +1,90 @@
+"""In-memory write buffer (memtable).
+
+RocksDB's memtable is a skiplist; its O(log n) insert/lookup cost is what
+the simulation charges per operation (``LsmCostModel.memtable_insert``).
+Functionally we keep a hash map with last-write-wins semantics plus an
+on-demand sorted view for flush and scans — the externally observable
+behaviour is identical for this workload class, and the hot path stays
+cheap in Python (the HPC guides' "optimize the bottleneck, keep the rest
+simple").
+
+Deletes are tombstones (value ``None``) so they mask older versions in the
+levels below, exactly as in a real LSM.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+__all__ = ["Memtable", "LookupState"]
+
+#: Fixed per-entry bookkeeping charged against the memtable byte budget
+#: (skiplist node, sequence number, pointers).
+ENTRY_OVERHEAD = 24
+
+
+class LookupState(enum.Enum):
+    """Outcome of a memtable point lookup."""
+
+    FOUND = "found"
+    DELETED = "deleted"  #: a tombstone masks any older value
+    MISSING = "missing"  #: this memtable knows nothing about the key
+
+
+class Memtable:
+    """One write buffer: mutable until sealed, then flushed to an L0 table."""
+
+    def __init__(self) -> None:
+        self._entries: dict[bytes, Optional[bytes]] = {}
+        self._bytes = 0
+        self.sealed = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Charged size: keys + values + per-entry overhead."""
+        return self._bytes
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._account(key, value)
+        self._entries[key] = value
+
+    def delete(self, key: bytes) -> None:
+        """Insert a tombstone."""
+        self._account(key, None)
+        self._entries[key] = None
+
+    def _account(self, key: bytes, value: Optional[bytes]) -> None:
+        old = self._entries.get(key, b"")
+        if key in self._entries:
+            self._bytes -= len(old or b"")
+        else:
+            self._bytes += len(key) + ENTRY_OVERHEAD
+        self._bytes += len(value or b"")
+
+    def get(self, key: bytes) -> tuple[LookupState, Optional[bytes]]:
+        if key not in self._entries:
+            return LookupState.MISSING, None
+        value = self._entries[key]
+        if value is None:
+            return LookupState.DELETED, None
+        return LookupState.FOUND, value
+
+    def seal(self) -> None:
+        """Freeze the memtable (it becomes immutable, awaiting flush)."""
+        self.sealed = True
+
+    def sorted_entries(self) -> list[tuple[bytes, Optional[bytes]]]:
+        """All entries in key order; tombstones carry ``None`` values."""
+        return sorted(self._entries.items())
+
+    def range_entries(
+        self, lo: bytes, hi: bytes
+    ) -> list[tuple[bytes, Optional[bytes]]]:
+        """Entries with ``lo <= key < hi``, in key order."""
+        return sorted(
+            (k, v) for k, v in self._entries.items() if lo <= k < hi
+        )

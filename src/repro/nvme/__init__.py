@@ -1,0 +1,31 @@
+"""NVMe substrate: command sets, queue pairs, controllers, PCIe transport."""
+
+from repro.nvme.commands import (
+    Completion,
+    NvmeCommand,
+    ReadCmd,
+    TrimCmd,
+    WriteCmd,
+    ZoneAppendCmd,
+    ZoneFinishCmd,
+    ZoneReadCmd,
+    ZoneResetCmd,
+)
+from repro.nvme.controller import NvmeController
+from repro.nvme.queues import QueuePair
+from repro.nvme.transport import PcieLink
+
+__all__ = [
+    "NvmeCommand",
+    "Completion",
+    "ReadCmd",
+    "WriteCmd",
+    "TrimCmd",
+    "ZoneAppendCmd",
+    "ZoneReadCmd",
+    "ZoneResetCmd",
+    "ZoneFinishCmd",
+    "NvmeController",
+    "QueuePair",
+    "PcieLink",
+]

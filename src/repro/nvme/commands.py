@@ -1,0 +1,94 @@
+"""NVMe block / ZNS command dataclasses.
+
+Only the commands the reproduction exercises are modelled.  Each command is
+a plain dataclass; the controller (:mod:`repro.nvme.controller`) gives them
+timing and semantics by dispatching to the underlying SSD model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "NvmeCommand",
+    "ReadCmd",
+    "WriteCmd",
+    "TrimCmd",
+    "ZoneAppendCmd",
+    "ZoneReadCmd",
+    "ZoneResetCmd",
+    "ZoneFinishCmd",
+    "Completion",
+]
+
+
+@dataclass(frozen=True)
+class NvmeCommand:
+    """Base class for all NVMe commands."""
+
+
+@dataclass(frozen=True)
+class ReadCmd(NvmeCommand):
+    """Block read: ``length`` bytes at byte ``offset`` (page aligned)."""
+
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class WriteCmd(NvmeCommand):
+    """Block write of ``data`` at byte ``offset`` (page aligned)."""
+
+    offset: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class TrimCmd(NvmeCommand):
+    """Dataset-management deallocate of a byte range."""
+
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class ZoneAppendCmd(NvmeCommand):
+    """ZNS zone append; the device returns the assigned offset."""
+
+    zone_id: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class ZoneReadCmd(NvmeCommand):
+    """Read within a zone."""
+
+    zone_id: int
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class ZoneResetCmd(NvmeCommand):
+    """Reset a zone (reclaim its space, rewind the write pointer)."""
+
+    zone_id: int
+
+
+@dataclass(frozen=True)
+class ZoneFinishCmd(NvmeCommand):
+    """Transition a zone to FULL."""
+
+    zone_id: int
+
+
+@dataclass(frozen=True)
+class Completion:
+    """NVMe completion-queue entry."""
+
+    status: str  # "OK" or an error tag
+    value: object = None  # command-specific payload (bytes read, offset, ...)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "OK"

@@ -1,0 +1,175 @@
+"""NVMe Key-Value command set, plus KV-CSD's vendor extensions.
+
+The paper (Section III, "NVMe") notes KV-CSD speaks the standard NVMe KV
+command set between client and device, extended with commands "not currently
+in the standard such as compaction and secondary index operations".  These
+dataclasses are that wire vocabulary; the KV-CSD device firmware
+(:mod:`repro.core.device`) implements their semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nvme.commands import NvmeCommand
+
+__all__ = [
+    "KvCommand",
+    "CreateKeyspaceCmd",
+    "DeleteKeyspaceCmd",
+    "OpenKeyspaceCmd",
+    "KvPutCmd",
+    "KvBulkPutCmd",
+    "KvGetCmd",
+    "KvDeleteCmd",
+    "KvExistCmd",
+    "CompactCmd",
+    "WaitCompactionCmd",
+    "BuildSidxCmd",
+    "PointQueryCmd",
+    "RangeQueryCmd",
+    "SidxPointQueryCmd",
+    "SidxRangeQueryCmd",
+    "ListKeyspacesCmd",
+    "KeyspaceStatCmd",
+]
+
+
+@dataclass(frozen=True)
+class KvCommand(NvmeCommand):
+    """Base class for key-value commands; all carry a target keyspace."""
+
+
+# -- keyspace lifecycle --------------------------------------------------------
+@dataclass(frozen=True)
+class CreateKeyspaceCmd(KvCommand):
+    name: str
+
+
+@dataclass(frozen=True)
+class DeleteKeyspaceCmd(KvCommand):
+    name: str
+
+
+@dataclass(frozen=True)
+class OpenKeyspaceCmd(KvCommand):
+    """Open for writing; transitions EMPTY -> WRITABLE on first open."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ListKeyspacesCmd(KvCommand):
+    pass
+
+
+@dataclass(frozen=True)
+class KeyspaceStatCmd(KvCommand):
+    """Fetch keyspace state and metadata (pair count, key bounds)."""
+
+    name: str
+
+
+# -- data path -------------------------------------------------------------------
+@dataclass(frozen=True)
+class KvPutCmd(KvCommand):
+    """Store one key-value pair."""
+
+    keyspace: str
+    key: bytes
+    value: bytes
+
+
+@dataclass(frozen=True)
+class KvBulkPutCmd(KvCommand):
+    """Store many pairs in one message (the paper's 128 KB bulk PUT)."""
+
+    keyspace: str
+    keys: tuple[bytes, ...]
+    values: tuple[bytes, ...]
+    #: serialized message size on the wire, set by the client packer
+    message_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class KvGetCmd(KvCommand):
+    keyspace: str
+    key: bytes
+
+
+@dataclass(frozen=True)
+class KvDeleteCmd(KvCommand):
+    keyspace: str
+    key: bytes
+
+
+@dataclass(frozen=True)
+class KvExistCmd(KvCommand):
+    keyspace: str
+    key: bytes
+
+
+# -- offloaded operations (KV-CSD extensions) --------------------------------------
+@dataclass(frozen=True)
+class CompactCmd(KvCommand):
+    """Kick off asynchronous device-side compaction of a keyspace."""
+
+    keyspace: str
+
+
+@dataclass(frozen=True)
+class WaitCompactionCmd(KvCommand):
+    """Block until a keyspace's compaction (and index builds) finish."""
+
+    keyspace: str
+
+
+@dataclass(frozen=True)
+class BuildSidxCmd(KvCommand):
+    """Build a secondary index over ``value[offset:offset+width]``.
+
+    ``dtype`` names how the extracted bytes are interpreted for ordering
+    ("u32", "i64", "f32", "f64", "bytes").
+    """
+
+    keyspace: str
+    index_name: str
+    value_offset: int
+    width: int
+    dtype: str = "bytes"
+
+
+@dataclass(frozen=True)
+class PointQueryCmd(KvCommand):
+    """Primary-index point query (COMPACTED keyspaces only)."""
+
+    keyspace: str
+    key: bytes
+
+
+@dataclass(frozen=True)
+class RangeQueryCmd(KvCommand):
+    """Primary-index range query over [lo, hi)."""
+
+    keyspace: str
+    lo: bytes
+    hi: bytes
+
+
+@dataclass(frozen=True)
+class SidxPointQueryCmd(KvCommand):
+    """Secondary-index point query; returns matching full records."""
+
+    keyspace: str
+    index_name: str
+    skey: bytes
+
+
+@dataclass(frozen=True)
+class SidxRangeQueryCmd(KvCommand):
+    """Secondary-index range query over [lo, hi); returns full records."""
+
+    keyspace: str
+    index_name: str
+    lo: bytes
+    hi: bytes

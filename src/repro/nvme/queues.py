@@ -1,0 +1,56 @@
+"""NVMe submission/completion queue pairs.
+
+A queue pair bounds the number of commands in flight (queue depth) — the
+mechanism by which NVMe exposes device parallelism to software.  ``submit``
+is the only entry point: it acquires a queue slot, lets the controller
+execute the command, and returns the completion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import TYPE_CHECKING
+
+from repro.errors import NvmeError, SimulationError
+from repro.nvme.commands import Completion, NvmeCommand
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nvme.controller import NvmeController
+
+__all__ = ["QueuePair"]
+
+
+class QueuePair:
+    """One NVMe submission+completion queue pair bound to a controller."""
+
+    def __init__(self, env: Environment, controller: "NvmeController", depth: int = 32):
+        if depth < 1:
+            raise SimulationError("queue depth must be >= 1")
+        self.env = env
+        self.controller = controller
+        self.depth = depth
+        self._slots = Resource(env, capacity=depth)
+        self.submitted = 0
+        self.completed = 0
+
+    def submit(self, command: NvmeCommand) -> Generator:
+        """Execute ``command``; returns its :class:`Completion`.
+
+        Raises :class:`NvmeError` if the command completed with an error
+        status, mirroring how a polled driver surfaces failed CQEs.
+        """
+        with self._slots.request() as slot:
+            yield slot
+            self.submitted += 1
+            completion = yield from self.controller.execute(command)
+            self.completed += 1
+        if not completion.ok:
+            raise NvmeError(completion.status, f"{type(command).__name__} failed")
+        return completion
+
+    @property
+    def inflight(self) -> int:
+        """Commands currently occupying queue slots."""
+        return self._slots.count

@@ -1,0 +1,73 @@
+"""PCIe link and DMA-engine model.
+
+The client library talks to the KV-CSD device over PCIe (16 lanes of Gen3 in
+the paper's testbed, Table I); the SoC talks to its backing SSD over 4
+lanes.  A link is full-duplex: independent TX and RX directions, each a
+capacity-1 resource with ``latency + bytes/bandwidth`` occupancy per
+transfer.  Per-message DMA setup cost is part of the latency term.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+from repro.units import GB, usec
+
+__all__ = ["PcieLink"]
+
+#: Usable bandwidth of one PCIe Gen3 lane after encoding/protocol overhead.
+GEN3_LANE_BW = 0.985 * GB
+
+
+class PcieLink:
+    """A full-duplex PCIe connection between two endpoints."""
+
+    def __init__(
+        self,
+        env: Environment,
+        lanes: int = 16,
+        lane_bandwidth: float = GEN3_LANE_BW,
+        latency: float = usec(0.9),
+        name: str = "pcie",
+    ):
+        if lanes < 1:
+            raise SimulationError("a PCIe link needs at least one lane")
+        if lane_bandwidth <= 0 or latency < 0:
+            raise SimulationError("invalid PCIe parameters")
+        self.env = env
+        self.bandwidth = lanes * lane_bandwidth
+        self.latency = latency
+        self.name = name
+        self._tx = Resource(env, capacity=1)
+        self._rx = Resource(env, capacity=1)
+        #: cumulative bytes moved each way, for data-movement reporting
+        self.bytes_tx = 0
+        self.bytes_rx = 0
+
+    def _move(self, direction: Resource, nbytes: int) -> Generator:
+        seconds = self.latency + nbytes / self.bandwidth
+        with direction.request() as req:
+            yield req
+            yield self.env.timeout(seconds)
+
+    def send(self, nbytes: int) -> Generator:
+        """Host-to-device transfer of ``nbytes`` (e.g. a PUT payload)."""
+        if nbytes < 0:
+            raise SimulationError("cannot transfer negative bytes")
+        yield from self._move(self._tx, nbytes)
+        self.bytes_tx += nbytes
+
+    def receive(self, nbytes: int) -> Generator:
+        """Device-to-host transfer of ``nbytes`` (e.g. query results)."""
+        if nbytes < 0:
+            raise SimulationError("cannot transfer negative bytes")
+        yield from self._move(self._rx, nbytes)
+        self.bytes_rx += nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes that crossed the link in either direction."""
+        return self.bytes_tx + self.bytes_rx

@@ -1,0 +1,5 @@
+"""POSIX-to-key-value shim layers (TableFS/DeltaFS style, Section IV)."""
+
+from repro.shim.kvfs import KvShimFs
+
+__all__ = ["KvShimFs"]

@@ -1,0 +1,188 @@
+"""A file-interface shim over a KV-CSD keyspace (TableFS/DeltaFS style).
+
+Section IV of the paper: "For applications that cannot easily switch from
+POSIX to key-value in order to use KV-CSD, a lightweight shim layer may be
+used to translate file I/O into key-value operations as prior work such as
+TableFS and DeltaFS does."
+
+The shim targets the write-once scientific output pattern those systems
+serve (PLFS/DeltaFS-style N-N dumps): files are *written* during the
+keyspace's WRITABLE phase (sequential appends), then the keyspace is
+compacted, after which files are *read* through device-side queries.
+
+Mapping:
+
+* ``META_PREFIX | path          -> u64 size``  (one metadata pair per file)
+* ``DATA_PREFIX | path | be32 i -> chunk i``   (fixed-size data chunks)
+
+Chunk keys sort by (path, chunk index), so a whole file is one primary-index
+range query after compaction.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Generator
+
+from repro.core.client import KvCsdClient
+from repro.errors import FileExistsInFsError, FileNotFoundInFsError, FilesystemError
+from repro.host.threads import ThreadCtx
+from repro.units import KiB
+
+__all__ = ["KvShimFs"]
+
+META_PREFIX = b"\x01"
+DATA_PREFIX = b"\x02"
+_SIZE = struct.Struct("<Q")
+_CHUNK = struct.Struct(">I")
+
+
+class _OpenFile:
+    """Write-phase state of one file: size so far + the partial tail chunk."""
+
+    __slots__ = ("size", "tail", "next_chunk")
+
+    def __init__(self) -> None:
+        self.size = 0
+        self.tail = b""
+        self.next_chunk = 0
+
+
+class KvShimFs:
+    """File read/write API translated onto one keyspace."""
+
+    def __init__(
+        self,
+        client: KvCsdClient,
+        keyspace: str = "kvfs",
+        chunk_bytes: int = 64 * KiB,
+    ):
+        if chunk_bytes < 512:
+            raise FilesystemError("chunk size too small")
+        self.client = client
+        self.keyspace = keyspace
+        self.chunk_bytes = chunk_bytes
+        self._open_files: dict[str, _OpenFile] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------ keys
+    def _meta_key(self, path: str) -> bytes:
+        return META_PREFIX + path.encode()
+
+    def _chunk_key(self, path: str, index: int) -> bytes:
+        return DATA_PREFIX + path.encode() + b"\x00" + _CHUNK.pack(index)
+
+    # ------------------------------------------------------------------ write phase
+    def mount(self, ctx: ThreadCtx) -> Generator:
+        """Create and open the backing keyspace."""
+        yield from self.client.create_keyspace(self.keyspace, ctx)
+        yield from self.client.open_keyspace(self.keyspace, ctx)
+
+    def create(self, path: str, ctx: ThreadCtx) -> Generator:
+        """Create a file for sequential writing."""
+        self._check_writable()
+        if path in self._open_files:
+            raise FileExistsInFsError(path)
+        self._open_files[path] = _OpenFile()
+        if False:  # pragma: no cover - keep generator shape
+            yield None
+
+    def append(self, path: str, data: bytes, ctx: ThreadCtx) -> Generator:
+        """Append to a file; full chunks stream to the device immediately."""
+        self._check_writable()
+        state = self._open_files.get(path)
+        if state is None:
+            raise FileNotFoundInFsError(path)
+        state.size += len(data)
+        buffer = state.tail + data
+        full: list[tuple[bytes, bytes]] = []
+        while len(buffer) >= self.chunk_bytes:
+            chunk, buffer = buffer[: self.chunk_bytes], buffer[self.chunk_bytes :]
+            full.append((self._chunk_key(path, state.next_chunk), chunk))
+            state.next_chunk += 1
+        state.tail = buffer
+        if full:
+            yield from self.client.bulk_put(self.keyspace, full, ctx)
+
+    def close(self, path: str, ctx: ThreadCtx) -> Generator:
+        """Flush the partial tail chunk and persist the file's metadata."""
+        self._check_writable()
+        state = self._open_files.get(path)
+        if state is None:
+            raise FileNotFoundInFsError(path)
+        pairs: list[tuple[bytes, bytes]] = []
+        if state.tail:
+            pairs.append((self._chunk_key(path, state.next_chunk), state.tail))
+            state.next_chunk += 1
+            state.tail = b""
+        pairs.append((self._meta_key(path), _SIZE.pack(state.size)))
+        yield from self.client.bulk_put(self.keyspace, pairs, ctx)
+
+    def finalize(self, ctx: ThreadCtx, wait: bool = True) -> Generator:
+        """End the write phase: compact (read-optimise) the keyspace.
+
+        Any still-open files are closed first.  With ``wait=False`` the
+        compaction proceeds asynchronously in the device.
+        """
+        self._check_writable()
+        for path in list(self._open_files):
+            yield from self.close(path, ctx)
+        self._open_files.clear()
+        self._finalized = True
+        yield from self.client.compact(self.keyspace, ctx)
+        if wait:
+            yield from self.client.wait_for_device(self.keyspace, ctx)
+
+    def _check_writable(self) -> None:
+        if self._finalized:
+            raise FilesystemError("shim filesystem already finalized (read-only)")
+
+    # ------------------------------------------------------------------ read phase
+    def file_size(self, path: str, ctx: ThreadCtx) -> Generator:
+        """Size in bytes (from the metadata pair)."""
+        self._check_readable()
+        from repro.errors import KeyNotFoundError
+
+        try:
+            blob = yield from self.client.get(self.keyspace, self._meta_key(path), ctx)
+        except KeyNotFoundError:
+            raise FileNotFoundInFsError(path) from None
+        return _SIZE.unpack(blob)[0]
+
+    def read(self, path: str, offset: int, length: int, ctx: ThreadCtx) -> Generator:
+        """Read a byte range (clipped at EOF) via a primary range query."""
+        self._check_readable()
+        size = yield from self.file_size(path, ctx)
+        if offset < 0 or length < 0:
+            raise FilesystemError("negative offset/length")
+        length = max(0, min(length, size - offset))
+        if length == 0:
+            return b""
+        first = offset // self.chunk_bytes
+        last = (offset + length - 1) // self.chunk_bytes
+        lo = self._chunk_key(path, first)
+        hi = self._chunk_key(path, last + 1)
+        rows = yield from self.client.range_query(self.keyspace, lo, hi, ctx)
+        blob = b"".join(v for _k, v in rows)
+        start = offset - first * self.chunk_bytes
+        return blob[start : start + length]
+
+    def read_file(self, path: str, ctx: ThreadCtx) -> Generator:
+        """The whole file."""
+        size = yield from self.file_size(path, ctx)
+        data = yield from self.read(path, 0, size, ctx)
+        return data
+
+    def list_files(self, ctx: ThreadCtx) -> Generator:
+        """All file paths, via a range scan over the metadata prefix."""
+        self._check_readable()
+        rows = yield from self.client.range_query(
+            self.keyspace, META_PREFIX, DATA_PREFIX, ctx
+        )
+        return sorted(key[len(META_PREFIX) :].decode() for key, _v in rows)
+
+    def _check_readable(self) -> None:
+        if not self._finalized:
+            raise FilesystemError(
+                "shim filesystem not finalized yet; reads need a COMPACTED keyspace"
+            )

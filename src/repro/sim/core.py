@@ -1,0 +1,363 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate for the entire reproduction: every CPU core, SSD
+channel, PCIe link, filesystem, and database in the library is modelled as a
+set of *processes* (Python generators) that advance a shared virtual clock by
+yielding :class:`Event` objects to an :class:`Environment`.
+
+The design follows the classic event-list formulation (and will look familiar
+to SimPy users):
+
+* An :class:`Environment` owns the virtual clock and a priority queue of
+  scheduled events.
+* An :class:`Event` is a one-shot occurrence with a value (or an exception)
+  and a list of callbacks.
+* A :class:`Process` wraps a generator; each yielded event suspends the
+  process until the event fires, at which point the event's value is sent
+  back into the generator (or its exception thrown).
+
+Determinism: ties in the event queue are broken by insertion order, so a
+simulation with seeded RNG streams is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable, Optional
+
+from repro.errors import InterruptError, SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "PENDING",
+    "TRIGGERED",
+    "PROCESSED",
+]
+
+# Event states.
+PENDING = 0  #: not yet triggered
+TRIGGERED = 1  #: scheduled on the event queue, value decided
+PROCESSED = 2  #: callbacks have run
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*.  Calling :meth:`succeed` or :meth:`fail` decides
+    their value and schedules them; the environment then runs their callbacks
+    at the current simulation time, marking them *processed*.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state: int = PENDING
+        self._defused: bool = False
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event's outcome has been decided."""
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._state == PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- outcome ------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Decide the event successfully with ``value`` and schedule it."""
+        if self._state != PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Decide the event with an exception and schedule it.
+
+        Waiting processes will have ``exception`` thrown into them.  If no
+        process waits on a failed event the environment raises the exception
+        at the end of the step unless the event is :meth:`defused`.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self._state != PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it won't crash the simulation."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running generator.  Also an event that fires when the generator ends.
+
+    The value of the process-event is the generator's return value; if the
+    generator raises, the process-event fails with that exception.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process() requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on (None if not started
+        #: or currently being resumed)
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process.
+
+        The process stops waiting on its current target event and resumes
+        immediately (at the current simulation time) with the exception.
+        Interrupting a finished process is an error.
+        """
+        if self._state != PENDING:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is None:
+            raise SimulationError("cannot interrupt a process before it starts")
+        # Detach from the event we were waiting on.
+        target = self._target
+        if self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = InterruptError(cause)
+        interrupt_ev._defused = True
+        interrupt_ev.callbacks.append(self._resume)
+        self.env._schedule(interrupt_ev, priority=0)
+
+    # -- internal -----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self)
+                return
+            except BaseException as exc:
+                self.env._active_process = None
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                self._generator.close()
+                self.env._active_process = None
+                self._ok = False
+                self._value = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                self.env._schedule(self)
+                return
+            if next_event.env is not self.env:
+                self._generator.close()
+                self.env._active_process = None
+                self._ok = False
+                self._value = SimulationError(
+                    "cannot wait on an event from another environment"
+                )
+                self.env._schedule(self)
+                return
+
+            if next_event._state == PROCESSED:
+                # Already fired: feed its value straight back in.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            self.env._active_process = None
+            return
+
+
+class EmptySchedule(Exception):
+    """Internal: raised by step() when there is nothing left to do."""
+
+
+class Environment:
+    """Owner of the virtual clock and the pending event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now: float = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._counter: int = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction --------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start running ``generator`` as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: list[Event]) -> Event:
+        """Event that fires when all of ``events`` have succeeded."""
+        from repro.sim.sync import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> Event:
+        """Event that fires when any of ``events`` has succeeded."""
+        from repro.sim.sync import AnyOf
+
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        event._state = TRIGGERED
+        self._counter += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._counter, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        try:
+            when, _prio, _cnt, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []  # type: ignore[assignment]
+        event._state = PROCESSED
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failed event that nobody handled: crash the simulation,
+            # mirroring an unhandled exception in a thread.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event has been processed, and
+          return its value (raising if it failed).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.processed:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event fired (deadlock?)"
+                    ) from None
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError("cannot run() into the past")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+
+        while self._queue:
+            self.step()
+        return None

@@ -1,0 +1,149 @@
+"""CPU modelling: pools of cores with pinning, contention and timeslicing.
+
+Compute work in the reproduction (sorting, compaction, request handling,
+checksum/serialization overhead) is expressed as *seconds of CPU time* and
+billed to a :class:`CpuPool` via :meth:`CpuPool.execute`.  Each core is a
+capacity-1 resource; threads either pin to a specific core (the paper pins
+every test thread) or run on any core of an allowed set (RocksDB's background
+compaction workers run on whichever pinned cores are available).
+
+Long work items are split into timeslices so that a multi-second compaction
+job cannot monopolise a core against interactive foreground work — the same
+effect an OS scheduler provides.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+from repro.sim.sync import AnyOf
+
+__all__ = ["CpuPool"]
+
+#: Default scheduler timeslice in simulated seconds.
+DEFAULT_TIMESLICE = 10e-3
+
+
+class CpuPool:
+    """A set of identical CPU cores.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    n_cores:
+        Number of cores in the pool.
+    timeslice:
+        Maximum contiguous occupancy of a core by one work item; longer work
+        is split and re-queued, approximating preemptive scheduling.
+    name:
+        Label used in stats and debugging output.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        n_cores: int,
+        timeslice: float = DEFAULT_TIMESLICE,
+        name: str = "cpu",
+    ):
+        if n_cores < 1:
+            raise SimulationError("a CPU pool needs at least one core")
+        if timeslice <= 0:
+            raise SimulationError("timeslice must be positive")
+        self.env = env
+        self.n_cores = n_cores
+        self.timeslice = timeslice
+        self.name = name
+        self._cores = [Resource(env, capacity=1) for _ in range(n_cores)]
+        #: cumulative busy seconds per core, for utilization reporting
+        self.busy_time = [0.0] * n_cores
+
+    # -- acquisition ----------------------------------------------------------
+    def _acquire(
+        self, allowed: Sequence[int], priority: int
+    ) -> Generator:
+        """Acquire exactly one core out of ``allowed``; yields (index, request)."""
+        if len(allowed) == 1:
+            idx = allowed[0]
+            req = self._cores[idx].request(priority)
+            yield req
+            return idx, req
+        requests = {idx: self._cores[idx].request(priority) for idx in allowed}
+        yield AnyOf(self.env, list(requests.values()))
+        granted = [idx for idx, req in requests.items() if req.processed and req.ok]
+        keep = min(granted)
+        for idx, req in requests.items():
+            if idx != keep:
+                self._cores[idx].release(req)
+        return keep, requests[keep]
+
+    def _check_allowed(self, core: Optional[int], cores: Optional[Sequence[int]]):
+        if core is not None and cores is not None:
+            raise SimulationError("pass either core= or cores=, not both")
+        if core is not None:
+            if not 0 <= core < self.n_cores:
+                raise SimulationError(f"core index {core} out of range")
+            return [core]
+        if cores is not None:
+            allowed = sorted(set(cores))
+            if not allowed:
+                raise SimulationError("cores= must not be empty")
+            for idx in allowed:
+                if not 0 <= idx < self.n_cores:
+                    raise SimulationError(f"core index {idx} out of range")
+            return allowed
+        return list(range(self.n_cores))
+
+    # -- work ------------------------------------------------------------------
+    def execute(
+        self,
+        seconds: float,
+        core: Optional[int] = None,
+        cores: Optional[Sequence[int]] = None,
+        priority: int = 0,
+    ) -> Generator:
+        """Consume ``seconds`` of CPU time on one core (generator).
+
+        ``core=`` pins the work to a single core; ``cores=`` restricts it to a
+        set; neither means any core in the pool.  Lower ``priority`` values
+        win the queue when cores are contended.
+
+        Work longer than the pool timeslice releases and re-acquires the core
+        between slices, so concurrent work items interleave rather than run
+        to completion serially.
+        """
+        if seconds < 0:
+            raise SimulationError("cannot execute negative CPU time")
+        allowed = self._check_allowed(core, cores)
+        remaining = float(seconds)
+        if remaining == 0.0:
+            # Zero-cost work still passes through the queue once so that
+            # ordering against other work on the core is preserved.
+            idx, req = yield from self._acquire(allowed, priority)
+            self._cores[idx].release(req)
+            return
+        while remaining > 0:
+            idx, req = yield from self._acquire(allowed, priority)
+            slice_len = min(remaining, self.timeslice)
+            try:
+                yield self.env.timeout(slice_len)
+            finally:
+                self.busy_time[idx] += slice_len
+                self._cores[idx].release(req)
+            remaining -= slice_len
+
+    def utilization(self, up_to: Optional[float] = None) -> list[float]:
+        """Per-core busy fraction of elapsed simulated time."""
+        horizon = self.env.now if up_to is None else up_to
+        if horizon <= 0:
+            return [0.0] * self.n_cores
+        return [min(1.0, busy / horizon) for busy in self.busy_time]
+
+    def total_busy_time(self) -> float:
+        """Sum of busy seconds over all cores."""
+        return sum(self.busy_time)

@@ -1,0 +1,231 @@
+"""Capacity-limited shared resources for the simulation kernel.
+
+Three primitives cover every contention point in the reproduction:
+
+* :class:`Resource` — N identical slots (CPU cores, SSD channels, NVMe queue
+  depth).  FIFO by default; :class:`PriorityResource` adds priorities so
+  foreground I/O can pre-empt queued background work.
+* :class:`Container` — a homogeneous quantity (DRAM bytes, buffer credits).
+* :class:`Store` — a queue of discrete items (request queues between the
+  client library and the device).
+
+Usage inside a process::
+
+    with resource.request() as req:
+        yield req
+        yield env.timeout(work)
+    # released on scope exit
+
+or without the context manager, calling ``resource.release(req)`` explicitly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+__all__ = ["Request", "Resource", "PriorityResource", "Container", "Store"]
+
+
+class Request(Event):
+    """An acquisition request against a :class:`Resource`.
+
+    Fires when a slot has been granted.  Works as a context manager that
+    releases the slot (or cancels the queued request) on exit.
+    """
+
+    __slots__ = ("resource", "priority", "_seq")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._seq += 1
+        self._seq = resource._seq
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def __lt__(self, other: "Request") -> bool:
+        return (self.priority, self._seq) < (other.priority, other._seq)
+
+
+class Resource:
+    """``capacity`` identical slots granted to requests in FIFO order."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._waiting: list[Request] = []
+        self._seq = 0
+
+    # -- public -------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> Request:
+        """Ask for a slot.  The returned event fires when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return a slot (or cancel a still-queued request)."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            # Cancelling a queued or never-granted request is legal: it
+            # happens when a process is interrupted while waiting.
+            try:
+                self._waiting.remove(request)
+                heapq.heapify(self._waiting)
+            except ValueError:
+                pass
+
+    # -- internal -----------------------------------------------------------
+    def _enqueue(self, request: Request) -> None:
+        heapq.heappush(self._waiting, request)
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = heapq.heappop(self._waiting)
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue orders by ``priority`` (lower first).
+
+    Functionally identical to :class:`Resource` — the base class already
+    honours priorities — but kept as a distinct type so call sites document
+    their intent.
+    """
+
+
+class Container:
+    """A continuous quantity with blocking ``get`` and non-lossy ``put``.
+
+    Used for byte budgets: SoC DRAM for sorting, device write buffers, block
+    cache charge accounting.
+    """
+
+    def __init__(self, env: Environment, capacity: float, init: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("initial level must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: list[tuple[int, float, Event]] = []
+        self._putters: list[tuple[int, float, Event]] = []
+        self._seq = 0
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks while it would exceed capacity."""
+        if amount < 0:
+            raise SimulationError("cannot put a negative amount")
+        ev = Event(self.env)
+        self._seq += 1
+        self._putters.append((self._seq, amount, ev))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; blocks until that much is available."""
+        if amount < 0:
+            raise SimulationError("cannot get a negative amount")
+        if amount > self.capacity:
+            raise SimulationError("get() larger than container capacity would deadlock")
+        ev = Event(self.env)
+        self._seq += 1
+        self._getters.append((self._seq, amount, ev))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                _seq, amount, ev = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.pop(0)
+                    self._level += amount
+                    ev.succeed(amount)
+                    progressed = True
+            if self._getters:
+                _seq, amount, ev = self._getters[0]
+                if self._level >= amount:
+                    self._getters.pop(0)
+                    self._level -= amount
+                    ev.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """An unbounded (or bounded) FIFO queue of discrete items."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError("store capacity must be >= 1 (or None)")
+        self.env = env
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Any, Event]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Append ``item``; blocks while the store is at capacity."""
+        ev = Event(self.env)
+        self._putters.append((item, ev))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        """Pop the oldest item; blocks until one is available."""
+        ev = Event(self.env)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and (
+                self.capacity is None or len(self._items) < self.capacity
+            ):
+                item, ev = self._putters.pop(0)
+                self._items.append(item)
+                ev.succeed(None)
+                progressed = True
+            while self._getters and self._items:
+                ev = self._getters.pop(0)
+                ev.succeed(self._items.pop(0))
+                progressed = True

@@ -1,0 +1,155 @@
+"""Lightweight measurement primitives: counters, timers, histograms, series.
+
+These deliberately avoid any third-party dependency so they can be embedded
+in every subsystem without import cycles; the benchmark harness formats them
+for reporting.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Counter", "Histogram", "TimeSeries", "StatsRegistry"]
+
+
+class Counter:
+    """A monotonically-growing named count/sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only grow; use two counters for +/-")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming histogram with exact percentiles (stores samples sorted).
+
+    Suitable for the scale of this reproduction (up to a few million samples
+    per run); memory is one float per sample.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._sorted: list[float] = []
+        self._sum = 0.0
+
+    def record(self, value: float) -> None:
+        bisect.insort(self._sorted, value)
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._sorted) if self._sorted else math.nan
+
+    @property
+    def min(self) -> float:
+        return self._sorted[0] if self._sorted else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._sorted[-1] if self._sorted else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile by nearest-rank; ``p`` in [0, 100]."""
+        if not self._sorted:
+            return math.nan
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        rank = max(0, math.ceil(p / 100.0 * len(self._sorted)) - 1)
+        return self._sorted[rank]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) samples, e.g. queue depth or cumulative bytes over time."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def sample(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("time series samples must be non-decreasing in time")
+        self.times.append(time)
+        self.values.append(value)
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class StatsRegistry:
+    """Namespace of counters/histograms/series owned by one component."""
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, TimeSeries] = {}
+
+    def _full(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = Counter(self._full(name))
+            self._counters[name] = c
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = Histogram(self._full(name))
+            self._histograms[name] = h
+        return h
+
+    def series(self, name: str) -> TimeSeries:
+        s = self._series.get(name)
+        if s is None:
+            s = TimeSeries(self._full(name))
+            self._series[name] = s
+        return s
+
+    def counter_values(self) -> dict[str, float]:
+        """Unprefixed counter name -> value (for reports)."""
+        return {name: counter.value for name, counter in self._counters.items()}
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dict of all counter values and histogram means."""
+        out: dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[self._full(name)] = c.value
+        for name, h in self._histograms.items():
+            out[self._full(name) + ".mean"] = h.mean
+            out[self._full(name) + ".count"] = float(h.count)
+        return out

@@ -1,0 +1,102 @@
+"""Composite condition events: wait for all or any of a set of events."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event, PENDING
+
+__all__ = ["AllOf", "AnyOf"]
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: Environment, events: list[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if not isinstance(ev, Event):
+                raise SimulationError(f"condition requires events, got {ev!r}")
+            if ev.env is not env:
+                raise SimulationError("all events must share one environment")
+        pending = [ev for ev in self._events if not ev.processed]
+        processed = [ev for ev in self._events if ev.processed]
+        # Count all pending events before observing processed ones so that an
+        # early already-processed event cannot see a transiently-zero count.
+        self._remaining = len(pending)
+        for ev in pending:
+            ev.callbacks.append(self._check)
+        for ev in processed:
+            self._observe_processed(ev)
+        if self._state == PENDING and self._remaining == 0:
+            self._finalize()
+
+    # subclass hooks ---------------------------------------------------------
+    def _observe_processed(self, ev: Event) -> None:
+        raise NotImplementedError
+
+    def _finalize(self) -> None:
+        raise NotImplementedError
+
+    def _check(self, ev: Event) -> None:
+        if self._state != PENDING:
+            if not ev._ok:
+                ev._defused = True
+            return
+        self._remaining -= 1
+        self._observe_processed(ev)
+
+    def _collect_values(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired.
+
+    Succeeds with a dict mapping each event to its value.  Fails as soon as
+    any constituent fails (with that exception); remaining failures are
+    defused.
+    """
+
+    __slots__ = ()
+
+    def _observe_processed(self, ev: Event) -> None:
+        if not ev._ok:
+            ev._defused = True
+            if self._state == PENDING:
+                self.fail(ev._value)
+            return
+        if self._remaining == 0 and self._state == PENDING:
+            self._finalize()
+
+    def _finalize(self) -> None:
+        self.succeed(self._collect_values())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as one constituent event fires.
+
+    Succeeds with a dict of the events processed so far and their values.
+    Fails if the first event to fire failed.  An empty event list succeeds
+    immediately (vacuous truth, matching SimPy).
+    """
+
+    __slots__ = ()
+
+    def _observe_processed(self, ev: Event) -> None:
+        if self._state != PENDING:
+            if not ev._ok:
+                ev._defused = True
+            return
+        if not ev._ok:
+            ev._defused = True
+            self.fail(ev._value)
+            return
+        self._finalize()
+
+    def _finalize(self) -> None:
+        self.succeed(self._collect_values())

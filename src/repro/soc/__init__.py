@@ -1,0 +1,7 @@
+"""Device-controller substrate: the SoC board, its DRAM budget and SPDK path."""
+
+from repro.soc.board import SocBoard, SocSpec
+from repro.soc.dram import DramBudget
+from repro.soc.spdk import SpdkDriver
+
+__all__ = ["SocBoard", "SocSpec", "DramBudget", "SpdkDriver"]

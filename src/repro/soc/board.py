@@ -1,0 +1,77 @@
+"""The KV-CSD SoC board: ARM cores, DRAM, and the SPDK path to the SSD.
+
+Mirrors the paper's Fidus Sidewinder-100 setup (Table I): a quad-core ARM
+Cortex-A53 with 8 GB DDR4 running the device firmware, connected to an NVMe
+ZNS SSD.  The board is deliberately *weaker* than the host — the point the
+evaluation makes is that even slow device cores win by being asynchronous
+and close to the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.host.threads import ThreadCtx
+from repro.nvme.controller import NvmeController
+from repro.nvme.queues import QueuePair
+from repro.sim.core import Environment
+from repro.sim.cpu import CpuPool
+from repro.soc.dram import DramBudget
+from repro.soc.spdk import SpdkDriver
+from repro.ssd.zns import ZnsSsd
+from repro.units import GiB
+
+__all__ = ["SocSpec", "SocBoard"]
+
+
+@dataclass(frozen=True)
+class SocSpec:
+    """Static parameters of the SoC.
+
+    ``arm_slowdown`` scales CPU work relative to a host core: the A53 runs
+    at a fraction of an EPYC core's per-byte throughput on sort/merge-type
+    work (in-order, small caches).  Firmware CPU costs are specified in
+    host-core seconds and multiplied by this factor when charged here.
+    """
+
+    n_cores: int = 4
+    dram_bytes: int = 8 * GiB
+    arm_slowdown: float = 3.0
+    timeslice: float = 10e-3
+    nvme_queue_depth: int = 64
+    #: DRAM the firmware may use for one sort run (leaves room for buffers);
+    #: scaled down together with workloads in benchmarks.
+    sort_budget_bytes: int = 4 * GiB
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise SimulationError("SoC needs at least one core")
+        if self.arm_slowdown <= 0:
+            raise SimulationError("arm_slowdown must be positive")
+        if not 0 < self.sort_budget_bytes <= self.dram_bytes:
+            raise SimulationError("sort budget must fit in DRAM")
+
+
+class SocBoard:
+    """Runtime resources of the SoC."""
+
+    def __init__(self, env: Environment, ssd: ZnsSsd, spec: SocSpec | None = None):
+        self.env = env
+        self.spec = spec or SocSpec()
+        self.ssd = ssd
+        self.cpu = CpuPool(
+            env, self.spec.n_cores, timeslice=self.spec.timeslice, name="soc"
+        )
+        self.dram = DramBudget(env, self.spec.dram_bytes)
+        controller = NvmeController(env, ssd)
+        self.qp = QueuePair(env, controller, depth=self.spec.nvme_queue_depth)
+        self.spdk = SpdkDriver(self.qp)
+
+    def firmware_ctx(self, priority: int = 0) -> ThreadCtx:
+        """A context for firmware work floating over all SoC cores."""
+        return ThreadCtx(cpu=self.cpu, priority=priority)
+
+    def scale_cpu(self, host_seconds: float) -> float:
+        """Convert host-core CPU seconds into SoC-core seconds."""
+        return host_seconds * self.spec.arm_slowdown

@@ -1,0 +1,45 @@
+"""SoC DRAM budget accounting.
+
+The device's sort and buffer paths must fit in the SoC's 8 GB DRAM (Table I
+of the paper); the external merge sort sizes its runs off this budget.  A
+thin wrapper over :class:`repro.sim.resources.Container` with reservation
+semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment
+from repro.sim.resources import Container
+
+__all__ = ["DramBudget"]
+
+
+class DramBudget:
+    """Byte budget with blocking reserve/release."""
+
+    def __init__(self, env: Environment, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise SimulationError("DRAM capacity must be positive")
+        self.env = env
+        self.capacity = capacity_bytes
+        self._container = Container(env, capacity=capacity_bytes, init=capacity_bytes)
+
+    @property
+    def available(self) -> float:
+        """Bytes currently unreserved."""
+        return self._container.level
+
+    def reserve(self, nbytes: int) -> Generator:
+        """Block until ``nbytes`` can be reserved."""
+        if nbytes > self.capacity:
+            raise SimulationError(
+                f"reservation of {nbytes} exceeds DRAM capacity {self.capacity}"
+            )
+        yield self._container.get(nbytes)
+
+    def release(self, nbytes: int) -> Generator:
+        """Return ``nbytes`` to the budget."""
+        yield self._container.put(nbytes)

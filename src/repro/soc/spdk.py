@@ -1,0 +1,36 @@
+"""SPDK-style userspace driver path from the SoC to its backing SSD.
+
+KV-CSD's on-SoC store is "a custom userspace block device driver using
+Intel's SPDK" — commands go straight from the store to the NVMe queues with
+no kernel involvement.  The model charges a small polled-mode CPU cost per
+command on the issuing SoC core and forwards to the NVMe queue pair.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.host.threads import ThreadCtx
+from repro.nvme.commands import Completion, NvmeCommand
+from repro.nvme.queues import QueuePair
+from repro.units import usec
+
+__all__ = ["SpdkDriver"]
+
+#: CPU cost of building + submitting + polling one NVMe command from
+#: userspace.  An order of magnitude below the kernel block layer path.
+SPDK_PER_COMMAND_CPU = usec(0.6)
+
+
+class SpdkDriver:
+    """Kernel-bypass command submission on behalf of SoC firmware threads."""
+
+    def __init__(self, qp: QueuePair, per_command_cpu: float = SPDK_PER_COMMAND_CPU):
+        self.qp = qp
+        self.per_command_cpu = per_command_cpu
+
+    def submit(self, command: NvmeCommand, ctx: ThreadCtx) -> Generator:
+        """Execute ``command``; returns its :class:`Completion`."""
+        yield from ctx.execute(self.per_command_cpu)
+        completion: Completion = yield from self.qp.submit(command)
+        return completion

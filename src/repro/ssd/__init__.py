@@ -1,0 +1,30 @@
+"""Storage substrate: ZNS and conventional SSD models.
+
+Both devices are functional (bytes round-trip exactly) and billable (every
+operation occupies simulated NAND-channel time), so higher layers measure
+real contention, amplification, and bandwidth effects.
+"""
+
+from repro.ssd.conventional import ConventionalSsd
+from repro.ssd.faults import FaultPlan, MediaError
+from repro.ssd.ftl import Ftl, GcWork, PageAllocation
+from repro.ssd.geometry import SsdGeometry
+from repro.ssd.latency import NandLatencyModel
+from repro.ssd.metrics import IoStats
+from repro.ssd.zns import ZnsSsd
+from repro.ssd.zone import Zone, ZoneState
+
+__all__ = [
+    "SsdGeometry",
+    "NandLatencyModel",
+    "IoStats",
+    "Zone",
+    "ZoneState",
+    "ZnsSsd",
+    "Ftl",
+    "GcWork",
+    "PageAllocation",
+    "ConventionalSsd",
+    "FaultPlan",
+    "MediaError",
+]

@@ -1,0 +1,63 @@
+"""Fault injection for storage devices.
+
+Lets tests and resilience experiments make specific device operations fail
+(media errors, transient channel faults) and verify that every layer above
+— NVMe controller, filesystem, both key-value stores — surfaces or contains
+the failure instead of corrupting state.
+
+A :class:`FaultPlan` is armed on a device; each matching operation consumes
+one scheduled fault and raises :class:`~repro.errors.StorageError` (which
+the NVMe controller converts into an error completion, and the queue pair
+into :class:`~repro.errors.NvmeError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+__all__ = ["FaultPlan", "MediaError"]
+
+
+class MediaError(StorageError):
+    """An injected unrecoverable media error."""
+
+
+@dataclass
+class FaultPlan:
+    """Schedule of operation failures.
+
+    ``fail_reads`` / ``fail_writes``: how many upcoming operations of that
+    kind fail (each failure decrements the budget).  ``after`` skips that
+    many successful operations first — e.g. "the 3rd read fails".
+    """
+
+    fail_reads: int = 0
+    fail_writes: int = 0
+    after_reads: int = 0
+    after_writes: int = 0
+    #: record of injected failures, for assertions
+    injected: list[str] = field(default_factory=list)
+
+    def check_read(self) -> None:
+        if self.after_reads > 0:
+            self.after_reads -= 1
+            return
+        if self.fail_reads > 0:
+            self.fail_reads -= 1
+            self.injected.append("read")
+            raise MediaError("injected read fault")
+
+    def check_write(self) -> None:
+        if self.after_writes > 0:
+            self.after_writes -= 1
+            return
+        if self.fail_writes > 0:
+            self.fail_writes -= 1
+            self.injected.append("write")
+            raise MediaError("injected write fault")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.fail_reads == 0 and self.fail_writes == 0

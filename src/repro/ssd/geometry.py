@@ -1,0 +1,76 @@
+"""SSD geometry description.
+
+The paper's device is a 15 TB E1.L NVMe ZNS SSD.  We keep the structural
+parameters (channel count, zone size, logical-block size) configurable and
+default to a scaled-down geometry that a Python simulation can exercise in
+seconds; capacity scaling is recorded per-experiment in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.units import KiB, MiB
+
+__all__ = ["SsdGeometry"]
+
+
+@dataclass(frozen=True)
+class SsdGeometry:
+    """Static layout of an SSD.
+
+    Attributes
+    ----------
+    n_channels:
+        Independent NAND channels; device bandwidth scales with this as long
+        as I/O is spread across channels (KV-CSD's zone clusters exist
+        exactly to exploit it).
+    n_zones:
+        Number of equal-sized zones exposed by a ZNS drive (for the
+        conventional drive this is the number of NAND erase super-blocks).
+    zone_size:
+        Zone capacity in bytes.  Zones are the ZNS write/reset granularity.
+    logical_block_size:
+        Smallest addressable unit (the classic 4 KiB LBA).
+    pages_per_block:
+        NAND pages per erase block (used by the conventional drive's FTL for
+        garbage-collection bookkeeping).
+    """
+
+    n_channels: int = 8
+    n_zones: int = 256
+    zone_size: int = 16 * MiB
+    logical_block_size: int = 4 * KiB
+    pages_per_block: int = 256
+
+    def __post_init__(self) -> None:
+        if self.n_channels < 1:
+            raise StorageError("SSD needs at least one channel")
+        if self.n_zones < 1:
+            raise StorageError("SSD needs at least one zone")
+        if self.logical_block_size < 512:
+            raise StorageError("logical block size must be >= 512 bytes")
+        if self.zone_size % self.logical_block_size != 0:
+            raise StorageError("zone size must be a multiple of the block size")
+        if self.n_zones % self.n_channels != 0:
+            raise StorageError(
+                "n_zones must be a multiple of n_channels so zones stripe "
+                "evenly across channels"
+            )
+
+    @property
+    def capacity(self) -> int:
+        """Total usable bytes."""
+        return self.n_zones * self.zone_size
+
+    @property
+    def blocks_per_zone(self) -> int:
+        """Logical blocks per zone."""
+        return self.zone_size // self.logical_block_size
+
+    def channel_of_zone(self, zone_id: int) -> int:
+        """Channel that services a zone (static round-robin mapping)."""
+        if not 0 <= zone_id < self.n_zones:
+            raise StorageError(f"zone id {zone_id} out of range")
+        return zone_id % self.n_channels

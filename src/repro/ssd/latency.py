@@ -1,0 +1,82 @@
+"""NAND and channel timing model.
+
+Per-operation service time seen by one channel::
+
+    t = fixed_latency(op) + nbytes / channel_bandwidth
+
+The fixed part models NAND array access plus controller/command handling;
+the proportional part models the channel (ONFI bus) transfer.  Defaults are
+representative of a 2022-era enterprise TLC drive of the class the paper
+used (multi-GB/s sequential across 8+ channels, ~70 us reads, ~0.5 ms
+programs); the benchmark calibration module documents the exact values used
+for each experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.units import MB, usec
+
+__all__ = ["NandLatencyModel"]
+
+
+@dataclass(frozen=True)
+class NandLatencyModel:
+    """Latency/bandwidth parameters for one NAND channel.
+
+    Attributes
+    ----------
+    read_latency:
+        Fixed seconds per read command (NAND tR + controller).
+    program_latency:
+        Fixed seconds until a write/append command *acknowledges*.
+        Enterprise drives with power-loss protection ack once data reaches
+        the capacitor-backed controller DRAM (~tens of us); the actual NAND
+        program happens asynchronously.  Sustained write throughput is still
+        bounded by the channel-bandwidth term.
+    erase_latency:
+        Seconds of *channel occupancy* for an erase / zone reset.  The NAND
+        block erase itself (~2 ms) runs inside the dies with the channel
+        free, so the channel only carries the command traffic plus a small
+        scheduling share.
+    channel_bandwidth:
+        Bytes per second of one channel's data bus.
+    command_overhead:
+        Controller firmware time per command (queueing, FTL lookup, DMA
+        setup), paid on every operation in addition to the NAND time.
+    """
+
+    read_latency: float = usec(70)
+    program_latency: float = usec(25)
+    erase_latency: float = usec(100)
+    channel_bandwidth: float = 400 * MB
+    command_overhead: float = usec(8)
+
+    def __post_init__(self) -> None:
+        if min(
+            self.read_latency,
+            self.program_latency,
+            self.erase_latency,
+            self.command_overhead,
+        ) < 0:
+            raise StorageError("latencies must be non-negative")
+        if self.channel_bandwidth <= 0:
+            raise StorageError("channel bandwidth must be positive")
+
+    def read_time(self, nbytes: int) -> float:
+        """Channel-occupancy seconds for a read of ``nbytes``."""
+        return self.command_overhead + self.read_latency + nbytes / self.channel_bandwidth
+
+    def write_time(self, nbytes: int) -> float:
+        """Channel-occupancy seconds for a write/append of ``nbytes``."""
+        return (
+            self.command_overhead
+            + self.program_latency
+            + nbytes / self.channel_bandwidth
+        )
+
+    def erase_time(self) -> float:
+        """Channel-occupancy seconds for an erase / zone reset."""
+        return self.command_overhead + self.erase_latency

@@ -1,0 +1,81 @@
+"""I/O accounting shared by every storage device in the reproduction.
+
+Figures 7b and 10b of the paper report device-level I/O statistics (bytes
+read and written during an insertion or query phase); :class:`IoStats` is
+the structure both the ZNS and conventional SSD models maintain and the
+benchmark harness snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IoStats"]
+
+
+@dataclass
+class IoStats:
+    """Cumulative device I/O counters.
+
+    ``gc_bytes_copied`` counts FTL garbage-collection relocation traffic
+    (conventional drive only); it is *also* included in ``bytes_written`` /
+    ``bytes_read`` so the totals reflect everything the NAND saw.
+    """
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+    erase_ops: int = 0
+    gc_bytes_copied: int = 0
+    #: busy-seconds accumulated per channel, for bandwidth-utilization reports
+    channel_busy: dict[int, float] = field(default_factory=dict)
+
+    def record_read(self, nbytes: int) -> None:
+        self.bytes_read += nbytes
+        self.read_ops += 1
+
+    def record_write(self, nbytes: int) -> None:
+        self.bytes_written += nbytes
+        self.write_ops += 1
+
+    def record_erase(self) -> None:
+        self.erase_ops += 1
+
+    def record_gc_copy(self, nbytes: int) -> None:
+        self.gc_bytes_copied += nbytes
+
+    def record_channel_busy(self, channel: int, seconds: float) -> None:
+        self.channel_busy[channel] = self.channel_busy.get(channel, 0.0) + seconds
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved to or from the NAND."""
+        return self.bytes_read + self.bytes_written
+
+    def snapshot(self) -> "IoStats":
+        """A frozen copy for before/after diffing."""
+        return IoStats(
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            read_ops=self.read_ops,
+            write_ops=self.write_ops,
+            erase_ops=self.erase_ops,
+            gc_bytes_copied=self.gc_bytes_copied,
+            channel_busy=dict(self.channel_busy),
+        )
+
+    def delta(self, earlier: "IoStats") -> "IoStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return IoStats(
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            read_ops=self.read_ops - earlier.read_ops,
+            write_ops=self.write_ops - earlier.write_ops,
+            erase_ops=self.erase_ops - earlier.erase_ops,
+            gc_bytes_copied=self.gc_bytes_copied - earlier.gc_bytes_copied,
+            channel_busy={
+                ch: busy - earlier.channel_busy.get(ch, 0.0)
+                for ch, busy in self.channel_busy.items()
+            },
+        )

@@ -1,0 +1,118 @@
+"""Functional model of an NVMe Zoned-Namespace SSD.
+
+The device exposes zone append/read/reset/finish operations; every operation
+is a simulation generator that occupies the zone's NAND channel for the time
+given by the latency model, so concurrent I/O across *different* channels
+proceeds in parallel while I/O to the same channel queues — exactly the
+contention KV-CSD's zone-cluster striping is designed around (Section IV of
+the paper).
+
+Data is stored for real; reads return the bytes that were appended.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.errors import StorageError
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+from repro.ssd.geometry import SsdGeometry
+from repro.ssd.latency import NandLatencyModel
+from repro.ssd.metrics import IoStats
+from repro.ssd.zone import Zone, ZoneState
+
+__all__ = ["ZnsSsd"]
+
+
+class ZnsSsd:
+    """A ZNS SSD: an array of zones striped across NAND channels."""
+
+    def __init__(
+        self,
+        env: Environment,
+        geometry: SsdGeometry | None = None,
+        latency: NandLatencyModel | None = None,
+        name: str = "zns0",
+    ):
+        self.env = env
+        self.geometry = geometry or SsdGeometry()
+        self.latency = latency or NandLatencyModel()
+        self.name = name
+        self.zones: list[Zone] = [
+            Zone(zid, self.geometry.zone_size, self.geometry.channel_of_zone(zid))
+            for zid in range(self.geometry.n_zones)
+        ]
+        self._channels = [
+            Resource(env, capacity=1) for _ in range(self.geometry.n_channels)
+        ]
+        self.stats = IoStats()
+        #: optional fault-injection plan (see :mod:`repro.ssd.faults`)
+        self.faults = None
+
+    # -- helpers --------------------------------------------------------------
+    def zone(self, zone_id: int) -> Zone:
+        """The zone object for ``zone_id`` (bounds-checked)."""
+        if not 0 <= zone_id < len(self.zones):
+            raise StorageError(f"zone id {zone_id} out of range for {self.name}")
+        return self.zones[zone_id]
+
+    def _occupy_channel(self, channel: int, seconds: float) -> Generator:
+        res = self._channels[channel]
+        with res.request() as req:
+            yield req
+            yield self.env.timeout(seconds)
+        self.stats.record_channel_busy(channel, seconds)
+
+    # -- operations (simulation generators) -----------------------------------
+    def append(self, zone_id: int, data: bytes) -> Generator:
+        """Append ``data`` to a zone; returns the intra-zone byte offset.
+
+        The zone's space is claimed *before* the channel time elapses so that
+        two concurrent appends to one zone cannot both observe the same write
+        pointer (the device serialises appends per zone in hardware).
+        """
+        zone = self.zone(zone_id)
+        if self.faults is not None:
+            self.faults.check_write()
+        offset = zone.append(bytes(data))  # validates state/space, claims range
+        yield from self._occupy_channel(zone.channel, self.latency.write_time(len(data)))
+        self.stats.record_write(len(data))
+        return offset
+
+    def read(self, zone_id: int, offset: int, length: int) -> Generator:
+        """Read ``length`` bytes at ``offset`` within a zone; returns bytes."""
+        zone = self.zone(zone_id)
+        if self.faults is not None:
+            self.faults.check_read()
+        data = zone.read(offset, length)  # validates the range
+        yield from self._occupy_channel(zone.channel, self.latency.read_time(length))
+        self.stats.record_read(length)
+        return data
+
+    def reset_zone(self, zone_id: int) -> Generator:
+        """Reset a zone: discard its data and rewind the write pointer."""
+        zone = self.zone(zone_id)
+        yield from self._occupy_channel(zone.channel, self.latency.erase_time())
+        zone.reset()
+        self.stats.record_erase()
+
+    def finish_zone(self, zone_id: int) -> Generator:
+        """Transition a zone to FULL; costs one command overhead."""
+        zone = self.zone(zone_id)
+        yield from self._occupy_channel(zone.channel, self.latency.command_overhead)
+        zone.finish()
+
+    # -- inspection ------------------------------------------------------------
+    def zones_in_state(self, state: ZoneState) -> list[int]:
+        """Zone ids currently in ``state``."""
+        return [z.zone_id for z in self.zones if z.state == state]
+
+    @property
+    def free_zones(self) -> int:
+        """Number of EMPTY zones."""
+        return sum(1 for z in self.zones if z.state == ZoneState.EMPTY)
+
+    def bytes_stored(self) -> int:
+        """Total bytes currently held across all zones."""
+        return sum(z.write_pointer for z in self.zones)

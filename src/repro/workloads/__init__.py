@@ -1,0 +1,32 @@
+"""Workload generation and the multi-threaded benchmark driver."""
+
+from repro.workloads.adapters import KvCsdAdapter, RocksDbAdapter, StoreAdapter
+from repro.workloads.runner import PhaseReport, get_phase, load_phase, run_phase
+from repro.workloads.synthetic import SyntheticSpec, generate_keys, generate_pairs
+from repro.workloads.vpic import (
+    ENERGY_DTYPE,
+    ENERGY_OFFSET,
+    ENERGY_WIDTH,
+    VpicDataset,
+    VpicSpec,
+)
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "SyntheticSpec",
+    "generate_pairs",
+    "generate_keys",
+    "VpicSpec",
+    "VpicDataset",
+    "ENERGY_OFFSET",
+    "ENERGY_WIDTH",
+    "ENERGY_DTYPE",
+    "ZipfSampler",
+    "StoreAdapter",
+    "KvCsdAdapter",
+    "RocksDbAdapter",
+    "PhaseReport",
+    "run_phase",
+    "load_phase",
+    "get_phase",
+]

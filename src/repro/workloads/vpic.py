@@ -1,0 +1,130 @@
+"""VPIC-like particle dataset (the paper's macro benchmark input).
+
+"Our sample dataset is a partial VPIC simulation dump consisting of 256M
+particles in the form of 16 binary files.  Each VPIC particle is 48 bytes,
+consisting of a 16B particle ID and a 32B payload made up of 8 numeric
+attributes with one of them being the kinetic energy that we used for
+secondary index construction and queries." (Section VI.C)
+
+We have no access to LANL's dump, so this module synthesises a dataset with
+the same schema and the statistical property the queries depend on: kinetic
+energy follows a Maxwell–Boltzmann-like heavy-tailed distribution, so small
+energy-threshold queries are highly selective (the paper sweeps 0.1% .. 20%
+selectivity).  The substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["VpicSpec", "VpicDataset", "ENERGY_OFFSET", "ENERGY_WIDTH", "ENERGY_DTYPE"]
+
+#: Layout of the 32 B payload: 8 little-endian float32 attributes
+#: (x, y, z, ux, uy, uz, energy, weight) — energy is attribute index 6.
+N_ATTRIBUTES = 8
+ENERGY_INDEX = 6
+ENERGY_OFFSET = ENERGY_INDEX * 4
+ENERGY_WIDTH = 4
+ENERGY_DTYPE = "f32"
+PARTICLE_ID_BYTES = 16
+PAYLOAD_BYTES = N_ATTRIBUTES * 4
+
+
+@dataclass(frozen=True)
+class VpicSpec:
+    """Shape of one synthetic VPIC dump."""
+
+    n_particles: int
+    n_files: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_particles < 1:
+            raise WorkloadError("need at least one particle")
+        if self.n_files < 1 or self.n_particles % self.n_files != 0:
+            raise WorkloadError("particles must divide evenly across files")
+
+    @property
+    def particles_per_file(self) -> int:
+        return self.n_particles // self.n_files
+
+    @property
+    def particle_bytes(self) -> int:
+        return PARTICLE_ID_BYTES + PAYLOAD_BYTES
+
+    @property
+    def dataset_bytes(self) -> int:
+        return self.n_particles * self.particle_bytes
+
+
+class VpicDataset:
+    """A generated dump: per-file particle IDs and payloads."""
+
+    def __init__(self, spec: VpicSpec):
+        self.spec = spec
+        rng = np.random.default_rng(spec.seed)
+        n = spec.n_particles
+        attrs = np.empty((n, N_ATTRIBUTES), dtype="<f4")
+        # positions in a unit box, momenta ~ N(0,1)
+        attrs[:, 0:3] = rng.random((n, 3), dtype=np.float32)
+        attrs[:, 3:6] = rng.standard_normal((n, 3)).astype(np.float32)
+        # kinetic energy: Maxwell-Boltzmann => Gamma(k=1.5) — heavy tailed
+        attrs[:, ENERGY_INDEX] = rng.gamma(1.5, 1.0, size=n).astype(np.float32)
+        attrs[:, 7] = 1.0  # statistical weight
+        self._attrs = attrs
+        # 16 B particle IDs: 8 B file id + 8 B in-file index (unique)
+        per_file = spec.particles_per_file
+        file_ids = np.repeat(np.arange(spec.n_files, dtype="<u8"), per_file)
+        in_file = np.tile(np.arange(per_file, dtype="<u8"), spec.n_files)
+        ids = np.empty((n, PARTICLE_ID_BYTES), dtype=np.uint8)
+        ids[:, :8] = file_ids.view(np.uint8).reshape(n, 8)
+        ids[:, 8:] = in_file.view(np.uint8).reshape(n, 8)
+        self._ids = ids
+
+    # -- access -------------------------------------------------------------------
+    def file_particles(self, file_idx: int) -> list[tuple[bytes, bytes]]:
+        """(particle_id, payload) pairs of one of the binary files."""
+        spec = self.spec
+        if not 0 <= file_idx < spec.n_files:
+            raise WorkloadError(f"file index {file_idx} out of range")
+        per_file = spec.particles_per_file
+        start = file_idx * per_file
+        stop = start + per_file
+        payloads = self._attrs[start:stop].view(np.uint8).reshape(per_file, PAYLOAD_BYTES)
+        ids = self._ids[start:stop]
+        return [
+            (ids[i].tobytes(), payloads[i].tobytes()) for i in range(per_file)
+        ]
+
+    def energies(self) -> np.ndarray:
+        """Energy of every particle (float32)."""
+        return self._attrs[:, ENERGY_INDEX]
+
+    def energy_threshold(self, selectivity: float) -> float:
+        """Energy value above which a ``selectivity`` fraction of particles lie.
+
+        The paper drives "different energy thresholds to drive different
+        query selectivity levels" from 0.1% to 20%.
+        """
+        if not 0 < selectivity <= 1:
+            raise WorkloadError("selectivity must be in (0, 1]")
+        return float(np.quantile(self.energies(), 1.0 - selectivity))
+
+    def particles_above(self, threshold: float) -> int:
+        """How many particles a ``[threshold, inf)`` energy query returns.
+
+        Inclusive on the lower bound, matching
+        :meth:`energy_query_bounds`' half-open interval after the threshold
+        is narrowed to the on-disk float32 precision.
+        """
+        return int(np.count_nonzero(self.energies() >= np.float32(threshold)))
+
+    @staticmethod
+    def energy_query_bounds(threshold: float) -> tuple[bytes, bytes]:
+        """Raw little-endian f32 bounds for 'energy > threshold' queries."""
+        return struct.pack("<f", threshold), struct.pack("<f", np.inf)

@@ -1,0 +1,41 @@
+"""Zipfian sampling for skewed access patterns.
+
+The paper's GET benchmark issues random point queries; production key-value
+workloads are typically skewed, so the library also ships a YCSB-style
+zipfian sampler for the extended experiments (cache-sensitivity ablations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Draws ranks in [0, n) with probability proportional to 1/(rank+1)^theta."""
+
+    def __init__(self, n: int, theta: float = 0.99, rng: np.random.Generator | None = None):
+        if n < 1:
+            raise WorkloadError("zipf needs a positive universe size")
+        if theta < 0:
+            raise WorkloadError("zipf skew must be non-negative")
+        self.n = n
+        self.theta = theta
+        self.rng = rng or np.random.default_rng(0)
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), theta)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self, count: int) -> np.ndarray:
+        """``count`` ranks, most-popular-first ordering (rank 0 hottest)."""
+        u = self.rng.random(count)
+        return np.searchsorted(self._cdf, u, side="left")
+
+    def hottest_fraction(self, top_k: int) -> float:
+        """Probability mass of the ``top_k`` most popular ranks."""
+        if not 0 < top_k <= self.n:
+            raise WorkloadError("top_k out of range")
+        return float(self._cdf[top_k - 1])

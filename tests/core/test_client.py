@@ -1,0 +1,178 @@
+"""Tests for the client library: wire accounting and data-movement claims."""
+
+import pytest
+
+from repro.core import BULK_MESSAGE_BYTES, SidxConfig
+from repro.errors import SecondaryIndexError
+
+from tests.core.conftest import CsdTestbed, make_pairs
+
+
+def test_bulk_put_splits_into_messages():
+    tb = CsdTestbed()
+    pairs = make_pairs(6000)  # ~2570 pairs per 128KB message -> 3 messages
+
+    def proc():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        sent_before = tb.link.bytes_tx
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        return tb.link.bytes_tx - sent_before
+
+    sent = tb.run(proc())
+    payload = sum(16 + 32 + 6 for _ in pairs)
+    # wire bytes ~ payload + per-message headers (3 messages)
+    assert payload <= sent <= payload + 10 * 200
+
+
+def test_only_results_cross_pcie_on_queries():
+    """The paper's central data-movement claim: query processing stays in
+    the device; the link carries results, not index/data blocks."""
+    tb = CsdTestbed()
+    pairs = make_pairs(4000)
+
+    def setup():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.compact("ks", tb.ctx)
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+
+    tb.run(setup())
+    device_reads_before = tb.ssd.stats.bytes_read
+    rx_before = tb.link.bytes_rx
+
+    def query():
+        for key, _ in pairs[:50]:
+            yield from tb.client.get("ks", key, tb.ctx)
+
+    tb.run(query())
+    pcie_rx = tb.link.bytes_rx - rx_before
+    device_reads = tb.ssd.stats.bytes_read - device_reads_before
+    returned = 50 * 32
+    # Device-internal reads (PIDX blocks + value pages) dwarf the link
+    # traffic, which is close to the returned values.
+    assert device_reads > 10 * pcie_rx
+    assert pcie_rx < returned + 50 * 128  # values + per-reply framing
+
+
+def test_custom_bulk_message_size():
+    tb_small = CsdTestbed()
+    tb_small.client.bulk_message_bytes = 4096
+    pairs = make_pairs(1000)
+
+    def proc(tb):
+        def gen():
+            yield from tb.client.create_keyspace("ks", tb.ctx)
+            yield from tb.client.open_keyspace("ks", tb.ctx)
+            t0 = tb.env.now
+            yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+            return tb.env.now - t0
+
+        return tb.run(gen())
+
+    t_small = proc(tb_small)
+    tb_big = CsdTestbed()
+    t_big = proc(tb_big)
+    assert t_small > t_big  # smaller messages -> more per-command overhead
+
+
+def test_combined_compaction_builds_indexes_inline():
+    tb = CsdTestbed()
+    pairs = make_pairs(3000, value_bytes=32)
+
+    def proc():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.compact(
+            "ks",
+            tb.ctx,
+            secondary_indexes=[SidxConfig("tag", value_offset=0, width=4, dtype="u32")],
+        )
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+        stat = yield from tb.client.keyspace_stat("ks", tb.ctx)
+        return stat
+
+    stat = tb.run(proc())
+    assert stat["secondary_indexes"] == ["tag"]
+    assert tb.device.stats.counter("sidx_builds_inline").value == 1
+    assert tb.device.stats.counter("sidx_builds").value == 0
+
+
+def test_combined_compaction_falls_back_when_dram_tight():
+    # Sort budget smaller than the value volume: the device must fall back
+    # to separate per-index scans, as the paper anticipates.
+    tb = CsdTestbed(sort_budget=64 * 1024)
+    pairs = make_pairs(4000, value_bytes=64)  # 256KB of values > 64KB budget
+
+    def proc():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.compact(
+            "ks",
+            tb.ctx,
+            secondary_indexes=[SidxConfig("tag", value_offset=0, width=4, dtype="u32")],
+        )
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+        stat = yield from tb.client.keyspace_stat("ks", tb.ctx)
+        return stat
+
+    stat = tb.run(proc())
+    assert stat["secondary_indexes"] == ["tag"]
+    assert tb.device.stats.counter("sidx_builds_inline").value == 0
+    assert tb.device.stats.counter("sidx_builds").value == 1
+
+
+def test_combined_compaction_rejects_duplicate_index():
+    tb = CsdTestbed()
+    pairs = make_pairs(100)
+    config = SidxConfig("tag", value_offset=0, width=4, dtype="u32")
+
+    def proc():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.compact(
+            "ks", tb.ctx, secondary_indexes=[config, config]
+        )
+
+    with pytest.raises(SecondaryIndexError):
+        tb.run(proc())
+
+
+def test_combined_index_queries_match_separate():
+    import struct
+
+    def load(combined: bool):
+        tb = CsdTestbed()
+        pairs = []
+        for i in range(1500):
+            pairs.append(
+                (f"k-{i:08d}".encode(), struct.pack("<I", i % 37) + bytes(12))
+            )
+        config = SidxConfig("tag", value_offset=0, width=4, dtype="u32")
+
+        def proc():
+            yield from tb.client.create_keyspace("ks", tb.ctx)
+            yield from tb.client.open_keyspace("ks", tb.ctx)
+            yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+            if combined:
+                yield from tb.client.compact("ks", tb.ctx, secondary_indexes=[config])
+                yield from tb.client.wait_for_device("ks", tb.ctx)
+            else:
+                yield from tb.client.compact("ks", tb.ctx)
+                yield from tb.client.wait_for_device("ks", tb.ctx)
+                yield from tb.client.build_secondary_index(
+                    "ks", "tag", 0, 4, "u32", ctx=tb.ctx
+                )
+                yield from tb.client.wait_for_device("ks", tb.ctx)
+            result = yield from tb.client.sidx_range_query(
+                "ks", "tag", struct.pack("<I", 5), struct.pack("<I", 8), tb.ctx
+            )
+            return sorted(result)
+
+        return tb.run(proc())
+
+    assert load(combined=True) == load(combined=False)

@@ -1,0 +1,216 @@
+"""Device power-cycle tests: the keyspace table survives in the metadata zone."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core import KvCsdClient, KvCsdDevice, SidxConfig
+from repro.core.keyspace import KeyspaceState
+from repro.errors import DbError, KeyNotFoundError
+from repro.nvme import PcieLink
+from repro.soc import SocBoard
+
+from tests.core.conftest import CsdTestbed, make_pairs
+
+
+def power_cycle(tb):
+    """Simulate a SoC power cycle: a fresh board + device over the same SSD.
+
+    (The SSD keeps its zones — NAND is non-volatile; the SoC's DRAM state,
+    including membufs and the in-memory keyspace table, is lost.)
+    """
+    board2 = SocBoard(tb.env, tb.ssd, spec=tb.board.spec)
+    device2 = KvCsdDevice(
+        board2,
+        rng=np.random.default_rng(43),
+        membuf_bytes=tb.device.membuf_bytes,
+        cluster_zones=tb.device.cluster_zones,
+    )
+    client2 = KvCsdClient(device2, PcieLink(tb.env, lanes=16))
+
+    def mount():
+        yield from device2.recover(tb.ctx)
+
+    tb.run(mount())
+    return device2, client2
+
+
+def test_recover_compacted_keyspace_and_query(tb=None):
+    tb = CsdTestbed()
+    pairs = make_pairs(3000)
+
+    def setup():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.compact("ks", tb.ctx)
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+
+    tb.run(setup())
+    device2, client2 = power_cycle(tb)
+    assert device2.keyspaces["ks"].state == KeyspaceState.COMPACTED
+    assert device2.keyspaces["ks"].n_pairs == 3000
+    assert device2.stats.counter("recoveries").value == 1
+
+    def query():
+        point = yield from client2.get("ks", pairs[1234][0], tb.ctx)
+        rows = yield from client2.range_query(
+            "ks", pairs[10][0], pairs[13][0], tb.ctx
+        )
+        return point, rows
+
+    point, rows = tb.run(query())
+    assert point == pairs[1234][1]
+    assert [k for k, _ in rows] == sorted(k for k, _ in pairs[10:13])
+
+
+def test_recover_secondary_index_sketch():
+    tb = CsdTestbed()
+    pairs = [
+        (f"p{i:07d}".encode(), struct.pack("<I", i % 23) + bytes(8))
+        for i in range(1000)
+    ]
+
+    def setup():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.compact(
+            "ks", tb.ctx,
+            secondary_indexes=[SidxConfig("tag", value_offset=0, width=4, dtype="u32")],
+        )
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+
+    tb.run(setup())
+    _device2, client2 = power_cycle(tb)
+
+    def query():
+        rows = yield from client2.sidx_range_query(
+            "ks", "tag", struct.pack("<I", 7), struct.pack("<I", 8), tb.ctx
+        )
+        return rows
+
+    rows = tb.run(query())
+    expected = {k for k, v in pairs if v[:4] == struct.pack("<I", 7)}
+    assert {k for k, _ in rows} == expected
+
+
+def test_recover_writable_keyspace_continues_ingest():
+    tb = CsdTestbed()
+    pairs = make_pairs(9000)  # > membuf, so KLOG/VLOG hold flushed data
+
+    def setup():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+
+    tb.run(setup())
+    flushed = tb.device.keyspaces["ks"].n_pairs  # includes membuf'd pairs
+    device2, client2 = power_cycle(tb)
+    ks = device2.keyspaces["ks"]
+    assert ks.state == KeyspaceState.WRITABLE
+    # membuf contents were lost; KLOG-resident pairs survive
+    assert 0 < ks.n_pairs <= flushed
+
+    more = make_pairs(500, key_bytes=24, prefix="late")
+
+    def continue_ingest():
+        yield from client2.bulk_put("ks", more, tb.ctx)
+        yield from client2.compact("ks", tb.ctx)
+        yield from client2.wait_for_device("ks", tb.ctx)
+        v_new = yield from client2.get("ks", more[123][0], tb.ctx)
+        v_old = yield from client2.get("ks", pairs[0][0], tb.ctx)
+        return v_new, v_old
+
+    v_new, v_old = tb.run(continue_ingest())
+    assert v_new == more[123][1]
+    assert v_old == pairs[0][1]
+
+
+def test_recover_mid_compaction_reverts_to_writable():
+    tb = CsdTestbed()
+    pairs = make_pairs(20_000)
+
+    def setup():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.compact("ks", tb.ctx)
+        # power fails while the device is COMPACTING
+
+    tb.run(setup())
+    assert tb.device.keyspaces["ks"].state == KeyspaceState.COMPACTING
+    device2, client2 = power_cycle(tb)
+    ks = device2.keyspaces["ks"]
+    assert ks.state == KeyspaceState.WRITABLE
+    assert device2.stats.counter("orphan_zones_reclaimed").value >= 0
+
+    def redo():
+        yield from client2.compact("ks", tb.ctx)
+        yield from client2.wait_for_device("ks", tb.ctx)
+        value = yield from client2.get("ks", pairs[777][0], tb.ctx)
+        return value
+
+    assert tb.run(redo()) == pairs[777][1]
+
+
+def test_recover_respects_deletions():
+    tb = CsdTestbed()
+
+    def setup():
+        for name in ("keep", "drop"):
+            yield from tb.client.create_keyspace(name, tb.ctx)
+            yield from tb.client.open_keyspace(name, tb.ctx)
+            yield from tb.client.bulk_put(
+                name, make_pairs(100, key_bytes=24, prefix=name), tb.ctx
+            )
+        yield from tb.client.delete_keyspace("drop", tb.ctx)
+
+    tb.run(setup())
+    device2, _client2 = power_cycle(tb)
+    assert device2.list_keyspaces() == ["keep"]
+
+
+def test_recover_reclaims_free_zones_consistently():
+    tb = CsdTestbed()
+
+    def setup():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", make_pairs(5000), tb.ctx)
+        yield from tb.client.compact("ks", tb.ctx)
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+
+    tb.run(setup())
+    free_before = tb.device.zone_manager.free_zone_count
+    device2, _client2 = power_cycle(tb)
+    assert device2.zone_manager.free_zone_count == free_before
+
+
+def test_recover_requires_fresh_device():
+    tb = CsdTestbed()
+
+    def setup():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+
+    tb.run(setup())
+
+    def bad():
+        yield from tb.device.recover(tb.ctx)
+
+    with pytest.raises(DbError):
+        tb.run(bad())
+
+
+def test_recover_empty_device():
+    tb = CsdTestbed()
+    device2, client2 = power_cycle(tb)
+    assert device2.list_keyspaces() == []
+
+    def create_after():
+        yield from client2.create_keyspace("fresh", tb.ctx)
+        yield from client2.open_keyspace("fresh", tb.ctx)
+
+    tb.run(create_after())
+    assert device2.keyspaces["fresh"].state == KeyspaceState.WRITABLE

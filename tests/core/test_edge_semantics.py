@@ -1,0 +1,147 @@
+"""Edge-case semantics across both stores: empty ranges, empty keyspaces,
+zero-byte values, reversed bounds."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+
+from tests.core.conftest import CsdTestbed, make_pairs
+from tests.lsm.conftest import LsmTestbed, small_options
+
+
+# ------------------------------------------------------------------ KV-CSD
+def test_compact_empty_keyspace():
+    tb = CsdTestbed()
+
+    def proc():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.compact("ks", tb.ctx)
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+        rows = yield from tb.client.range_query("ks", b"", b"\xff" * 8, tb.ctx)
+        return rows
+
+    assert tb.run(proc()) == []
+    assert tb.device.keyspaces["ks"].n_pairs == 0
+
+    def get_missing():
+        yield from tb.client.get("ks", b"anything", tb.ctx)
+
+    with pytest.raises(KeyNotFoundError):
+        tb.run(get_missing())
+
+
+def test_reversed_and_empty_range_bounds():
+    tb = CsdTestbed()
+    pairs = make_pairs(200)
+
+    def proc():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.compact("ks", tb.ctx)
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+        reversed_bounds = yield from tb.client.range_query(
+            "ks", pairs[100][0], pairs[50][0], tb.ctx
+        )
+        empty = yield from tb.client.range_query(
+            "ks", pairs[50][0], pairs[50][0], tb.ctx
+        )
+        return reversed_bounds, empty
+
+    reversed_bounds, empty = tb.run(proc())
+    assert reversed_bounds == []
+    assert empty == []
+
+
+def test_zero_byte_values_roundtrip():
+    tb = CsdTestbed()
+    pairs = [(f"z{i:04d}".encode(), b"") for i in range(100)]
+
+    def proc():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.compact("ks", tb.ctx)
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+        value = yield from tb.client.get("ks", b"z0042", tb.ctx)
+        rows = yield from tb.client.range_query("ks", b"z0000", b"z9999", tb.ctx)
+        return value, rows
+
+    value, rows = tb.run(proc())
+    assert value == b""
+    assert len(rows) == 100
+    assert all(v == b"" for _k, v in rows)
+
+
+def test_single_pair_keyspace():
+    tb = CsdTestbed()
+
+    def proc():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.put("ks", b"only", b"one", tb.ctx)
+        yield from tb.client.compact("ks", tb.ctx)
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+        value = yield from tb.client.get("ks", b"only", tb.ctx)
+        return value
+
+    assert tb.run(proc()) == b"one"
+
+
+def test_delete_everything_then_compact():
+    tb = CsdTestbed()
+    pairs = make_pairs(50)
+
+    def proc():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.bulk_delete("ks", [k for k, _ in pairs], tb.ctx)
+        yield from tb.client.compact("ks", tb.ctx)
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+        rows = yield from tb.client.range_query("ks", b"", b"\xff" * 20, tb.ctx)
+        return rows
+
+    assert tb.run(proc()) == []
+    assert tb.device.keyspaces["ks"].n_pairs == 0
+
+
+# ------------------------------------------------------------------ LSM
+def test_lsm_empty_scan_and_reversed_bounds():
+    tb = LsmTestbed(options=small_options())
+    tb.run(tb.db.open(tb.fg))
+
+    def proc():
+        empty = yield from tb.db.scan(b"a", b"z", tb.fg)
+        yield from tb.db.put(b"m", b"v", tb.fg)
+        reversed_bounds = yield from tb.db.scan(b"z", b"a", tb.fg)
+        return empty, reversed_bounds
+
+    empty, reversed_bounds = tb.run(proc())
+    assert empty == []
+    assert reversed_bounds == []
+
+
+def test_lsm_zero_byte_value():
+    tb = LsmTestbed(options=small_options())
+    tb.run(tb.db.open(tb.fg))
+
+    def proc():
+        yield from tb.db.put(b"k", b"", tb.fg)
+        yield from tb.db.flush(tb.fg)
+        value = yield from tb.db.get(b"k", tb.fg)
+        return value
+
+    assert tb.run(proc()) == b""
+
+
+def test_lsm_empty_write_batch_is_noop():
+    tb = LsmTestbed(options=small_options())
+    tb.run(tb.db.open(tb.fg))
+
+    def proc():
+        yield from tb.db.write_batch([], tb.fg)
+
+    tb.run(proc())
+    assert tb.db.stats.counter("puts").value == 0

@@ -1,0 +1,256 @@
+"""Unit tests for KV-CSD wire, KLOG, PIDX and SIDX formats."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.klog import pack_klog_records, unpack_klog_records, klog_record_size
+from repro.core.membuf import MemBuffer
+from repro.core.pidx import (
+    PidxSketch,
+    build_pidx_blocks,
+    pack_value_pointer,
+    read_block_entries,
+    unpack_value_pointer,
+)
+from repro.core.sidx import (
+    SidxConfig,
+    SidxSketch,
+    build_sidx_blocks,
+    decode_skey,
+    encode_skey,
+    encode_skeys_array,
+    pack_sidx_pairs,
+    read_sidx_block,
+    unpack_sidx_pairs,
+)
+from repro.core.wire import (
+    BULK_MESSAGE_BYTES,
+    pack_pairs,
+    pair_wire_size,
+    split_into_messages,
+    unpack_pairs,
+)
+from repro.errors import DbError, SecondaryIndexError
+
+
+# ------------------------------------------------------------------ wire
+def test_wire_roundtrip():
+    pairs = [(f"k{i}".encode(), bytes([i]) * i) for i in range(1, 50)]
+    assert unpack_pairs(pack_pairs(pairs)) == pairs
+
+
+def test_wire_empty_message():
+    assert unpack_pairs(pack_pairs([])) == []
+
+
+def test_wire_message_capacity_matches_paper():
+    # 16B keys + 32B values: the paper fits ~2570 pairs into 128KB.
+    per_pair = pair_wire_size(b"k" * 16, b"v" * 32)
+    capacity = BULK_MESSAGE_BYTES // per_pair
+    assert 2200 <= capacity <= 2600
+
+
+def test_wire_split_respects_budget():
+    pairs = [(f"key-{i:06d}".encode(), b"v" * 32) for i in range(10_000)]
+    messages = split_into_messages(pairs, 128 * 1024)
+    assert sum(len(m) for m in messages) == len(pairs)
+    for message in messages:
+        wire = 4 + sum(pair_wire_size(k, v) for k, v in message)
+        assert wire <= 128 * 1024
+    # order preserved
+    flat = [p for m in messages for p in m]
+    assert flat == pairs
+
+
+def test_wire_oversized_single_pair_gets_own_message():
+    pairs = [(b"k", b"x" * (256 * 1024)), (b"k2", b"y")]
+    messages = split_into_messages(pairs, 128 * 1024)
+    assert len(messages) == 2
+    assert messages[0][0][0] == b"k"
+
+
+def test_wire_truncated_rejected():
+    with pytest.raises(DbError):
+        unpack_pairs(b"\x01")
+
+
+# ------------------------------------------------------------------ klog
+def test_klog_roundtrip():
+    records = [
+        (b"alpha", 1, (3, 4096, 32)),
+        (b"beta", 2, None),  # tombstone
+        (b"x" * 100, 3, (0, 0, 1)),
+    ]
+    blob = pack_klog_records(records)
+    assert len(blob) == sum(klog_record_size(k) for k, _, _ in records)
+    assert unpack_klog_records(blob) == records
+
+
+def test_klog_truncated_rejected():
+    blob = pack_klog_records([(b"k", 1, (0, 0, 4))])
+    with pytest.raises(DbError):
+        unpack_klog_records(blob[:-3])
+
+
+def test_klog_tombstone_sentinel_collision_rejected():
+    with pytest.raises(DbError):
+        pack_klog_records([(b"k", 1, (0, 0, 0xFFFFFFFF))])
+
+
+# ------------------------------------------------------------------ membuf
+def test_membuf_accumulates_and_flush_threshold():
+    mb = MemBuffer(capacity=1024)
+    assert not mb.should_flush
+    for i in range(20):
+        mb.add(f"key-{i}".encode(), b"v" * 50)
+    assert mb.should_flush
+    pairs = mb.drain()
+    assert len(pairs) == 20
+    assert mb.bytes_buffered == 0
+    assert not mb.should_flush
+
+
+def test_membuf_get_newest_wins():
+    mb = MemBuffer(capacity=4096)
+    mb.add(b"k", b"old")
+    mb.add(b"k", b"new")
+    assert mb.get(b"k") == b"new"
+    assert mb.get(b"nope") is None
+
+
+def test_membuf_too_small_rejected():
+    with pytest.raises(DbError):
+        MemBuffer(capacity=10)
+
+
+# ------------------------------------------------------------------ pidx
+def test_value_pointer_roundtrip():
+    assert unpack_value_pointer(pack_value_pointer((7, 12345, 64))) == (7, 12345, 64)
+
+
+def test_pidx_blocks_and_read():
+    entries = [
+        (f"key-{i:05d}".encode(), (i % 4, i * 100, 32)) for i in range(2000)
+    ]
+    blocks = build_pidx_blocks(entries, block_bytes=4096)
+    assert len(blocks) > 1
+    recovered = []
+    for _pivot, blob in blocks:
+        recovered.extend(read_block_entries(blob))
+    assert recovered == entries
+    # pivots are each block's first key
+    assert blocks[0][0] == b"key-00000"
+
+
+def test_pidx_sketch_point_lookup():
+    sketch = PidxSketch()
+    sketch.add_block(b"a", (0, 0, 4096))
+    sketch.add_block(b"m", (1, 0, 4096))
+    sketch.add_block(b"t", (2, 0, 4096))
+    assert sketch.find_block(b"a") == 0
+    assert sketch.find_block(b"lzz") == 0
+    assert sketch.find_block(b"m") == 1
+    assert sketch.find_block(b"zz") == 2
+    assert sketch.find_block(b"0") is None  # before first pivot
+
+
+def test_pidx_sketch_range():
+    sketch = PidxSketch()
+    for pivot in (b"a", b"h", b"p", b"x"):
+        sketch.add_block(pivot, (0, 0, 4096))
+    assert list(sketch.blocks_for_range(b"b", b"q")) == [0, 1, 2]
+    assert list(sketch.blocks_for_range(b"h", b"i")) == [1]
+    assert list(sketch.blocks_for_range(b"y", b"z")) == [3]
+    assert list(sketch.blocks_for_range(b"b", b"b")) == []
+    # hi exclusive: a block whose pivot equals hi is excluded
+    assert list(sketch.blocks_for_range(b"b", b"p")) == [0, 1]
+
+
+def test_pidx_sketch_rejects_unsorted_pivots():
+    sketch = PidxSketch()
+    sketch.add_block(b"m", (0, 0, 1))
+    with pytest.raises(DbError):
+        sketch.add_block(b"a", (1, 0, 1))
+
+
+# ------------------------------------------------------------------ sidx encodings
+@pytest.mark.parametrize("dtype,fmt,samples", [
+    ("u32", "<I", [0, 1, 77, 2**31, 2**32 - 1]),
+    ("u64", "<Q", [0, 1, 2**63, 2**64 - 1]),
+    ("i32", "<i", [-(2**31), -1, 0, 1, 2**31 - 1]),
+    ("i64", "<q", [-(2**63), -12345, 0, 99, 2**63 - 1]),
+    ("f32", "<f", [-1e30, -1.5, -0.0, 0.0, 1e-20, 3.14, 1e30]),
+    ("f64", "<d", [-1e300, -2.5, 0.0, 1e-200, 42.0, 1e308]),
+])
+def test_encode_skey_order_preserving(dtype, fmt, samples):
+    raws = [struct.pack(fmt, v) for v in sorted(samples, key=float)]
+    encoded = [encode_skey(r, dtype) for r in raws]
+    assert encoded == sorted(encoded), f"{dtype} encoding broke ordering"
+    # decode inverts encode
+    for raw in raws:
+        assert decode_skey(encode_skey(raw, dtype), dtype) == raw
+
+
+def test_encode_skey_bytes_passthrough():
+    assert encode_skey(b"abc", "bytes") == b"abc"
+    assert decode_skey(b"abc", "bytes") == b"abc"
+
+
+def test_encode_skeys_array_matches_scalar():
+    rng = np.random.default_rng(0)
+    for dtype, np_dtype in [("u32", "<u4"), ("i64", "<i8"), ("f64", "<f8"), ("f32", "<f4")]:
+        if dtype.startswith("f"):
+            values = rng.standard_normal(100).astype(np_dtype) * 1e10
+        else:
+            info = np.iinfo(np_dtype)
+            values = rng.integers(info.min, info.max, size=100).astype(np_dtype)
+        raw = values.view(np.uint8).reshape(100, values.itemsize)
+        vectorized = encode_skeys_array(raw, dtype)
+        for i in range(100):
+            scalar = encode_skey(raw[i].tobytes(), dtype)
+            assert vectorized[i].tobytes() == scalar
+
+
+def test_sidx_config_validation():
+    with pytest.raises(SecondaryIndexError):
+        SidxConfig(name="", value_offset=0, width=4)
+    with pytest.raises(SecondaryIndexError):
+        SidxConfig(name="e", value_offset=-1, width=4)
+    with pytest.raises(SecondaryIndexError):
+        SidxConfig(name="e", value_offset=0, width=3, dtype="f32")
+    with pytest.raises(SecondaryIndexError):
+        SidxConfig(name="e", value_offset=0, width=4, dtype="complex")
+    cfg = SidxConfig(name="energy", value_offset=24, width=8, dtype="f64")
+    value = bytes(range(32))
+    assert cfg.extract(value) == value[24:32]
+    with pytest.raises(SecondaryIndexError):
+        cfg.extract(b"short")
+
+
+def test_sidx_pairs_pack_roundtrip():
+    pairs = [(b"e1", b"pkey-1"), (b"e2", b"pk2"), (b"", b"x")]
+    assert unpack_sidx_pairs(pack_sidx_pairs(pairs)) == pairs
+
+
+def test_sidx_blocks_roundtrip():
+    pairs = sorted(
+        (struct.pack(">I", i % 50), f"pk-{i:04d}".encode()) for i in range(500)
+    )
+    blocks = build_sidx_blocks(pairs, block_bytes=1024)
+    recovered = []
+    for _pivot, blob in blocks:
+        recovered.extend(read_sidx_block(blob, skey_width=4))
+    assert recovered == pairs
+
+
+def test_sidx_sketch_range():
+    sketch = SidxSketch(skey_width=4)
+    for i in (10, 20, 30):
+        sketch.add_block(struct.pack(">I", i) + b"pk", (0, 0, 1))
+    lo = struct.pack(">I", 15)
+    hi = struct.pack(">I", 25)
+    assert list(sketch.blocks_for_range(lo, hi)) == [0, 1]
+    assert list(sketch.blocks_for_range(struct.pack(">I", 31), struct.pack(">I", 99))) == [2]
+    assert list(sketch.blocks_for_range(hi, lo)) == []

@@ -1,0 +1,102 @@
+"""Tests for the batched multi_get API."""
+
+import pytest
+
+from tests.core.conftest import CsdTestbed, make_pairs
+
+
+@pytest.fixture
+def loaded():
+    tb = CsdTestbed()
+    pairs = make_pairs(4000)
+
+    def setup():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.compact("ks", tb.ctx)
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+
+    tb.run(setup())
+    return tb, pairs
+
+
+def test_multi_get_returns_all_present_keys(loaded):
+    tb, pairs = loaded
+    wanted = [pairs[i][0] for i in (0, 17, 512, 3999)]
+
+    def proc():
+        result = yield from tb.client.multi_get("ks", wanted, tb.ctx)
+        return result
+
+    result = tb.run(proc())
+    assert set(result) == set(wanted)
+    by_key = dict(pairs)
+    assert all(result[k] == by_key[k] for k in wanted)
+
+
+def test_multi_get_omits_missing_keys(loaded):
+    tb, pairs = loaded
+
+    def proc():
+        result = yield from tb.client.multi_get(
+            "ks", [pairs[5][0], b"absent-key-000!!"], tb.ctx
+        )
+        return result
+
+    result = tb.run(proc())
+    assert set(result) == {pairs[5][0]}
+
+
+def test_multi_get_empty_batch(loaded):
+    tb, _ = loaded
+
+    def proc():
+        result = yield from tb.client.multi_get("ks", [], tb.ctx)
+        return result
+
+    assert tb.run(proc()) == {}
+
+
+def test_multi_get_cheaper_than_individual_gets(loaded):
+    tb, pairs = loaded
+    # clustered keys: consecutive records share PIDX blocks and value pages
+    wanted = [pairs[i][0] for i in range(100, 164)]
+
+    reads_before = tb.ssd.stats.read_ops
+    t0 = tb.env.now
+
+    def batched():
+        result = yield from tb.client.multi_get("ks", wanted, tb.ctx)
+        return result
+
+    tb.run(batched())
+    batched_reads = tb.ssd.stats.read_ops - reads_before
+    batched_time = tb.env.now - t0
+
+    reads_before = tb.ssd.stats.read_ops
+    t0 = tb.env.now
+
+    def singles():
+        for key in wanted:
+            yield from tb.client.get("ks", key, tb.ctx)
+
+    tb.run(singles())
+    single_reads = tb.ssd.stats.read_ops - reads_before
+    single_time = tb.env.now - t0
+
+    assert batched_reads < single_reads / 4
+    assert batched_time < single_time / 2
+
+
+def test_multi_get_duplicate_keys(loaded):
+    tb, pairs = loaded
+
+    def proc():
+        result = yield from tb.client.multi_get(
+            "ks", [pairs[9][0], pairs[9][0]], tb.ctx
+        )
+        return result
+
+    result = tb.run(proc())
+    assert result == {pairs[9][0]: pairs[9][1]}

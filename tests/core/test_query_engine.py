@@ -1,0 +1,117 @@
+"""Unit tests for the device-side query engine internals."""
+
+import pytest
+
+from repro.core import CsdCostModel
+from repro.core.query import QueryEngine
+from repro.sim import Environment
+from repro.ssd import SsdGeometry, ZnsSsd
+from repro.units import MiB
+
+
+def make_engine():
+    env = Environment()
+    ssd = ZnsSsd(env, geometry=SsdGeometry(n_channels=2, n_zones=4, zone_size=MiB))
+    return QueryEngine(ssd, CsdCostModel(), scale_cpu=lambda s: s), env, ssd
+
+
+# ------------------------------------------------------------------ coalescing
+def test_coalesce_adjacent_pointers_merge():
+    engine, _, _ = make_engine()
+    pointers = [(0, 0, 100), (0, 100, 100), (0, 200, 100)]
+    extents = engine._coalesce(pointers)
+    assert len(extents) == 1
+    (zone, off, length), members = extents[0]
+    assert zone == 0 and off == 0
+    assert length == 4096  # page aligned
+    assert sorted(members) == [0, 1, 2]
+
+
+def test_coalesce_same_page_scattered_hits_merge():
+    """Scattered records within one 4 KiB page cost a single media read."""
+    engine, _, _ = make_engine()
+    pointers = [(0, 10, 32), (0, 2000, 32), (0, 3900, 32)]
+    extents = engine._coalesce(pointers)
+    assert len(extents) == 1
+
+
+def test_coalesce_distant_pages_stay_separate():
+    engine, _, _ = make_engine()
+    pointers = [(0, 0, 32), (0, 100 * 4096, 32)]
+    extents = engine._coalesce(pointers)
+    assert len(extents) == 2
+
+
+def test_coalesce_across_zones_never_merges():
+    engine, _, _ = make_engine()
+    pointers = [(0, 0, 32), (1, 0, 32)]
+    extents = engine._coalesce(pointers)
+    assert len(extents) == 2
+    assert {e[0][0] for e in extents} == {0, 1}
+
+
+def test_coalesce_preserves_input_index_mapping():
+    engine, _, _ = make_engine()
+    pointers = [(0, 5000, 32), (0, 100, 32)]  # out of order
+    extents = engine._coalesce(pointers)
+    members = [m for _e, ms in extents for m in ms]
+    assert sorted(members) == [0, 1]
+
+
+def test_fetch_values_roundtrip_with_page_reads():
+    engine, env, ssd = make_engine()
+    values = [bytes([i]) * 50 for i in range(20)]
+
+    def proc():
+        pointers = []
+        for v in values:
+            off = yield from ssd.append(0, v)
+            pointers.append((0, off, len(v)))
+        # fetch in a scrambled order
+        order = list(range(20))[::-1]
+        scrambled = [pointers[i] for i in order]
+        from repro.host.threads import ThreadCtx
+        from repro.sim import CpuPool
+
+        ctx = ThreadCtx(cpu=CpuPool(env, 1))
+        got = yield from engine._fetch_values(scrambled, ctx)
+        return [got[order.index(i)] for i in range(20)]
+
+    got = env.run(env.process(proc()))
+    assert got == values
+
+
+def test_fetch_values_clips_partial_tail_page():
+    """Values near the zone's write pointer must not read past it."""
+    engine, env, ssd = make_engine()
+
+    def proc():
+        off = yield from ssd.append(0, b"v" * 100)  # zone holds 100 bytes only
+        from repro.host.threads import ThreadCtx
+        from repro.sim import CpuPool
+
+        ctx = ThreadCtx(cpu=CpuPool(env, 1))
+        got = yield from engine._fetch_values([(0, off, 100)], ctx)
+        return got[0]
+
+    assert env.run(env.process(proc())) == b"v" * 100
+
+
+def test_fetch_values_fewer_reads_than_records_when_clustered():
+    engine, env, ssd = make_engine()
+
+    def proc():
+        pointers = []
+        for i in range(64):
+            off = yield from ssd.append(0, bytes([i]) * 32)
+            pointers.append((0, off, 32))
+        reads_before = ssd.stats.read_ops
+        from repro.host.threads import ThreadCtx
+        from repro.sim import CpuPool
+
+        ctx = ThreadCtx(cpu=CpuPool(env, 1))
+        yield from engine._fetch_values(pointers, ctx)
+        return ssd.stats.read_ops - reads_before
+
+    n_reads = env.run(env.process(proc()))
+    assert n_reads <= 2  # 64 x 32B = 2KB -> one or two page reads, not 64

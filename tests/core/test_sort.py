@@ -1,0 +1,174 @@
+"""Unit tests for the external merge sort and its planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.sort import ExternalSorter, SortPlan, plan_external_sort
+from repro.core.zone_manager import ZoneManager
+from repro.errors import SimulationError
+from repro.host.threads import ThreadCtx
+from repro.sim import CpuPool, Environment
+from repro.ssd import SsdGeometry, ZnsSsd
+from repro.units import KiB, MiB
+
+
+def make_sorter(env, budget_bytes):
+    ssd = ZnsSsd(
+        env, geometry=SsdGeometry(n_channels=4, n_zones=64, zone_size=4 * MiB)
+    )
+    zm = ZoneManager(ssd, np.random.default_rng(0), cluster_zones=4)
+
+    def pack(records):
+        parts = []
+        for key, payload in records:
+            parts.append(len(key).to_bytes(2, "little"))
+            parts.append(key)
+            parts.append(len(payload).to_bytes(2, "little"))
+            parts.append(payload)
+        return b"".join(parts)
+
+    def unpack(blob):
+        out = []
+        pos = 0
+        while pos < len(blob):
+            klen = int.from_bytes(blob[pos : pos + 2], "little")
+            pos += 2
+            key = blob[pos : pos + klen]
+            pos += klen
+            plen = int.from_bytes(blob[pos : pos + 2], "little")
+            pos += 2
+            out.append((key, blob[pos : pos + plen]))
+            pos += plen
+        return out
+
+    sorter = ExternalSorter(
+        zm, budget_bytes=budget_bytes, compare_cost=25e-9, pack=pack, unpack=unpack
+    )
+    return sorter, ssd, zm
+
+
+def random_records(n, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 2**62, size=n)
+    return [
+        (int(k).to_bytes(8, "big"), f"payload-{i}".encode())
+        for i, k in enumerate(keys)
+    ]
+
+
+def run_sort(records, budget_bytes, total_bytes=None):
+    env = Environment()
+    sorter, ssd, zm = make_sorter(env, budget_bytes)
+    cpu = CpuPool(env, 2)
+    ctx = ThreadCtx(cpu=cpu)
+    total = total_bytes if total_bytes is not None else sum(
+        len(k) + len(p) + 4 for k, p in records
+    )
+
+    def proc():
+        out = yield from sorter.sort(records, total, ctx)
+        return out
+
+    result = env.run(env.process(proc()))
+    return result, sorter, ssd, zm, env
+
+
+# ------------------------------------------------------------------ planning
+def test_plan_single_pass_when_fits():
+    plan = plan_external_sort(total_bytes=1000, budget_bytes=10_000)
+    assert not plan.spills
+    assert plan.n_runs == 1
+    assert plan.n_merge_passes == 0
+    assert plan.temp_bytes_written == 0
+
+
+def test_plan_spills_when_over_budget():
+    plan = plan_external_sort(total_bytes=10 * MiB, budget_bytes=1 * MiB)
+    assert plan.spills
+    assert plan.n_runs == 10
+    assert plan.n_merge_passes >= 1
+
+
+def test_plan_multiple_passes_with_small_fanin():
+    # budget 512 KiB -> fanin 2; 16 runs need 4 passes.
+    plan = SortPlan(total_bytes=16 * 512 * KiB, budget_bytes=512 * KiB)
+    assert plan.fanin == 2
+    assert plan.n_merge_passes == 4
+
+
+def test_plan_rejects_zero_budget():
+    with pytest.raises(SimulationError):
+        SortPlan(total_bytes=100, budget_bytes=0)
+
+
+# ------------------------------------------------------------------ sorting
+def test_in_memory_sort_correct():
+    records = random_records(500)
+    result, sorter, ssd, _, _ = run_sort(records, budget_bytes=10 * MiB)
+    assert result == sorted(records, key=lambda r: r[0])
+    assert not sorter.last_plan.spills
+    assert ssd.stats.bytes_written == 0  # no temp I/O
+
+
+def test_spilled_sort_correct_and_uses_temp_zones():
+    records = random_records(2000, seed=1)
+    total = sum(len(k) + len(p) + 4 for k, p in records)
+    result, sorter, ssd, zm, _ = run_sort(records, budget_bytes=total // 5)
+    assert result == sorted(records, key=lambda r: r[0])
+    assert sorter.last_plan.spills
+    assert ssd.stats.bytes_written > 0  # runs were spilled
+    assert ssd.stats.bytes_read > 0  # and read back
+    # all temp clusters released afterwards
+    assert zm.allocated_clusters == 0
+
+
+def test_multi_pass_sort_correct():
+    records = random_records(3000, seed=2)
+    total = sum(len(k) + len(p) + 4 for k, p in records)
+    # force fanin 2 with a tiny budget: many merge passes
+    result, sorter, ssd, zm, _ = run_sort(
+        records, budget_bytes=max(1024, total // 16)
+    )
+    assert result == sorted(records, key=lambda r: r[0])
+    assert sorter.last_plan.n_merge_passes >= 2
+    assert zm.allocated_clusters == 0
+
+
+def test_smaller_budget_more_temp_io():
+    records = random_records(2000, seed=3)
+    total = sum(len(k) + len(p) + 4 for k, p in records)
+    _, _, ssd_small, _, _ = run_sort(records, budget_bytes=total // 10)
+    _, _, ssd_large, _, _ = run_sort(records, budget_bytes=total // 2)
+    assert ssd_small.stats.bytes_written > ssd_large.stats.bytes_written
+
+
+def test_duplicate_sort_keys_stable_via_key_function():
+    env = Environment()
+    sorter, _, _ = make_sorter(env, budget_bytes=10 * MiB)
+    sorter.sort_key = lambda rec: (rec[0], rec[1])
+    records = [(b"same", b"b"), (b"same", b"a"), (b"other", b"z")]
+    cpu = CpuPool(env, 1)
+    ctx = ThreadCtx(cpu=cpu)
+
+    def proc():
+        out = yield from sorter.sort(records, 100, ctx)
+        return out
+
+    assert env.run(env.process(proc())) == [
+        (b"other", b"z"),
+        (b"same", b"a"),
+        (b"same", b"b"),
+    ]
+
+
+def test_empty_and_singleton_inputs():
+    result, *_ = run_sort([], budget_bytes=1024)
+    assert result == []
+    result, *_ = run_sort([(b"k", b"v")], budget_bytes=1024)
+    assert result == [(b"k", b"v")]
+
+
+def test_sort_charges_cpu_time():
+    records = random_records(1000, seed=4)
+    _, _, _, _, env = run_sort(records, budget_bytes=10 * MiB)
+    assert env.now > 0

@@ -1,0 +1,307 @@
+"""Unit and integration tests for the ext4-like filesystem."""
+
+import pytest
+
+from repro.errors import FileExistsInFsError, FileNotFoundInFsError
+from repro.host import Filesystem, FsCostModel, PageCache, ThreadCtx
+from repro.nvme import NvmeController, QueuePair
+from repro.sim import CpuPool, Environment
+from repro.ssd import ConventionalSsd, SsdGeometry
+from repro.units import KiB, MiB
+
+
+def make_fs(env, cache_bytes=4 * MiB, costs=None, zone_size=MiB, n_zones=32):
+    ssd = ConventionalSsd(
+        env,
+        geometry=SsdGeometry(
+            n_channels=2, n_zones=n_zones, zone_size=zone_size, pages_per_block=32
+        ),
+    )
+    qp = QueuePair(env, NvmeController(env, ssd), depth=32)
+    fs = Filesystem(
+        env, qp, PageCache(cache_bytes), costs=costs, journal_pages=16
+    )
+    cpu = CpuPool(env, n_cores=2)
+    ctx = ThreadCtx(cpu=cpu, core=0)
+    return fs, ctx, ssd
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+def test_create_write_read_roundtrip():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+
+    def proc():
+        yield from fs.create("f", ctx)
+        yield from fs.write("f", 0, b"hello world", ctx)
+        data = yield from fs.read("f", 0, 11, ctx)
+        return data
+
+    assert run(env, proc()) == b"hello world"
+
+
+def test_create_exclusive():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+
+    def proc():
+        yield from fs.create("f", ctx)
+        yield from fs.create("f", ctx)
+
+    env.process(proc())
+    with pytest.raises(FileExistsInFsError):
+        env.run()
+
+
+def test_create_non_exclusive_idempotent():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+
+    def proc():
+        yield from fs.create("f", ctx)
+        yield from fs.create("f", ctx, exclusive=False)
+        return fs.exists("f")
+
+    assert run(env, proc())
+
+
+def test_missing_file_errors():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+
+    def read_missing():
+        yield from fs.read("nope", 0, 10, ctx)
+
+    env.process(read_missing())
+    with pytest.raises(FileNotFoundInFsError):
+        env.run()
+    with pytest.raises(FileNotFoundInFsError):
+        fs.file_size("nope")
+
+
+def test_appends_grow_file():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+
+    def proc():
+        yield from fs.create("log", ctx)
+        pos = 0
+        for chunk in (b"aaa", b"bbbb", b"cc"):
+            yield from fs.write("log", pos, chunk, ctx)
+            pos += len(chunk)
+        data = yield from fs.read("log", 0, pos, ctx)
+        return fs.file_size("log"), data
+
+    size, data = run(env, proc())
+    assert size == 9
+    assert data == b"aaabbbbcc"
+
+
+def test_read_clips_at_eof():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+
+    def proc():
+        yield from fs.create("f", ctx)
+        yield from fs.write("f", 0, b"short", ctx)
+        data = yield from fs.read("f", 3, 100, ctx)
+        return data
+
+    assert run(env, proc()) == b"rt"
+
+
+def test_overwrite_within_file():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+
+    def proc():
+        yield from fs.create("f", ctx)
+        yield from fs.write("f", 0, b"x" * 10000, ctx)
+        yield from fs.write("f", 5000, b"Y" * 10, ctx)
+        data = yield from fs.read("f", 4998, 14, ctx)
+        return data
+
+    assert run(env, proc()) == b"xx" + b"Y" * 10 + b"xx"
+
+
+def test_write_spanning_many_pages_roundtrips():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+    payload = bytes(i % 251 for i in range(40_000))
+
+    def proc():
+        yield from fs.create("big", ctx)
+        yield from fs.write("big", 100, payload, ctx)
+        data = yield from fs.read("big", 100, len(payload), ctx)
+        return data
+
+    assert run(env, proc()) == payload
+
+
+def test_fsync_flushes_dirty_pages_to_device():
+    env = Environment()
+    fs, ctx, ssd = make_fs(env)
+
+    def proc():
+        yield from fs.create("f", ctx)
+        yield from fs.write("f", 0, b"d" * 8192, ctx)
+        before = ssd.stats.bytes_written
+        yield from fs.fsync("f", ctx)
+        after = ssd.stats.bytes_written
+        return after - before
+
+    flushed = run(env, proc())
+    assert flushed >= 8192  # data + journal
+
+
+def test_read_survives_cache_drop():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+    payload = b"p" * 12000
+
+    def write_phase():
+        yield from fs.create("f", ctx)
+        yield from fs.write("f", 0, payload, ctx)
+        yield from fs.fsync("f", ctx)
+
+    run(env, write_phase())
+    fs.drop_caches()
+
+    def read_phase():
+        data = yield from fs.read("f", 0, len(payload), ctx)
+        return data
+
+    assert run(env, read_phase()) == payload
+
+
+def test_readahead_inflates_device_reads():
+    env = Environment()
+    costs = FsCostModel(readahead_bytes=128 * KiB)
+    fs, ctx, ssd = make_fs(env, costs=costs)
+    payload = b"r" * (256 * KiB)
+
+    def write_phase():
+        yield from fs.create("f", ctx)
+        yield from fs.write("f", 0, payload, ctx)
+        yield from fs.fsync("f", ctx)
+
+    run(env, write_phase())
+    fs.drop_caches()
+    before = ssd.stats.bytes_read
+
+    def read_phase():
+        yield from fs.read("f", 0, 4096, ctx)
+
+    run(env, read_phase())
+    inflated = ssd.stats.bytes_read - before
+    assert inflated >= 128 * KiB  # one 4K read pulled a full readahead window
+
+
+def test_cached_read_is_free_of_device_io():
+    env = Environment()
+    fs, ctx, ssd = make_fs(env)
+
+    def proc():
+        yield from fs.create("f", ctx)
+        yield from fs.write("f", 0, b"c" * 4096, ctx)
+        before = ssd.stats.bytes_read
+        yield from fs.read("f", 0, 4096, ctx)  # hits the dirty page in cache
+        return ssd.stats.bytes_read - before
+
+    assert run(env, proc()) == 0
+
+
+def test_delete_frees_space_and_name():
+    env = Environment()
+    fs, ctx, ssd = make_fs(env)
+
+    def proc():
+        yield from fs.create("f", ctx)
+        yield from fs.write("f", 0, b"x" * 8192, ctx)
+        yield from fs.fsync("f", ctx)
+        yield from fs.delete("f", ctx)
+        return fs.exists("f")
+
+    assert not run(env, proc())
+
+    def recreate():
+        yield from fs.create("f", ctx)
+        data = yield from fs.read("f", 0, 10, ctx)
+        return data
+
+    assert run(env, recreate()) == b""
+
+
+def test_rename_moves_content():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+
+    def proc():
+        yield from fs.create("a", ctx)
+        yield from fs.write("a", 0, b"content", ctx)
+        yield from fs.rename("a", "b", ctx)
+        data = yield from fs.read("b", 0, 7, ctx)
+        return fs.exists("a"), data
+
+    gone, data = run(env, proc())
+    assert not gone
+    assert data == b"content"
+
+
+def test_rename_replaces_target():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+
+    def proc():
+        yield from fs.create("a", ctx)
+        yield from fs.write("a", 0, b"AAA", ctx)
+        yield from fs.create("b", ctx)
+        yield from fs.write("b", 0, b"BBB", ctx)
+        yield from fs.rename("a", "b", ctx)
+        data = yield from fs.read("b", 0, 3, ctx)
+        return data
+
+    assert run(env, proc()) == b"AAA"
+
+
+def test_writeback_threshold_throttles_writer():
+    env = Environment()
+    costs = FsCostModel(writeback_threshold=64 * KiB)
+    fs, ctx, ssd = make_fs(env, costs=costs)
+
+    def proc():
+        yield from fs.create("f", ctx)
+        for i in range(64):  # 256 KiB total, crosses the 64 KiB threshold
+            yield from fs.write("f", i * 4096, b"w" * 4096, ctx)
+
+    run(env, proc())
+    # Device saw writes without any fsync.
+    assert ssd.stats.bytes_written >= 128 * KiB
+
+
+def test_list_files():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+
+    def proc():
+        for name in ("b", "a", "c"):
+            yield from fs.create(name, ctx)
+        return fs.list_files()
+
+    assert run(env, proc()) == ["a", "b", "c"]
+
+
+def test_syscall_costs_advance_clock():
+    env = Environment()
+    fs, ctx, _ = make_fs(env)
+
+    def proc():
+        yield from fs.create("f", ctx)
+        t0 = env.now
+        yield from fs.write("f", 0, b"x" * 4096, ctx)
+        return env.now - t0
+
+    assert run(env, proc()) > 0

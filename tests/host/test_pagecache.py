@@ -1,0 +1,114 @@
+"""Unit tests for the LRU page cache."""
+
+import pytest
+
+from repro.errors import FilesystemError
+from repro.host import PageCache
+
+
+def page(fill, size=4096):
+    return bytes([fill]) * size
+
+
+def test_capacity_validation():
+    with pytest.raises(FilesystemError):
+        PageCache(capacity_bytes=100, page_size=4096)
+
+
+def test_put_get_roundtrip():
+    c = PageCache(capacity_bytes=16 * 4096)
+    c.put(1, 0, page(7), dirty=False)
+    assert c.get(1, 0) == page(7)
+    assert c.hits == 1
+    assert c.get(1, 1) is None
+    assert c.misses == 1
+
+
+def test_wrong_page_size_rejected():
+    c = PageCache(capacity_bytes=16 * 4096)
+    with pytest.raises(FilesystemError):
+        c.put(1, 0, b"short", dirty=False)
+
+
+def test_lru_eviction_order():
+    c = PageCache(capacity_bytes=2 * 4096)
+    c.put(1, 0, page(0), dirty=False)
+    c.put(1, 1, page(1), dirty=False)
+    c.get(1, 0)  # touch page 0 so page 1 is LRU
+    c.put(1, 2, page(2), dirty=False)
+    assert c.get(1, 1) is None  # evicted
+    assert c.get(1, 0) == page(0)
+
+
+def test_eviction_returns_dirty_pages():
+    c = PageCache(capacity_bytes=2 * 4096)
+    c.put(1, 0, page(0), dirty=True)
+    c.put(1, 1, page(1), dirty=False)
+    evicted = c.put(1, 2, page(2), dirty=False)
+    assert evicted == [(1, 0, page(0))]
+    assert c.dirty_bytes == 0
+
+
+def test_clean_eviction_silent():
+    c = PageCache(capacity_bytes=2 * 4096)
+    c.put(1, 0, page(0), dirty=False)
+    c.put(1, 1, page(1), dirty=False)
+    evicted = c.put(1, 2, page(2), dirty=False)
+    assert evicted == []
+
+
+def test_dirty_tracking_and_mark_clean():
+    c = PageCache(capacity_bytes=8 * 4096)
+    c.put(1, 0, page(0), dirty=True)
+    c.put(1, 1, page(1), dirty=True)
+    c.put(2, 0, page(2), dirty=True)
+    assert c.dirty_bytes == 3 * 4096
+    assert c.dirty_pages_of(1) == [(0, page(0)), (1, page(1))]
+    c.mark_clean(1, [0, 1])
+    assert c.dirty_pages_of(1) == []
+    assert c.dirty_bytes == 4096
+
+
+def test_invalidate_file():
+    c = PageCache(capacity_bytes=8 * 4096)
+    c.put(1, 0, page(0), dirty=True)
+    c.put(2, 0, page(1), dirty=False)
+    c.invalidate_file(1)
+    assert c.get(1, 0) is None
+    assert c.get(2, 0) == page(1)
+    assert c.dirty_bytes == 0
+
+
+def test_drop_clean_keeps_dirty():
+    c = PageCache(capacity_bytes=8 * 4096)
+    c.put(1, 0, page(0), dirty=True)
+    c.put(1, 1, page(1), dirty=False)
+    dropped = c.drop_clean()
+    assert dropped == 1
+    assert c.contains(1, 0)
+    assert not c.contains(1, 1)
+
+
+def test_contains_does_not_perturb_stats():
+    c = PageCache(capacity_bytes=8 * 4096)
+    c.put(1, 0, page(0), dirty=False)
+    c.contains(1, 0)
+    c.contains(1, 5)
+    assert c.hits == 0 and c.misses == 0
+
+
+def test_hit_rate():
+    c = PageCache(capacity_bytes=8 * 4096)
+    assert c.hit_rate() == 0.0
+    c.put(1, 0, page(0), dirty=False)
+    c.get(1, 0)
+    c.get(1, 1)
+    assert c.hit_rate() == pytest.approx(0.5)
+
+
+def test_overwrite_updates_in_place():
+    c = PageCache(capacity_bytes=8 * 4096)
+    c.put(1, 0, page(0), dirty=False)
+    c.put(1, 0, page(9), dirty=True)
+    assert c.get(1, 0) == page(9)
+    assert c.size_bytes == 4096

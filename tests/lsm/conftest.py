@@ -1,0 +1,54 @@
+"""Shared fixtures for LSM tests: a small host testbed."""
+
+import pytest
+
+from repro.host import Filesystem, FsCostModel, PageCache, ThreadCtx
+from repro.lsm import CompactionMode, Db, DbOptions
+from repro.nvme import NvmeController, QueuePair
+from repro.sim import CpuPool, Environment
+from repro.ssd import ConventionalSsd, SsdGeometry
+from repro.units import KiB, MiB
+
+
+class LsmTestbed:
+    """A host with a filesystem, CPU pool and one LSM DB."""
+
+    def __init__(self, options=None, n_cores=4, cache_bytes=8 * MiB):
+        self.env = Environment()
+        self.ssd = ConventionalSsd(
+            self.env,
+            geometry=SsdGeometry(
+                n_channels=4, n_zones=64, zone_size=4 * MiB, pages_per_block=64
+            ),
+        )
+        self.qp = QueuePair(self.env, NvmeController(self.env, self.ssd), depth=32)
+        self.fs = Filesystem(
+            self.env, self.qp, PageCache(cache_bytes), journal_pages=64
+        )
+        self.cpu = CpuPool(self.env, n_cores=n_cores)
+        self.fg = ThreadCtx(cpu=self.cpu, core=0)
+        self.bg = ThreadCtx(cpu=self.cpu, cores=tuple(range(n_cores)), priority=5)
+        self.db = Db(self.env, self.fs, bg_ctx=self.bg, options=options)
+
+    def run(self, gen):
+        return self.env.run(self.env.process(gen))
+
+
+def small_options(**overrides):
+    """Options scaled so a few thousand keys exercise flush + compaction."""
+    defaults = dict(
+        memtable_bytes=64 * KiB,
+        l1_target_bytes=256 * KiB,
+        target_file_bytes=128 * KiB,
+        block_cache_bytes=1 * MiB,
+        enable_wal=False,
+    )
+    defaults.update(overrides)
+    return DbOptions(**defaults)
+
+
+@pytest.fixture
+def testbed():
+    tb = LsmTestbed(options=small_options())
+    tb.run(tb.db.open(tb.fg))
+    return tb

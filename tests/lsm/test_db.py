@@ -1,0 +1,310 @@
+"""Integration tests for the full LSM DB: writes, flushes, compaction, reads."""
+
+import pytest
+
+from repro.errors import DbClosedError
+from repro.lsm import CompactionMode
+
+from tests.lsm.conftest import LsmTestbed, small_options
+
+
+def load_keys(tb, n, prefix="key", value_size=32, batch=100):
+    def proc():
+        batch_pairs = []
+        for i in range(n):
+            batch_pairs.append(
+                (f"{prefix}-{i:06d}".encode(), bytes([i % 256]) * value_size)
+            )
+            if len(batch_pairs) == batch:
+                yield from tb.db.write_batch(batch_pairs, tb.fg)
+                batch_pairs = []
+        if batch_pairs:
+            yield from tb.db.write_batch(batch_pairs, tb.fg)
+
+    tb.run(proc())
+
+
+def test_put_get_from_memtable(testbed):
+    tb = testbed
+
+    def proc():
+        yield from tb.db.put(b"k", b"v", tb.fg)
+        value = yield from tb.db.get(b"k", tb.fg)
+        return value
+
+    assert tb.run(proc()) == b"v"
+
+
+def test_get_missing_returns_none(testbed):
+    tb = testbed
+
+    def proc():
+        return (yield from tb.db.get(b"ghost", tb.fg))
+
+    assert tb.run(proc()) is None
+
+
+def test_flush_creates_l0_table(testbed):
+    tb = testbed
+    load_keys(tb, 200)
+
+    def proc():
+        yield from tb.db.flush(tb.fg)
+
+    tb.run(proc())
+    assert tb.db.versions.l0_count() >= 1 or tb.db.table_count() >= 1
+
+
+def test_reads_after_flush(testbed):
+    tb = testbed
+    load_keys(tb, 500)
+
+    def proc():
+        yield from tb.db.flush(tb.fg)
+        vals = []
+        for i in (0, 123, 499):
+            v = yield from tb.db.get(f"key-{i:06d}".encode(), tb.fg)
+            vals.append(v)
+        return vals
+
+    vals = tb.run(proc())
+    assert vals[0] == bytes([0]) * 32
+    assert vals[1] == bytes([123]) * 32
+    assert vals[2] == bytes([499 % 256]) * 32
+
+
+def test_auto_compaction_reduces_l0(testbed):
+    tb = testbed
+    # enough data for several memtable flushes -> L0 trigger -> compaction
+    load_keys(tb, 4000)
+
+    def proc():
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.wait_for_compaction()
+
+    tb.run(proc())
+    assert tb.db.stats.counter("compactions").value >= 1
+    assert tb.db.versions.l0_count() < tb.db.options.l0_compaction_trigger
+    # data survived compaction
+    def check():
+        v = yield from tb.db.get(b"key-003999", tb.fg)
+        return v
+
+    assert tb.run(check()) is not None
+
+
+def test_overwrites_newest_wins_across_levels(testbed):
+    tb = testbed
+
+    def proc():
+        yield from tb.db.put(b"dup", b"v1", tb.fg)
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.put(b"dup", b"v2", tb.fg)
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.put(b"dup", b"v3", tb.fg)
+        value = yield from tb.db.get(b"dup", tb.fg)
+        return value
+
+    assert tb.run(proc()) == b"v3"
+
+
+def test_delete_masks_flushed_value(testbed):
+    tb = testbed
+
+    def proc():
+        yield from tb.db.put(b"k", b"v", tb.fg)
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.delete(b"k", tb.fg)
+        value = yield from tb.db.get(b"k", tb.fg)
+        return value
+
+    assert tb.run(proc()) is None
+
+
+def test_delete_survives_flush_and_compaction(testbed):
+    tb = testbed
+    load_keys(tb, 1000)
+
+    def proc():
+        yield from tb.db.delete(b"key-000500", tb.fg)
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.wait_for_compaction()
+        gone = yield from tb.db.get(b"key-000500", tb.fg)
+        kept = yield from tb.db.get(b"key-000501", tb.fg)
+        return gone, kept
+
+    gone, kept = tb.run(proc())
+    assert gone is None
+    assert kept is not None
+
+
+def test_scan_merges_memtable_and_tables(testbed):
+    tb = testbed
+
+    def proc():
+        yield from tb.db.put(b"a1", b"old", tb.fg)
+        yield from tb.db.put(b"a2", b"x", tb.fg)
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.put(b"a1", b"new", tb.fg)  # memtable overrides table
+        yield from tb.db.put(b"a3", b"y", tb.fg)
+        got = yield from tb.db.scan(b"a0", b"a9", tb.fg)
+        return got
+
+    got = tb.run(proc())
+    assert got == [(b"a1", b"new"), (b"a2", b"x"), (b"a3", b"y")]
+
+
+def test_scan_excludes_tombstones(testbed):
+    tb = testbed
+
+    def proc():
+        for k in (b"s1", b"s2", b"s3"):
+            yield from tb.db.put(k, b"v", tb.fg)
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.delete(b"s2", tb.fg)
+        got = yield from tb.db.scan(b"s0", b"s9", tb.fg)
+        return [k for k, _ in got]
+
+    assert tb.run(proc()) == [b"s1", b"s3"]
+
+
+def test_deferred_mode_no_background_compaction():
+    tb = LsmTestbed(
+        options=small_options(compaction_mode=CompactionMode.DEFERRED)
+    )
+    tb.run(tb.db.open(tb.fg))
+    load_keys(tb, 4000)
+
+    def proc():
+        yield from tb.db.flush(tb.fg)
+
+    tb.run(proc())
+    assert tb.db.stats.counter("compactions").value == 0
+    assert tb.db.versions.l0_count() >= tb.db.options.l0_compaction_trigger
+
+
+def test_deferred_compact_all_single_sorted_run():
+    tb = LsmTestbed(
+        options=small_options(compaction_mode=CompactionMode.DEFERRED)
+    )
+    tb.run(tb.db.open(tb.fg))
+    load_keys(tb, 3000)
+
+    def proc():
+        yield from tb.db.compact_all(tb.fg)
+
+    tb.run(proc())
+    assert tb.db.stats.counter("compactions").value == 1
+    assert tb.db.versions.l0_count() == 0
+    # everything now lives on the bottom level
+    sizes = tb.db.level_sizes()
+    assert sizes[-1] > 0
+    assert all(s == 0 for s in sizes[:-1])
+
+    def check():
+        v = yield from tb.db.get(b"key-001234", tb.fg)
+        return v
+
+    assert tb.run(check()) is not None
+
+
+def test_none_mode_never_compacts():
+    tb = LsmTestbed(options=small_options(compaction_mode=CompactionMode.NONE))
+    tb.run(tb.db.open(tb.fg))
+    load_keys(tb, 4000)
+
+    def proc():
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.compact_all(tb.fg)  # must be a no-op... for NONE too?
+
+    tb.run(proc())
+    # NONE mode still allows an explicit compact_all per our API; the paper's
+    # "no compaction" run never calls it, so check the automatic path only.
+    assert tb.db.stats.counter("flushes").value >= 2
+
+
+def test_write_stall_accounting_under_load():
+    # Tiny memtable + single slow bg thread forces rotation waits.
+    tb = LsmTestbed(
+        options=small_options(
+            memtable_bytes=16 * 1024,
+            max_immutable_memtables=1,
+            n_compaction_threads=1,
+        ),
+        n_cores=1,
+    )
+    tb.run(tb.db.open(tb.fg))
+    load_keys(tb, 3000)
+
+    def proc():
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.wait_for_compaction()
+
+    tb.run(proc())
+    assert tb.db.stats.counter("stall_seconds").value > 0
+
+
+def test_closed_db_rejects_operations(testbed):
+    tb = testbed
+
+    def proc():
+        yield from tb.db.close(tb.fg)
+
+    tb.run(proc())
+
+    def use_after_close():
+        yield from tb.db.put(b"k", b"v", tb.fg)
+
+    with pytest.raises(DbClosedError):
+        tb.run(use_after_close())
+
+
+def test_wal_written_when_enabled():
+    tb = LsmTestbed(options=small_options(enable_wal=True))
+    tb.run(tb.db.open(tb.fg))
+
+    def proc():
+        yield from tb.db.put(b"k", b"v", tb.fg)
+
+    tb.run(proc())
+    wal_files = [f for f in tb.fs.list_files() if "wal" in f]
+    assert wal_files
+    assert tb.fs.file_size(wal_files[0]) > 0
+
+
+def test_wal_segments_deleted_after_flush():
+    tb = LsmTestbed(options=small_options(enable_wal=True))
+    tb.run(tb.db.open(tb.fg))
+    load_keys(tb, 2000)
+
+    def proc():
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.wait_for_compaction()
+
+    tb.run(proc())
+    # only the live (current) wal segment remains
+    wal_files = [f for f in tb.fs.list_files() if "wal" in f]
+    assert len(wal_files) == 1
+
+
+def test_compaction_write_amplification_measurable(testbed):
+    tb = testbed
+    before = tb.ssd.stats.bytes_written
+    load_keys(tb, 5000, value_size=64)
+
+    def proc():
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.wait_for_compaction()
+
+    tb.run(proc())
+    written = tb.ssd.stats.bytes_written - before
+    user_bytes = 5000 * (10 + 64)
+    # LSM write amplification: device wrote a multiple of the user data.
+    assert written > 1.5 * user_bytes
+
+
+def test_simulated_time_advances_with_load(testbed):
+    tb = testbed
+    t0 = tb.env.now
+    load_keys(tb, 1000)
+    assert tb.env.now > t0

@@ -1,0 +1,169 @@
+"""Crash-recovery tests: MANIFEST + WAL replay reconstructs the DB."""
+
+import pytest
+
+from repro.lsm import Db
+
+from tests.lsm.conftest import LsmTestbed, small_options
+
+
+def crash_and_reopen(tb, options):
+    """Abandon the old Db instance (the crash model: no close, workers die
+    with the process) and open a fresh one over the same filesystem."""
+    db2 = Db(tb.env, tb.fs, bg_ctx=tb.bg, options=options)
+
+    def opener():
+        yield from db2.open(tb.fg)
+
+    tb.run(opener())
+    return db2
+
+
+def load(tb, db, n, prefix="key"):
+    def proc():
+        for i in range(n):
+            yield from db.put(
+                f"{prefix}-{i:06d}".encode(), bytes([i % 256]) * 24, tb.fg
+            )
+
+    tb.run(proc())
+
+
+def test_recover_flushed_tables_from_manifest():
+    options = small_options(enable_wal=False)
+    tb = LsmTestbed(options=options)
+    tb.run(tb.db.open(tb.fg))
+    load(tb, tb.db, 4000)
+
+    def settle():
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.wait_for_compaction()
+
+    tb.run(settle())
+    layout_before = [len(level) for level in tb.db.versions.levels]
+
+    db2 = crash_and_reopen(tb, options)
+    assert [len(level) for level in db2.versions.levels] == layout_before
+
+    def verify():
+        for i in (0, 1234, 3999):
+            value = yield from db2.get(f"key-{i:06d}".encode(), tb.fg)
+            assert value == bytes([i % 256]) * 24
+        ghost = yield from db2.get(b"missing", tb.fg)
+        assert ghost is None
+
+    tb.run(verify())
+    assert db2.stats.counter("recoveries").value == 1
+
+
+def test_recover_unflushed_writes_from_wal():
+    options = small_options(enable_wal=True, memtable_bytes=1 << 20)
+    tb = LsmTestbed(options=options)
+    tb.run(tb.db.open(tb.fg))
+    load(tb, tb.db, 300)  # stays entirely in the memtable (never flushed)
+
+    db2 = crash_and_reopen(tb, options)
+
+    def verify():
+        for i in (0, 150, 299):
+            value = yield from db2.get(f"key-{i:06d}".encode(), tb.fg)
+            assert value == bytes([i % 256]) * 24
+
+    tb.run(verify())
+    assert db2.stats.counter("wal_records_replayed").value == 300
+    # replayed segments are gone; only the fresh segment remains
+    wal_files = [f for f in tb.fs.list_files() if "wal" in f]
+    assert len(wal_files) == 1
+
+
+def test_recover_mixed_flushed_and_wal_state():
+    options = small_options(enable_wal=True)
+    tb = LsmTestbed(options=options)
+    tb.run(tb.db.open(tb.fg))
+    load(tb, tb.db, 3000)  # several flushes + a live memtable tail
+
+    db2 = crash_and_reopen(tb, options)
+
+    def verify():
+        for i in range(0, 3000, 307):
+            value = yield from db2.get(f"key-{i:06d}".encode(), tb.fg)
+            assert value == bytes([i % 256]) * 24
+        scan = yield from db2.scan(b"key-000100", b"key-000104", tb.fg)
+        assert [k for k, _ in scan] == [
+            b"key-000100", b"key-000101", b"key-000102", b"key-000103"
+        ]
+
+    tb.run(verify())
+
+
+def test_recover_preserves_deletes():
+    options = small_options(enable_wal=True)
+    tb = LsmTestbed(options=options)
+    tb.run(tb.db.open(tb.fg))
+    load(tb, tb.db, 1000)
+
+    def delete_some():
+        yield from tb.db.delete(b"key-000500", tb.fg)
+        yield from tb.db.flush(tb.fg)
+        yield from tb.db.delete(b"key-000501", tb.fg)  # only in the WAL
+
+    tb.run(delete_some())
+    db2 = crash_and_reopen(tb, options)
+
+    def verify():
+        gone1 = yield from db2.get(b"key-000500", tb.fg)
+        gone2 = yield from db2.get(b"key-000501", tb.fg)
+        kept = yield from db2.get(b"key-000502", tb.fg)
+        return gone1, gone2, kept
+
+    gone1, gone2, kept = tb.run(verify())
+    assert gone1 is None
+    assert gone2 is None
+    assert kept is not None
+
+
+def test_recovered_db_continues_writing():
+    options = small_options(enable_wal=True)
+    tb = LsmTestbed(options=options)
+    tb.run(tb.db.open(tb.fg))
+    load(tb, tb.db, 500)
+
+    db2 = crash_and_reopen(tb, options)
+    load(tb, db2, 500, prefix="new")
+
+    def settle_and_verify():
+        yield from db2.flush(tb.fg)
+        yield from db2.wait_for_compaction()
+        old = yield from db2.get(b"key-000400", tb.fg)
+        new = yield from db2.get(b"new-000400", tb.fg)
+        return old, new
+
+    old, new = tb.run(settle_and_verify())
+    assert old == bytes([400 % 256]) * 24
+    assert new == bytes([400 % 256]) * 24
+
+
+def test_double_crash_recovery():
+    """Recovery after a crash *during* recovered operation still works."""
+    options = small_options(enable_wal=True)
+    tb = LsmTestbed(options=options)
+    tb.run(tb.db.open(tb.fg))
+    load(tb, tb.db, 400)
+    db2 = crash_and_reopen(tb, options)
+    load(tb, db2, 400, prefix="second")
+    db3 = crash_and_reopen(tb, options)
+
+    def verify():
+        a = yield from db3.get(b"key-000123", tb.fg)
+        b = yield from db3.get(b"second-000123", tb.fg)
+        return a, b
+
+    a, b = tb.run(verify())
+    assert a == bytes([123]) * 24
+    assert b == bytes([123]) * 24
+
+
+def test_fresh_open_is_not_a_recovery():
+    tb = LsmTestbed(options=small_options())
+    tb.run(tb.db.open(tb.fg))
+    assert tb.db.stats.counter("recoveries").value == 0

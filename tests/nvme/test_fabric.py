@@ -1,0 +1,115 @@
+"""Tests for NVMe-oF remote access to a KV-CSD."""
+
+import numpy as np
+import pytest
+
+from repro.core import KvCsdClient, KvCsdDevice
+from repro.errors import SimulationError
+from repro.host import ThreadCtx
+from repro.nvme.fabric import FABRIC_25GBE, FABRIC_100GBE, NvmeOfLink
+from repro.nvme.transport import PcieLink
+from repro.sim import CpuPool, Environment
+from repro.soc import SocBoard
+from repro.ssd import SsdGeometry, ZnsSsd
+from repro.units import MiB
+
+
+def make_remote_testbed(env, link):
+    ssd = ZnsSsd(env, geometry=SsdGeometry(n_channels=4, n_zones=32, zone_size=4 * MiB))
+    board = SocBoard(env, ssd)
+    device = KvCsdDevice(board, rng=np.random.default_rng(0))
+    client = KvCsdClient(device, link)
+    cpu = CpuPool(env, 4)
+    return client, ThreadCtx(cpu=cpu, core=0)
+
+
+def run_workflow(env, client, ctx, n=500):
+    pairs = [(f"k-{i:06d}".encode(), bytes([i % 256]) * 32) for i in range(n)]
+
+    def proc():
+        yield from client.create_keyspace("ks", ctx)
+        yield from client.open_keyspace("ks", ctx)
+        yield from client.bulk_put("ks", pairs, ctx)
+        yield from client.compact("ks", ctx)
+        yield from client.wait_for_device("ks", ctx)
+        value = yield from client.get("ks", pairs[123][0], ctx)
+        return value
+
+    value = env.run(env.process(proc()))
+    assert value == pairs[123][1]
+    return env.now
+
+
+def test_client_works_over_fabric():
+    env = Environment()
+    client, ctx = make_remote_testbed(env, FABRIC_100GBE(env))
+    run_workflow(env, client, ctx)
+
+
+def test_fabric_slower_than_local_pcie():
+    env_local = Environment()
+    client, ctx = make_remote_testbed(env_local, PcieLink(env_local, lanes=16))
+    t_local = run_workflow(env_local, client, ctx)
+
+    env_remote = Environment()
+    client, ctx = make_remote_testbed(env_remote, FABRIC_100GBE(env_remote))
+    t_remote = run_workflow(env_remote, client, ctx)
+    assert t_remote > t_local
+
+
+def test_slower_fabric_is_slower():
+    env_a = Environment()
+    client, ctx = make_remote_testbed(env_a, FABRIC_100GBE(env_a))
+    t_fast = run_workflow(env_a, client, ctx)
+
+    env_b = Environment()
+    client, ctx = make_remote_testbed(env_b, FABRIC_25GBE(env_b))
+    t_slow = run_workflow(env_b, client, ctx)
+    assert t_slow > t_fast
+
+
+def test_fabric_transfer_accounting():
+    env = Environment()
+    link = NvmeOfLink(env)
+
+    def proc():
+        yield from link.send(1000)
+        yield from link.receive(500)
+
+    env.run(env.process(proc()))
+    assert link.bytes_tx == 1000
+    assert link.bytes_rx == 500
+    assert link.total_bytes == 1500
+
+
+def test_fabric_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        NvmeOfLink(env, bandwidth=0)
+    link = NvmeOfLink(env)
+
+    def proc():
+        yield from link.send(-1)
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_fabric_full_duplex():
+    env = Environment()
+    link = NvmeOfLink(env)
+    done = []
+
+    def tx():
+        yield from link.send(MiB)
+        done.append(env.now)
+
+    def rx():
+        yield from link.receive(MiB)
+        done.append(env.now)
+
+    env.process(tx())
+    env.process(rx())
+    env.run()
+    assert done[0] == pytest.approx(done[1])

@@ -1,0 +1,204 @@
+"""Unit tests for NVMe queues, controller dispatch, and the PCIe model."""
+
+import pytest
+
+from repro.errors import NvmeError, SimulationError
+from repro.nvme import (
+    NvmeController,
+    PcieLink,
+    QueuePair,
+    ReadCmd,
+    TrimCmd,
+    WriteCmd,
+    ZoneAppendCmd,
+    ZoneReadCmd,
+    ZoneResetCmd,
+)
+from repro.sim import Environment
+from repro.ssd import ConventionalSsd, SsdGeometry, ZnsSsd
+from repro.units import MiB
+
+
+def zns_setup(env):
+    ssd = ZnsSsd(env, geometry=SsdGeometry(n_channels=2, n_zones=4, zone_size=MiB))
+    ctrl = NvmeController(env, ssd)
+    return ssd, ctrl, QueuePair(env, ctrl, depth=4)
+
+
+def conv_setup(env):
+    ssd = ConventionalSsd(
+        env,
+        geometry=SsdGeometry(n_channels=2, n_zones=8, zone_size=MiB, pages_per_block=32),
+    )
+    ctrl = NvmeController(env, ssd)
+    return ssd, ctrl, QueuePair(env, ctrl, depth=4)
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+def test_zone_append_and_read_via_queue():
+    env = Environment()
+    _, _, qp = zns_setup(env)
+
+    def proc():
+        c1 = yield from qp.submit(ZoneAppendCmd(zone_id=0, data=b"hello"))
+        c2 = yield from qp.submit(ZoneReadCmd(zone_id=0, offset=c1.value, length=5))
+        return c2.value
+
+    assert run(env, proc()) == b"hello"
+    assert qp.submitted == 2
+    assert qp.completed == 2
+
+
+def test_block_write_read_via_queue():
+    env = Environment()
+    _, _, qp = conv_setup(env)
+
+    def proc():
+        yield from qp.submit(WriteCmd(offset=0, data=b"a" * 4096))
+        c = yield from qp.submit(ReadCmd(offset=0, length=4096))
+        return c.value
+
+    assert run(env, proc()) == b"a" * 4096
+
+
+def test_trim_via_queue():
+    env = Environment()
+    _, _, qp = conv_setup(env)
+
+    def proc():
+        yield from qp.submit(WriteCmd(offset=0, data=b"a" * 4096))
+        yield from qp.submit(TrimCmd(offset=0, length=4096))
+        c = yield from qp.submit(ReadCmd(offset=0, length=4096))
+        return c.value
+
+    assert run(env, proc()) == b"\x00" * 4096
+
+
+def test_wrong_namespace_command_raises_nvme_error():
+    env = Environment()
+    _, _, qp = zns_setup(env)
+
+    def proc():
+        yield from qp.submit(WriteCmd(offset=0, data=b"a" * 4096))
+
+    env.process(proc())
+    with pytest.raises(NvmeError):
+        env.run()
+
+
+def test_storage_error_becomes_error_completion():
+    env = Environment()
+    _, _, qp = zns_setup(env)
+
+    def proc():
+        # read beyond the write pointer
+        yield from qp.submit(ZoneReadCmd(zone_id=0, offset=0, length=10))
+
+    env.process(proc())
+    with pytest.raises(NvmeError, match="InvalidAddressError"):
+        env.run()
+
+
+def test_queue_depth_limits_inflight():
+    env = Environment()
+    _, _, qp = zns_setup(env)
+    qp_small = qp
+    max_seen = []
+
+    def writer(i):
+        yield from qp_small.submit(ZoneAppendCmd(zone_id=i % 4, data=b"x" * 4096))
+        max_seen.append(qp_small.inflight)
+
+    for i in range(10):
+        env.process(writer(i))
+    env.run()
+    assert qp.submitted == 10
+    # inflight never exceeded depth
+    assert all(v <= qp.depth for v in max_seen)
+
+
+def test_queue_depth_validation():
+    env = Environment()
+    _, ctrl, _ = zns_setup(env)
+    with pytest.raises(SimulationError):
+        QueuePair(env, ctrl, depth=0)
+
+
+def test_firmware_overhead_charged():
+    env = Environment()
+    ssd, ctrl, qp = zns_setup(env)
+
+    def proc():
+        yield from qp.submit(ZoneResetCmd(zone_id=0))
+
+    env.process(proc())
+    env.run()
+    expected = ctrl.firmware_overhead + ssd.latency.erase_time()
+    assert env.now == pytest.approx(expected)
+    assert ctrl.commands_executed == 1
+
+
+def test_pcie_transfer_time():
+    env = Environment()
+    link = PcieLink(env, lanes=16)
+
+    def proc():
+        yield from link.send(16 * MiB)
+
+    run(env, proc())
+    expected = link.latency + 16 * MiB / link.bandwidth
+    assert env.now == pytest.approx(expected)
+    assert link.bytes_tx == 16 * MiB
+
+
+def test_pcie_full_duplex():
+    env = Environment()
+    link = PcieLink(env, lanes=4)
+    done = []
+
+    def sender():
+        yield from link.send(MiB)
+        done.append(("tx", env.now))
+
+    def receiver():
+        yield from link.receive(MiB)
+        done.append(("rx", env.now))
+
+    env.process(sender())
+    env.process(receiver())
+    env.run()
+    # Full duplex: both complete at the same time.
+    assert done[0][1] == pytest.approx(done[1][1])
+    assert link.total_bytes == 2 * MiB
+
+
+def test_pcie_same_direction_serializes():
+    env = Environment()
+    link = PcieLink(env, lanes=4)
+    done = []
+
+    def sender(name):
+        yield from link.send(MiB)
+        done.append(env.now)
+
+    env.process(sender("a"))
+    env.process(sender("b"))
+    env.run()
+    assert done[1] == pytest.approx(2 * done[0])
+
+
+def test_pcie_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        PcieLink(env, lanes=0)
+    link = PcieLink(env)
+
+    def proc():
+        yield from link.send(-1)
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()

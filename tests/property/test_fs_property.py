@@ -1,0 +1,146 @@
+"""Model-based property test: the simulated filesystem versus bytearrays."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.sort import ExternalSorter
+from repro.core.zone_manager import ZoneManager
+from repro.host import Filesystem, PageCache, ThreadCtx
+from repro.nvme import NvmeController, QueuePair
+from repro.sim import CpuPool, Environment
+from repro.ssd import ConventionalSsd, SsdGeometry, ZnsSsd
+from repro.units import MiB
+
+fs_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("write"),
+            st.sampled_from(["a", "b"]),
+            st.integers(0, 20_000),
+            st.binary(min_size=1, max_size=6000),
+        ),
+        st.tuples(
+            st.just("read"),
+            st.sampled_from(["a", "b"]),
+            st.integers(0, 25_000),
+            st.integers(0, 8000),
+        ),
+        st.tuples(st.just("fsync"), st.sampled_from(["a", "b"]), st.just(0), st.just(0)),
+        st.tuples(st.just("drop"), st.just("a"), st.just(0), st.just(0)),
+    ),
+    max_size=30,
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(fs_ops)
+def test_filesystem_matches_bytearray_model(ops):
+    """Reads always return what a plain in-memory file would, across buffered
+    writes, writebacks, fsyncs and cache drops."""
+    env = Environment()
+    ssd = ConventionalSsd(
+        env,
+        geometry=SsdGeometry(
+            n_channels=2, n_zones=32, zone_size=MiB, pages_per_block=32
+        ),
+    )
+    qp = QueuePair(env, NvmeController(env, ssd), depth=16)
+    # A deliberately tiny cache forces evictions + writebacks mid-sequence.
+    fs = Filesystem(env, qp, PageCache(64 * 1024), journal_pages=16)
+    cpu = CpuPool(env, 1)
+    ctx = ThreadCtx(cpu=cpu, core=0)
+    model: dict[str, bytearray] = {"a": bytearray(), "b": bytearray()}
+
+    def driver():
+        yield from fs.create("a", ctx)
+        yield from fs.create("b", ctx)
+        for op, name, offset, payload in ops:
+            if op == "write":
+                data = payload
+                yield from fs.write(name, offset, data, ctx)
+                buf = model[name]
+                if len(buf) < offset + len(data):
+                    buf.extend(b"\x00" * (offset + len(data) - len(buf)))
+                buf[offset : offset + len(data)] = data
+            elif op == "read":
+                length = payload
+                got = yield from fs.read(name, offset, length, ctx)
+                buf = model[name]
+                expected = bytes(buf[offset : offset + max(0, length)])
+                assert got == expected, (name, offset, length)
+            elif op == "fsync":
+                yield from fs.fsync(name, ctx)
+            else:
+                fs.drop_caches()
+        # final full read-back of both files
+        for name, buf in model.items():
+            got = yield from fs.read(name, 0, len(buf) + 10, ctx)
+            assert got == bytes(buf)
+            assert fs.file_size(name) == len(buf)
+
+    env.run(env.process(driver()))
+
+
+sort_records = st.lists(
+    st.tuples(st.binary(min_size=1, max_size=12), st.binary(max_size=16)),
+    max_size=200,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sort_records, st.integers(min_value=256, max_value=1 << 20))
+def test_external_sort_equals_sorted(records, budget):
+    """The external sorter's output equals ``sorted()`` for any budget."""
+    env = Environment()
+    ssd = ZnsSsd(
+        env, geometry=SsdGeometry(n_channels=2, n_zones=32, zone_size=4 * MiB)
+    )
+    zm = ZoneManager(ssd, np.random.default_rng(0), cluster_zones=2)
+
+    def pack(recs):
+        parts = []
+        for key, payload in recs:
+            parts.append(len(key).to_bytes(2, "little"))
+            parts.append(key)
+            parts.append(len(payload).to_bytes(2, "little"))
+            parts.append(payload)
+        return b"".join(parts)
+
+    def unpack(blob):
+        out = []
+        pos = 0
+        while pos < len(blob):
+            klen = int.from_bytes(blob[pos : pos + 2], "little")
+            pos += 2
+            key = blob[pos : pos + klen]
+            pos += klen
+            plen = int.from_bytes(blob[pos : pos + 2], "little")
+            pos += 2
+            out.append((key, blob[pos : pos + plen]))
+            pos += plen
+        return out
+
+    sorter = ExternalSorter(
+        zm,
+        budget_bytes=budget,
+        compare_cost=25e-9,
+        pack=pack,
+        unpack=unpack,
+        sort_key=lambda record: record,  # total order even with dup keys
+    )
+    cpu = CpuPool(env, 2)
+    ctx = ThreadCtx(cpu=cpu)
+    total = sum(len(k) + len(p) + 4 for k, p in records)
+
+    def proc():
+        out = yield from sorter.sort(records, total, ctx)
+        return out
+
+    result = env.run(env.process(proc()))
+    assert result == sorted(records)
+    assert zm.allocated_clusters == 0  # temp space always released

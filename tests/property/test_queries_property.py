@@ -1,0 +1,104 @@
+"""Property tests for device-side query semantics against a sorted model."""
+
+import struct
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import KvCsdClient, KvCsdDevice, SidxConfig
+from repro.host import ThreadCtx
+from repro.nvme import PcieLink
+from repro.sim import CpuPool, Environment
+from repro.soc import SocBoard
+from repro.ssd import SsdGeometry, ZnsSsd
+from repro.units import MiB
+
+
+def build(pairs, sidx_config=None):
+    env = Environment()
+    ssd = ZnsSsd(
+        env, geometry=SsdGeometry(n_channels=2, n_zones=32, zone_size=2 * MiB)
+    )
+    board = SocBoard(env, ssd)
+    device = KvCsdDevice(board, rng=np.random.default_rng(1), cluster_zones=2)
+    client = KvCsdClient(device, PcieLink(env))
+    ctx = ThreadCtx(cpu=CpuPool(env, 2), core=0)
+
+    def setup():
+        yield from client.create_keyspace("ks", ctx)
+        yield from client.open_keyspace("ks", ctx)
+        if pairs:
+            yield from client.bulk_put("ks", pairs, ctx)
+        configs = [sidx_config] if sidx_config else []
+        yield from client.compact("ks", ctx, secondary_indexes=configs)
+        yield from client.wait_for_device("ks", ctx)
+
+    env.run(env.process(setup()))
+    return env, client, ctx
+
+
+range_case = st.tuples(
+    st.dictionaries(
+        st.binary(min_size=1, max_size=8),
+        st.binary(min_size=0, max_size=16),
+        min_size=1,
+        max_size=40,
+    ),
+    st.binary(max_size=9),
+    st.binary(max_size=9),
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(range_case)
+def test_primary_range_query_matches_sorted_model(case):
+    model, lo, hi = case
+    env, client, ctx = build(sorted(model.items()))
+
+    def query():
+        rows = yield from client.range_query("ks", lo, hi, ctx)
+        return rows
+
+    rows = env.run(env.process(query()))
+    expected = sorted((k, v) for k, v in model.items() if lo <= k < hi)
+    assert rows == expected
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    st.lists(st.integers(-(2**31), 2**31 - 1), min_size=1, max_size=40),
+    st.integers(-(2**31), 2**31 - 1),
+    st.integers(-(2**31), 2**31 - 1),
+)
+def test_sidx_range_query_matches_numeric_filter(tags, bound_a, bound_b):
+    lo_v, hi_v = min(bound_a, bound_b), max(bound_a, bound_b)
+    pairs = [
+        (f"k{i:06d}".encode(), struct.pack("<i", tag) + bytes(4))
+        for i, tag in enumerate(tags)
+    ]
+    config = SidxConfig("tag", value_offset=0, width=4, dtype="i32")
+    env, client, ctx = build(pairs, sidx_config=config)
+
+    def query():
+        rows = yield from client.sidx_range_query(
+            "ks", "tag", struct.pack("<i", lo_v), struct.pack("<i", hi_v), ctx
+        )
+        return rows
+
+    rows = env.run(env.process(query()))
+    expected = {
+        key for (key, _v), tag in zip(pairs, tags) if lo_v <= tag < hi_v
+    }
+    assert {k for k, _ in rows} == expected
+    # full records come back
+    by_key = dict(pairs)
+    assert all(v == by_key[k] for k, v in rows)

@@ -1,0 +1,167 @@
+"""Tests for the TableFS-style file shim over a KV-CSD keyspace."""
+
+import pytest
+
+from repro.errors import (
+    FileExistsInFsError,
+    FileNotFoundInFsError,
+    FilesystemError,
+)
+from repro.shim import KvShimFs
+
+from tests.core.conftest import CsdTestbed
+
+
+@pytest.fixture
+def shim_tb():
+    tb = CsdTestbed()
+    shim = KvShimFs(tb.client, chunk_bytes=1024)
+    tb.run(shim.mount(tb.ctx))
+    return tb, shim
+
+
+def write_file(tb, shim, path, data, piece=700):
+    def proc():
+        yield from shim.create(path, tb.ctx)
+        for start in range(0, len(data), piece):
+            yield from shim.append(path, data[start : start + piece], tb.ctx)
+        yield from shim.close(path, tb.ctx)
+
+    tb.run(proc())
+
+
+def test_write_finalize_read_roundtrip(shim_tb):
+    tb, shim = shim_tb
+    payload = bytes(i % 251 for i in range(10_000))
+    write_file(tb, shim, "/out/dump.bin", payload)
+    tb.run(shim.finalize(tb.ctx))
+
+    def read():
+        data = yield from shim.read_file("/out/dump.bin", tb.ctx)
+        return data
+
+    assert tb.run(read()) == payload
+
+
+def test_partial_reads(shim_tb):
+    tb, shim = shim_tb
+    payload = bytes(range(256)) * 20  # 5120 bytes, spans several 1KiB chunks
+    write_file(tb, shim, "/f", payload)
+    tb.run(shim.finalize(tb.ctx))
+
+    def read(offset, length):
+        def proc():
+            data = yield from shim.read("/f", offset, length, tb.ctx)
+            return data
+
+        return tb.run(proc())
+
+    assert read(0, 10) == payload[:10]
+    assert read(1000, 100) == payload[1000:1100]  # crosses a chunk boundary
+    assert read(5000, 1000) == payload[5000:]  # clipped at EOF
+    assert read(5120, 10) == b""
+
+
+def test_file_size_and_listing(shim_tb):
+    tb, shim = shim_tb
+    write_file(tb, shim, "/a", b"x" * 1500)
+    write_file(tb, shim, "/b", b"y" * 10)
+    tb.run(shim.finalize(tb.ctx))
+
+    def proc():
+        size_a = yield from shim.file_size("/a", tb.ctx)
+        names = yield from shim.list_files(tb.ctx)
+        return size_a, names
+
+    size_a, names = tb.run(proc())
+    assert size_a == 1500
+    assert names == ["/a", "/b"]
+
+
+def test_empty_file(shim_tb):
+    tb, shim = shim_tb
+    write_file(tb, shim, "/empty", b"")
+    tb.run(shim.finalize(tb.ctx))
+
+    def proc():
+        size = yield from shim.file_size("/empty", tb.ctx)
+        data = yield from shim.read_file("/empty", tb.ctx)
+        return size, data
+
+    assert tb.run(proc()) == (0, b"")
+
+
+def test_finalize_closes_open_files(shim_tb):
+    tb, shim = shim_tb
+
+    def proc():
+        yield from shim.create("/open", tb.ctx)
+        yield from shim.append("/open", b"still-buffered", tb.ctx)
+        yield from shim.finalize(tb.ctx)
+        data = yield from shim.read_file("/open", tb.ctx)
+        return data
+
+    assert tb.run(proc()) == b"still-buffered"
+
+
+def test_phase_discipline(shim_tb):
+    tb, shim = shim_tb
+    write_file(tb, shim, "/f", b"abc")
+
+    def read_before_finalize():
+        yield from shim.read_file("/f", tb.ctx)
+
+    with pytest.raises(FilesystemError, match="not finalized"):
+        tb.run(read_before_finalize())
+    tb.run(shim.finalize(tb.ctx))
+
+    def write_after_finalize():
+        yield from shim.create("/late", tb.ctx)
+
+    with pytest.raises(FilesystemError, match="read-only"):
+        tb.run(write_after_finalize())
+
+
+def test_error_cases(shim_tb):
+    tb, shim = shim_tb
+
+    def dup():
+        yield from shim.create("/f", tb.ctx)
+        yield from shim.create("/f", tb.ctx)
+
+    with pytest.raises(FileExistsInFsError):
+        tb.run(dup())
+
+    def missing_append():
+        yield from shim.append("/ghost", b"x", tb.ctx)
+
+    with pytest.raises(FileNotFoundInFsError):
+        tb.run(missing_append())
+
+
+def test_missing_file_after_finalize(shim_tb):
+    tb, shim = shim_tb
+    write_file(tb, shim, "/f", b"abc")
+    tb.run(shim.finalize(tb.ctx))
+
+    def proc():
+        yield from shim.file_size("/ghost", tb.ctx)
+
+    with pytest.raises(FileNotFoundInFsError):
+        tb.run(proc())
+
+
+def test_many_small_files(shim_tb):
+    tb, shim = shim_tb
+    contents = {f"/rank-{i:04d}": bytes([i % 256]) * (i % 700) for i in range(40)}
+    for path, data in contents.items():
+        write_file(tb, shim, path, data)
+    tb.run(shim.finalize(tb.ctx))
+
+    def verify():
+        for path, data in contents.items():
+            got = yield from shim.read_file(path, tb.ctx)
+            assert got == data, path
+        return True
+
+    assert tb.run(verify())

@@ -1,0 +1,376 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import InterruptError, SimulationError
+from repro.sim import Environment, Event
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.5)
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(p) == 1.5
+    assert env.now == 1.5
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc():
+        got = yield env.timeout(1.0, value="hello")
+        return got
+
+    assert env.run(env.process(proc())) == "hello"
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        return 42
+
+    assert env.run(env.process(proc())) == 42
+
+
+def test_processes_interleave_by_time():
+    env = Environment()
+    log = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(proc("b", 2.0))
+    env.process(proc("a", 1.0))
+    env.process(proc("c", 3.0))
+    env.run()
+    assert log == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    log = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        log.append(name)
+
+    for name in "abc":
+        env.process(proc(name))
+    env.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_waiting_on_another_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(2.0)
+        return "done"
+
+    def parent():
+        result = yield env.process(child())
+        return (env.now, result)
+
+    assert env.run(env.process(parent())) == (2.0, "done")
+
+
+def test_child_exception_propagates_to_parent():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except ValueError as e:
+            return f"caught {e}"
+
+    assert env.run(env.process(parent())) == "caught boom"
+
+
+def test_unhandled_process_exception_crashes_run():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    env.process(proc())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    ev = env.event()
+    results = []
+
+    def waiter():
+        val = yield ev
+        results.append((env.now, val))
+
+    def trigger():
+        yield env.timeout(3.0)
+        ev.succeed("payload")
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert results == [(3.0, "payload")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_throws_into_waiter():
+    env = Environment()
+    ev = env.event()
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError:
+            return "handled"
+
+    def trigger():
+        yield env.timeout(1.0)
+        ev.fail(ValueError("nope"))
+
+    p = env.process(waiter())
+    env.process(trigger())
+    assert env.run(p) == "handled"
+
+
+def test_failed_event_without_waiter_crashes_unless_defused():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("nobody listening"))
+    with pytest.raises(ValueError):
+        env.run()
+
+    env2 = Environment()
+    ev2 = env2.event()
+    ev2.fail(ValueError("defused"))
+    ev2.defuse()
+    env2.run()  # does not raise
+
+
+def test_run_until_time():
+    env = Environment()
+    log = []
+
+    def proc():
+        for _ in range(10):
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+    env.process(proc())
+    env.run(until=3.5)
+    assert log == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_into_past_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_run_until_unfired_event_deadlock_detected():
+    env = Environment()
+    ev = env.event()  # never triggered
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=ev)
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def proc():
+        yield 42
+
+    env.process(proc())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    env = Environment()
+
+    def proc():
+        t = env.timeout(1.0, value="x")
+        yield env.timeout(2.0)  # t fires (and is processed) meanwhile
+        got = yield t
+        return (env.now, got)
+
+    assert env.run(env.process(proc())) == (2.0, "x")
+
+
+def test_interrupt_wakes_process_early():
+    env = Environment()
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+            return "slept"
+        except InterruptError as e:
+            return ("interrupted", e.cause, env.now)
+
+    def interrupter(victim):
+        yield env.timeout(1.0)
+        victim.interrupt(cause="wake up")
+
+    p = env.process(sleeper())
+    env.process(interrupter(p))
+    assert env.run(p) == ("interrupted", "wake up", 1.0)
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(0.1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except InterruptError:
+            pass
+        yield env.timeout(5.0)
+        return env.now
+
+    def interrupter(victim):
+        yield env.timeout(2.0)
+        victim.interrupt()
+
+    p = env.process(sleeper())
+    env.process(interrupter(p))
+    assert env.run(p) == 7.0
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_is_alive():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_event_value_before_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(2.5)
+    assert env.peek() == 2.5
+
+
+def test_zero_delay_timeout_runs_at_current_time():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(0.0)
+        return env.now
+
+    assert env.run(env.process(proc())) == 0.0
+
+
+def test_nested_yield_from_subroutines():
+    env = Environment()
+
+    def inner(n):
+        yield env.timeout(n)
+        return n * 2
+
+    def outer():
+        a = yield from inner(1.0)
+        b = yield from inner(2.0)
+        return a + b
+
+    assert env.run(env.process(outer())) == 6.0
+    assert env.now == 3.0
+
+
+def test_cross_environment_event_rejected():
+    env1 = Environment()
+    env2 = Environment()
+
+    def proc():
+        yield env2.timeout(1.0)
+
+    env1.process(proc())
+    with pytest.raises(SimulationError, match="another environment"):
+        env1.run()
+
+
+def test_many_processes_deterministic():
+    def run_once():
+        env = Environment()
+        log = []
+
+        def proc(i):
+            yield env.timeout(i % 7 * 0.1)
+            log.append(i)
+            yield env.timeout((i * 13) % 5 * 0.01)
+            log.append(-i)
+
+        for i in range(50):
+            env.process(proc(i))
+        env.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,202 @@
+"""Edge-case tests for the simulation kernel under composition."""
+
+import pytest
+
+from repro.errors import InterruptError, SimulationError
+from repro.sim import AllOf, AnyOf, Container, CpuPool, Environment, Resource, Store
+
+
+def test_interrupt_while_waiting_on_resource_releases_queue_slot():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def victim():
+        req = res.request()
+        try:
+            yield req
+        except InterruptError:
+            res.release(req)  # cancel the queued request
+            order.append("victim-interrupted")
+            return
+
+    def third():
+        yield env.timeout(0.2)
+        with res.request() as req:
+            yield req
+            order.append(("third-got-it", env.now))
+
+    env.process(holder())
+    v = env.process(victim())
+    env.process(third())
+
+    def interrupter():
+        yield env.timeout(0.1)
+        v.interrupt()
+
+    env.process(interrupter())
+    env.run()
+    assert "victim-interrupted" in order
+    # third acquired right after the holder released (no leaked slot)
+    third_times = [t for entry, t in
+                   (e for e in order if isinstance(e, tuple))
+                   if entry == "third-got-it"]
+    assert third_times == [pytest.approx(10.0)]
+
+
+def test_nested_conditions():
+    env = Environment()
+
+    def proc():
+        inner = AllOf(env, [env.timeout(1.0, value="a"), env.timeout(2.0, value="b")])
+        outer = yield AnyOf(env, [inner, env.timeout(10.0, value="slow")])
+        return (env.now, len(outer))
+
+    assert env.run(env.process(proc())) == (2.0, 1)
+
+
+def test_process_waiting_on_itself_is_impossible_by_construction():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        return "done"
+
+    p = env.process(proc())
+
+    def waiter():
+        result = yield p
+        return result
+
+    assert env.run(env.process(waiter())) == "done"
+
+
+def test_two_processes_wait_same_event():
+    env = Environment()
+    ev = env.event()
+    results = []
+
+    def waiter(tag):
+        value = yield ev
+        results.append((tag, value, env.now))
+
+    env.process(waiter("a"))
+    env.process(waiter("b"))
+
+    def trigger():
+        yield env.timeout(2.0)
+        ev.succeed("shared")
+
+    env.process(trigger())
+    env.run()
+    assert results == [("a", "shared", 2.0), ("b", "shared", 2.0)]
+
+
+def test_container_fifo_fairness():
+    env = Environment()
+    c = Container(env, capacity=100.0, init=0.0)
+    order = []
+
+    def getter(tag, amount, delay):
+        yield env.timeout(delay)
+        yield c.get(amount)
+        order.append(tag)
+
+    env.process(getter("first-large", 60.0, 0.0))
+    env.process(getter("second-small", 10.0, 0.1))
+
+    def producer():
+        yield env.timeout(1.0)
+        yield c.put(30.0)  # not enough for the first getter
+        yield env.timeout(1.0)
+        yield c.put(40.0)
+
+    env.process(producer())
+    env.run()
+    # strict FIFO: the small getter waits behind the large one
+    assert order == ["first-large", "second-small"]
+
+
+def test_store_interleaved_producers_consumers():
+    env = Environment()
+    s = Store(env)
+    got = []
+
+    def consumer(tag, n):
+        for _ in range(n):
+            item = yield s.get()
+            got.append((tag, item))
+
+    def producer():
+        for i in range(6):
+            yield env.timeout(0.1)
+            yield s.put(i)
+
+    env.process(consumer("c1", 3))
+    env.process(consumer("c2", 3))
+    env.process(producer())
+    env.run()
+    assert sorted(item for _tag, item in got) == [0, 1, 2, 3, 4, 5]
+    # consumers alternate (FIFO getter queue)
+    assert [tag for tag, _ in got] == ["c1", "c2", "c1", "c2", "c1", "c2"]
+
+
+def test_cpu_pool_priority_inversion_bounded_by_timeslice():
+    """A low-priority hog cannot delay high-priority work by more than one
+    timeslice."""
+    env = Environment()
+    cpu = CpuPool(env, n_cores=1, timeslice=0.01)
+    t_done = {}
+
+    def hog():
+        yield from cpu.execute(1.0, core=0, priority=10)
+        t_done["hog"] = env.now
+
+    def urgent():
+        yield env.timeout(0.005)  # arrives mid-slice
+        yield from cpu.execute(0.01, core=0, priority=0)
+        t_done["urgent"] = env.now
+
+    env.process(hog())
+    env.process(urgent())
+    env.run()
+    assert t_done["urgent"] <= 0.005 + 0.01 + 0.01 + 1e-9
+
+
+def test_deterministic_under_heavy_concurrency():
+    def run_once():
+        env = Environment()
+        cpu = CpuPool(env, n_cores=3, timeslice=0.02)
+        res = Resource(env, capacity=2)
+        log = []
+
+        def worker(i):
+            yield env.timeout((i * 31 % 7) * 0.01)
+            with res.request(priority=i % 3) as req:
+                yield req
+                yield from cpu.execute(0.03 + (i % 5) * 0.01)
+            log.append((i, round(env.now, 9)))
+
+        for i in range(24):
+            env.process(worker(i))
+        env.run()
+        return log
+
+    assert run_once() == run_once()
+
+
+def test_simulation_error_when_run_until_event_of_dead_simulation():
+    env = Environment()
+    ev = env.event()
+
+    def nothing():
+        yield env.timeout(1.0)
+
+    env.process(nothing())
+    with pytest.raises(SimulationError):
+        env.run(until=ev)

@@ -1,0 +1,271 @@
+"""Unit tests for Resource / Container / Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Container, Environment, Resource, Store
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = []
+
+    def worker(name, hold):
+        with res.request() as req:
+            yield req
+            log.append(("start", name, env.now))
+            yield env.timeout(hold)
+        log.append(("end", name, env.now))
+
+    env.process(worker("a", 2.0))
+    env.process(worker("b", 2.0))
+    env.process(worker("c", 2.0))
+    env.run()
+    starts = {name: t for op, name, t in log if op == "start"}
+    assert starts["a"] == 0.0
+    assert starts["b"] == 0.0
+    assert starts["c"] == 2.0  # had to wait for a slot
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    for name in "abcd":
+        env.process(worker(name))
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_resource_priority_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    def worker(name, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(0.1)
+
+    env.process(holder())
+    env.process(worker("low", 10, 0.1))
+    env.process(worker("high", 0, 0.2))  # arrives later but jumps the queue
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_resource_count_and_queue_len():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        with res.request() as req:
+            yield req
+            assert res.count == 1
+            yield env.timeout(1.0)
+
+    def waiter():
+        yield env.timeout(0.5)
+        req = res.request()
+        assert res.queue_len == 1
+        yield req
+        res.release(req)
+
+    env.process(holder())
+    env.process(waiter())
+    env.run()
+    assert res.count == 0
+    assert res.queue_len == 0
+
+
+def test_release_queued_request_cancels_it():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    def canceller():
+        yield env.timeout(0.1)
+        req = res.request()
+        res.release(req)  # cancel while still queued
+
+    def other():
+        yield env.timeout(0.2)
+        with res.request() as req:
+            yield req
+            granted.append(env.now)
+
+    env.process(holder())
+    env.process(canceller())
+    env.process(other())
+    env.run()
+    assert granted == [1.0]  # cancelled request did not consume the slot
+
+
+def test_container_levels():
+    env = Environment()
+    c = Container(env, capacity=100.0, init=50.0)
+    assert c.level == 50.0
+
+    def proc():
+        yield c.get(30.0)
+        assert c.level == 20.0
+        yield c.put(10.0)
+        assert c.level == 30.0
+
+    env.run(env.process(proc()))
+
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    c = Container(env, capacity=100.0, init=0.0)
+    log = []
+
+    def consumer():
+        yield c.get(40.0)
+        log.append(("got", env.now))
+
+    def producer():
+        yield env.timeout(1.0)
+        yield c.put(25.0)
+        yield env.timeout(1.0)
+        yield c.put(25.0)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert log == [("got", 2.0)]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    c = Container(env, capacity=10.0, init=10.0)
+    log = []
+
+    def producer():
+        yield c.put(5.0)
+        log.append(("put", env.now))
+
+    def consumer():
+        yield env.timeout(3.0)
+        yield c.get(6.0)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [("put", 3.0)]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Container(env, capacity=0.0)
+    with pytest.raises(SimulationError):
+        Container(env, capacity=10.0, init=11.0)
+    c = Container(env, capacity=10.0)
+    with pytest.raises(SimulationError):
+        c.get(11.0)
+    with pytest.raises(SimulationError):
+        c.get(-1.0)
+    with pytest.raises(SimulationError):
+        c.put(-1.0)
+
+
+def test_store_fifo():
+    env = Environment()
+    s = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield s.put(i)
+            yield env.timeout(1.0)
+
+    def consumer():
+        for _ in range(3):
+            item = yield s.get()
+            got.append((env.now, item))
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert [item for _, item in got] == [0, 1, 2]
+
+
+def test_store_get_blocks_when_empty():
+    env = Environment()
+    s = Store(env)
+    log = []
+
+    def consumer():
+        item = yield s.get()
+        log.append((env.now, item))
+
+    def producer():
+        yield env.timeout(5.0)
+        yield s.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert log == [(5.0, "x")]
+
+
+def test_store_bounded_put_blocks():
+    env = Environment()
+    s = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield s.put("a")
+        yield s.put("b")  # blocks until 'a' consumed
+        log.append(("b-in", env.now))
+
+    def consumer():
+        yield env.timeout(2.0)
+        item = yield s.get()
+        assert item == "a"
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [("b-in", 2.0)]
+
+
+def test_store_len():
+    env = Environment()
+    s = Store(env)
+
+    def proc():
+        yield s.put(1)
+        yield s.put(2)
+        assert len(s) == 2
+        yield s.get()
+        assert len(s) == 1
+
+    env.run(env.process(proc()))

@@ -1,0 +1,134 @@
+"""Unit tests for AllOf / AnyOf condition events."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_all_of_waits_for_slowest():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        result = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(result.values()))
+
+    assert env.run(env.process(proc())) == (3.0, ["a", "b"])
+
+
+def test_any_of_fires_on_fastest():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(3.0, value="slow")
+        result = yield AnyOf(env, [t1, t2])
+        return (env.now, list(result.values()))
+
+    assert env.run(env.process(proc())) == (1.0, ["fast"])
+
+
+def test_all_of_empty_list_fires_immediately():
+    env = Environment()
+
+    def proc():
+        result = yield AllOf(env, [])
+        return (env.now, result)
+
+    assert env.run(env.process(proc())) == (0.0, {})
+
+
+def test_any_of_empty_list_fires_immediately():
+    env = Environment()
+
+    def proc():
+        result = yield AnyOf(env, [])
+        return (env.now, result)
+
+    assert env.run(env.process(proc())) == (0.0, {})
+
+
+def test_all_of_with_already_processed_events():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="early")
+        yield env.timeout(2.0)  # t1 processed by now
+        t2 = env.timeout(1.0, value="late")
+        result = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(result.values()))
+
+    assert env.run(env.process(proc())) == (3.0, ["early", "late"])
+
+
+def test_all_of_all_already_processed():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(0.5, value=1)
+        t2 = env.timeout(1.0, value=2)
+        yield env.timeout(2.0)
+        result = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(result.values()))
+
+    assert env.run(env.process(proc())) == (2.0, [1, 2])
+
+
+def test_all_of_fails_fast_on_failure():
+    env = Environment()
+
+    def proc():
+        ok = env.timeout(5.0, value="ok")
+        bad = env.event()
+
+        def failer():
+            yield env.timeout(1.0)
+            bad.fail(ValueError("broken"))
+
+        env.process(failer())
+        try:
+            yield AllOf(env, [ok, bad])
+        except ValueError as e:
+            return (env.now, str(e))
+
+    assert env.run(env.process(proc())) == (1.0, "broken")
+
+
+def test_any_of_propagates_first_failure():
+    env = Environment()
+
+    def proc():
+        slow = env.timeout(5.0)
+        bad = env.event()
+
+        def failer():
+            yield env.timeout(1.0)
+            bad.fail(RuntimeError("first"))
+
+        env.process(failer())
+        try:
+            yield AnyOf(env, [slow, bad])
+        except RuntimeError as e:
+            return str(e)
+
+    assert env.run(env.process(proc())) == "first"
+
+
+def test_condition_rejects_foreign_events():
+    env1 = Environment()
+    env2 = Environment()
+    t = env2.timeout(1.0)
+    with pytest.raises(Exception):
+        AllOf(env1, [t])
+
+
+def test_env_helpers():
+    env = Environment()
+
+    def proc():
+        r1 = yield env.all_of([env.timeout(1.0, value=1), env.timeout(2.0, value=2)])
+        r2 = yield env.any_of([env.timeout(1.0, value=3), env.timeout(9.0, value=4)])
+        return (sorted(r1.values()), list(r2.values()), env.now)
+
+    assert env.run(env.process(proc())) == ([1, 2], [3], 3.0)

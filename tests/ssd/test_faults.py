@@ -1,0 +1,131 @@
+"""Failure injection: media errors propagate cleanly through every layer."""
+
+import pytest
+
+from repro.errors import NvmeError, StorageError
+from repro.nvme import NvmeController, QueuePair, ZoneAppendCmd
+from repro.sim import Environment
+from repro.ssd import ConventionalSsd, SsdGeometry, ZnsSsd
+from repro.ssd.faults import FaultPlan, MediaError
+from repro.units import MiB
+
+from tests.core.conftest import CsdTestbed, make_pairs
+
+
+def test_fault_plan_budgets():
+    plan = FaultPlan(fail_reads=2, after_reads=1)
+    plan.check_read()  # skipped (after_reads)
+    with pytest.raises(MediaError):
+        plan.check_read()
+    with pytest.raises(MediaError):
+        plan.check_read()
+    plan.check_read()  # budget exhausted -> success
+    assert plan.injected == ["read", "read"]
+    assert plan.exhausted
+
+
+def test_zns_read_fault_raises():
+    env = Environment()
+    ssd = ZnsSsd(env, geometry=SsdGeometry(n_channels=2, n_zones=4, zone_size=MiB))
+    ssd.faults = FaultPlan(fail_reads=1)
+
+    def proc():
+        off = yield from ssd.append(0, b"data")
+        yield from ssd.read(0, off, 4)
+
+    env.process(proc())
+    with pytest.raises(MediaError):
+        env.run()
+
+
+def test_conventional_write_fault_raises():
+    env = Environment()
+    ssd = ConventionalSsd(
+        env,
+        geometry=SsdGeometry(n_channels=2, n_zones=8, zone_size=MiB, pages_per_block=32),
+    )
+    ssd.faults = FaultPlan(fail_writes=1)
+
+    def proc():
+        yield from ssd.write(0, b"x" * 4096)
+
+    env.process(proc())
+    with pytest.raises(MediaError):
+        env.run()
+
+
+def test_controller_converts_fault_to_error_completion():
+    env = Environment()
+    ssd = ZnsSsd(env, geometry=SsdGeometry(n_channels=2, n_zones=4, zone_size=MiB))
+    ssd.faults = FaultPlan(fail_writes=1)
+    qp = QueuePair(env, NvmeController(env, ssd), depth=4)
+
+    def proc():
+        yield from qp.submit(ZoneAppendCmd(zone_id=0, data=b"x"))
+
+    env.process(proc())
+    with pytest.raises(NvmeError, match="MediaError"):
+        env.run()
+
+
+def test_device_survives_after_fault_budget_exhausted():
+    """A transient fault window passes; subsequent operations succeed and
+    previously written data is intact."""
+    env = Environment()
+    ssd = ZnsSsd(env, geometry=SsdGeometry(n_channels=2, n_zones=4, zone_size=MiB))
+
+    def write_ok():
+        yield from ssd.append(0, b"before")
+
+    env.run(env.process(write_ok()))
+    ssd.faults = FaultPlan(fail_writes=1)
+
+    def write_faulted():
+        try:
+            yield from ssd.append(0, b"fails")
+            return "no-error"
+        except MediaError:
+            return "raised"
+
+    assert env.run(env.process(write_faulted())) == "raised"
+
+    def write_after():
+        off = yield from ssd.append(0, b"after")
+        first = yield from ssd.read(0, 0, 6)
+        second = yield from ssd.read(0, off, 5)
+        return first, second
+
+    first, second = env.run(env.process(write_after()))
+    assert first == b"before"
+    assert second == b"after"
+
+
+def test_kvcsd_query_fault_reaches_client():
+    """An injected media error during a device-side query surfaces to the
+    application instead of returning corrupt data."""
+    tb = CsdTestbed()
+    pairs = make_pairs(500)
+
+    def setup():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+        yield from tb.client.compact("ks", tb.ctx)
+        yield from tb.client.wait_for_device("ks", tb.ctx)
+
+    tb.run(setup())
+    tb.ssd.faults = FaultPlan(fail_reads=1)
+
+    def query():
+        yield from tb.client.get("ks", pairs[0][0], tb.ctx)
+
+    with pytest.raises(StorageError):
+        tb.run(query())
+    # the fault window passed; the same query now succeeds
+    tb.ssd.faults = None
+
+    def retry():
+        value = yield from tb.client.get("ks", pairs[0][0], tb.ctx)
+        return value
+
+    assert tb.run(retry()) == pairs[0][1]

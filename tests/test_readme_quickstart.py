@@ -1,0 +1,20 @@
+"""The README quickstart snippet must actually work as written."""
+
+
+def test_readme_quickstart_snippet():
+    from repro.bench import build_kvcsd_testbed
+
+    tb = build_kvcsd_testbed(seed=1)
+    client, env, ctx = tb.client, tb.env, tb.thread_ctx(core=0)
+
+    def app():
+        yield from client.create_keyspace("ks", ctx)
+        yield from client.open_keyspace("ks", ctx)
+        yield from client.bulk_put("ks", [(b"key", b"value")], ctx)
+        yield from client.compact("ks", ctx)
+        yield from client.wait_for_device("ks", ctx)
+        value = yield from client.get("ks", b"key", ctx)
+        assert value == b"value"
+
+    env.run(env.process(app()))
+    assert env.now > 0

@@ -1,0 +1,79 @@
+"""Unit tests for size/time helpers."""
+
+import pytest
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    align_up,
+    ceil_div,
+    fmt_bytes,
+    fmt_time,
+    msec,
+    nsec,
+    transfer_time,
+    usec,
+)
+
+
+def test_binary_units():
+    assert KiB == 1024
+    assert MiB == 1024 * 1024
+    assert GiB == 1024**3
+
+
+def test_time_helpers():
+    assert usec(5) == pytest.approx(5e-6)
+    assert msec(5) == pytest.approx(5e-3)
+    assert nsec(5) == pytest.approx(5e-9)
+
+
+def test_transfer_time():
+    assert transfer_time(1000, 1000.0) == pytest.approx(1.0)
+    assert transfer_time(1000, float("inf")) == 0.0
+    with pytest.raises(ValueError):
+        transfer_time(1000, 0)
+    with pytest.raises(ValueError):
+        transfer_time(1000, -5)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(1536) == "1.5 KiB"
+    assert fmt_bytes(3 * MiB) == "3.0 MiB"
+    assert fmt_bytes(5 * GiB) == "5.0 GiB"
+
+
+def test_fmt_time():
+    assert fmt_time(0) == "0 s"
+    assert fmt_time(3e-9) == "3.0 ns"
+    assert fmt_time(5e-6) == "5.0 us"
+    assert fmt_time(2.5e-3) == "2.5 ms"
+    assert fmt_time(4.2) == "4.20 s"
+
+
+def test_ceil_div_and_align():
+    assert ceil_div(10, 3) == 4
+    assert ceil_div(9, 3) == 3
+    assert ceil_div(0, 5) == 0
+    with pytest.raises(ValueError):
+        ceil_div(1, 0)
+    assert align_up(10, 4) == 12
+    assert align_up(8, 4) == 8
+    assert align_up(0, 4) == 0
+
+
+def test_result_table_exports():
+    from repro.bench.report import ResultTable
+
+    t = ResultTable("demo", ["x", "y"])
+    t.add_row(1, 2.0)
+    t.add_note("n1")
+    d = t.to_dict()
+    assert d["columns"] == ["x", "y"]
+    assert d["rows"] == [[1, 2.0]]
+    csv_text = t.to_csv()
+    assert "x,y" in csv_text
+    assert "1,2.0" in csv_text
+    assert "# n1" in csv_text

@@ -1,0 +1,181 @@
+"""Unit tests for synthetic, zipfian and VPIC workload generators."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ENERGY_OFFSET,
+    ENERGY_WIDTH,
+    SyntheticSpec,
+    VpicDataset,
+    VpicSpec,
+    ZipfSampler,
+    generate_keys,
+    generate_pairs,
+)
+
+
+# ------------------------------------------------------------------ synthetic
+def test_synthetic_sizes():
+    pairs = generate_pairs(SyntheticSpec(n_pairs=100, key_bytes=16, value_bytes=32))
+    assert len(pairs) == 100
+    assert all(len(k) == 16 and len(v) == 32 for k, v in pairs)
+
+
+def test_synthetic_keys_unique():
+    pairs = generate_pairs(SyntheticSpec(n_pairs=10_000))
+    assert len({k for k, _ in pairs}) == 10_000
+
+
+def test_synthetic_deterministic_by_seed():
+    a = generate_pairs(SyntheticSpec(n_pairs=50, seed=5))
+    b = generate_pairs(SyntheticSpec(n_pairs=50, seed=5))
+    c = generate_pairs(SyntheticSpec(n_pairs=50, seed=6))
+    assert a == b
+    assert a != c
+
+
+def test_synthetic_keys_unordered():
+    pairs = generate_pairs(SyntheticSpec(n_pairs=1000, seed=1))
+    keys = [k for k, _ in pairs]
+    assert keys != sorted(keys)  # random keys arrive unsorted
+
+
+def test_synthetic_short_keys():
+    keys = generate_keys(100, key_bytes=4, rng=np.random.default_rng(0))
+    assert all(len(k) == 4 for k in keys)
+    assert len(set(keys)) == 100
+    with pytest.raises(WorkloadError):
+        generate_keys(300, key_bytes=1, rng=np.random.default_rng(0))
+
+
+def test_synthetic_validation():
+    with pytest.raises(WorkloadError):
+        SyntheticSpec(n_pairs=-1)
+    with pytest.raises(WorkloadError):
+        SyntheticSpec(n_pairs=1, key_bytes=0)
+    with pytest.raises(WorkloadError):
+        SyntheticSpec(n_pairs=1, value_bytes=-1)
+
+
+def test_synthetic_zero_value_bytes():
+    pairs = generate_pairs(SyntheticSpec(n_pairs=5, value_bytes=0))
+    assert all(v == b"" for _, v in pairs)
+
+
+def test_synthetic_data_bytes():
+    spec = SyntheticSpec(n_pairs=1000, key_bytes=16, value_bytes=32)
+    assert spec.data_bytes == 48_000
+
+
+# ------------------------------------------------------------------ zipf
+def test_zipf_skews_toward_low_ranks():
+    sampler = ZipfSampler(n=1000, theta=0.99, rng=np.random.default_rng(0))
+    samples = sampler.sample(20_000)
+    top10 = np.count_nonzero(samples < 10) / len(samples)
+    uniform10 = 10 / 1000
+    assert top10 > 5 * uniform10  # strongly skewed
+
+
+def test_zipf_theta_zero_is_uniform():
+    sampler = ZipfSampler(n=100, theta=0.0, rng=np.random.default_rng(0))
+    samples = sampler.sample(50_000)
+    counts = np.bincount(samples, minlength=100)
+    assert counts.min() > 0.5 * counts.mean()
+
+
+def test_zipf_hottest_fraction():
+    sampler = ZipfSampler(n=1000, theta=0.99)
+    assert 0 < sampler.hottest_fraction(1) < 1
+    assert sampler.hottest_fraction(1000) == pytest.approx(1.0)
+    with pytest.raises(WorkloadError):
+        sampler.hottest_fraction(0)
+
+
+def test_zipf_validation():
+    with pytest.raises(WorkloadError):
+        ZipfSampler(n=0)
+    with pytest.raises(WorkloadError):
+        ZipfSampler(n=10, theta=-1)
+
+
+# ------------------------------------------------------------------ vpic
+def test_vpic_layout():
+    spec = VpicSpec(n_particles=1024, n_files=4, seed=0)
+    dataset = VpicDataset(spec)
+    particles = dataset.file_particles(0)
+    assert len(particles) == 256
+    pid, payload = particles[0]
+    assert len(pid) == 16
+    assert len(payload) == 32
+    assert spec.particle_bytes == 48
+    assert spec.dataset_bytes == 1024 * 48
+
+
+def test_vpic_ids_unique_across_files():
+    dataset = VpicDataset(VpicSpec(n_particles=2048, n_files=8, seed=0))
+    all_ids = [
+        pid for f in range(8) for pid, _ in dataset.file_particles(f)
+    ]
+    assert len(set(all_ids)) == 2048
+
+
+def test_vpic_energy_embedded_in_payload():
+    dataset = VpicDataset(VpicSpec(n_particles=256, n_files=4, seed=0))
+    energies = dataset.energies()
+    idx = 0
+    for f in range(4):
+        for _pid, payload in dataset.file_particles(f):
+            embedded = struct.unpack("<f", payload[ENERGY_OFFSET : ENERGY_OFFSET + ENERGY_WIDTH])[0]
+            assert embedded == pytest.approx(float(energies[idx]))
+            idx += 1
+
+
+def test_vpic_energy_heavy_tailed_and_positive():
+    dataset = VpicDataset(VpicSpec(n_particles=20_000, n_files=4, seed=0))
+    e = dataset.energies()
+    assert e.min() >= 0
+    # heavy tail: the max dwarfs the median
+    assert e.max() > 4 * np.median(e)
+
+
+def test_vpic_threshold_selectivity():
+    dataset = VpicDataset(VpicSpec(n_particles=50_000, n_files=4, seed=0))
+    for selectivity in (0.001, 0.01, 0.1, 0.2):
+        threshold = dataset.energy_threshold(selectivity)
+        hits = dataset.particles_above(threshold)
+        assert hits == pytest.approx(selectivity * 50_000, rel=0.05)
+
+
+def test_vpic_thresholds_monotonic():
+    dataset = VpicDataset(VpicSpec(n_particles=10_000, n_files=4, seed=0))
+    t1 = dataset.energy_threshold(0.001)
+    t2 = dataset.energy_threshold(0.1)
+    assert t1 > t2  # more selective queries need higher energy
+
+
+def test_vpic_query_bounds_capture_range():
+    lo, hi = VpicDataset.energy_query_bounds(5.0)
+    assert struct.unpack("<f", lo)[0] == 5.0
+    assert struct.unpack("<f", hi)[0] == float("inf")
+
+
+def test_vpic_validation():
+    with pytest.raises(WorkloadError):
+        VpicSpec(n_particles=0)
+    with pytest.raises(WorkloadError):
+        VpicSpec(n_particles=10, n_files=3)  # uneven split
+    dataset = VpicDataset(VpicSpec(n_particles=16, n_files=4))
+    with pytest.raises(WorkloadError):
+        dataset.file_particles(4)
+    with pytest.raises(WorkloadError):
+        dataset.energy_threshold(0.0)
+
+
+def test_vpic_deterministic():
+    a = VpicDataset(VpicSpec(n_particles=256, n_files=4, seed=9))
+    b = VpicDataset(VpicSpec(n_particles=256, n_files=4, seed=9))
+    assert a.file_particles(1) == b.file_particles(1)

@@ -1,0 +1,156 @@
+"""Integration tests for the adapter layer and the multi-threaded runner."""
+
+import pytest
+
+from repro.bench.calibration import build_kvcsd_testbed, build_rocksdb_testbed
+from repro.lsm import CompactionMode
+from repro.workloads import (
+    SyntheticSpec,
+    generate_pairs,
+    get_phase,
+    load_phase,
+    run_phase,
+)
+
+
+def small_pairs(n=512, seed=0):
+    return generate_pairs(SyntheticSpec(n_pairs=n, seed=seed))
+
+
+# ------------------------------------------------------------------ run_phase
+def test_run_phase_measures_slowest_thread():
+    kv = build_kvcsd_testbed(seed=0)
+    env = kv.env
+
+    def quick():
+        yield env.timeout(0.1)
+
+    def slow():
+        yield env.timeout(0.5)
+
+    report = run_phase(env, [quick(), slow()])
+    assert report.seconds == pytest.approx(0.5)
+    assert sorted(report.per_thread_seconds) == [
+        pytest.approx(0.1),
+        pytest.approx(0.5),
+    ]
+
+
+def test_run_phase_empty():
+    kv = build_kvcsd_testbed(seed=0)
+    report = run_phase(kv.env, [])
+    assert report.seconds == 0.0
+
+
+# ------------------------------------------------------------------ kv-csd adapter
+def test_kvcsd_adapter_roundtrip():
+    kv = build_kvcsd_testbed(seed=1)
+    pairs = small_pairs()
+    load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
+
+    def prepare():
+        yield from kv.adapter.prepare_queries("ks", kv.thread_ctx(0))
+
+    kv.env.run(kv.env.process(prepare()))
+    report = get_phase(
+        kv.env, kv.adapter, [("ks", [k for k, _ in pairs[:20]], kv.thread_ctx(0))]
+    )
+    assert report.operations == 20
+
+
+def test_kvcsd_adapter_get_missing_returns_none():
+    kv = build_kvcsd_testbed(seed=1)
+    pairs = small_pairs()
+    load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
+
+    def proc():
+        yield from kv.adapter.prepare_queries("ks", kv.thread_ctx(0))
+        value = yield from kv.adapter.get("ks", b"missing-key-0000", kv.thread_ctx(0))
+        return value
+
+    assert kv.env.run(kv.env.process(proc())) is None
+
+
+def test_kvcsd_adapter_scan():
+    kv = build_kvcsd_testbed(seed=1)
+    pairs = sorted(small_pairs())
+    load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
+
+    def proc():
+        yield from kv.adapter.prepare_queries("ks", kv.thread_ctx(0))
+        rows = yield from kv.adapter.scan("ks", pairs[5][0], pairs[10][0], kv.thread_ctx(0))
+        return rows
+
+    rows = kv.env.run(kv.env.process(proc()))
+    assert [k for k, _ in rows] == [k for k, _ in pairs[5:10]]
+
+
+def test_get_phase_raises_on_lost_key():
+    kv = build_kvcsd_testbed(seed=1)
+    pairs = small_pairs()
+    load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
+
+    def prepare():
+        yield from kv.adapter.prepare_queries("ks", kv.thread_ctx(0))
+
+    kv.env.run(kv.env.process(prepare()))
+    with pytest.raises(AssertionError, match="lost key"):
+        get_phase(kv.env, kv.adapter, [("ks", [b"never-inserted!!"], kv.thread_ctx(0))])
+
+
+# ------------------------------------------------------------------ rocksdb adapter
+@pytest.mark.parametrize("mode", list(CompactionMode))
+def test_rocksdb_adapter_roundtrip_all_modes(mode):
+    rk = build_rocksdb_testbed(seed=2, compaction_mode=mode, n_test_threads=2)
+    pairs = small_pairs(seed=2)
+    load_phase(rk.env, rk.adapter, [("db", pairs, rk.thread_ctx(0))])
+    report = get_phase(
+        rk.env, rk.adapter, [("db", [k for k, _ in pairs[:20]], rk.thread_ctx(0))]
+    )
+    assert report.operations == 20
+
+
+def test_rocksdb_adapter_deferred_finish_produces_single_run():
+    rk = build_rocksdb_testbed(
+        seed=2,
+        compaction_mode=CompactionMode.DEFERRED,
+        n_test_threads=1,
+        data_bytes=4096 * 48,
+    )
+    pairs = small_pairs(n=4096, seed=3)
+    load_phase(rk.env, rk.adapter, [("db", pairs, rk.thread_ctx(0))])
+    db = rk.adapter.db("db")
+    assert db.versions.l0_count() == 0
+    assert db.stats.counter("compactions").value == 1
+
+
+def test_rocksdb_adapter_prepare_queries_drops_cache():
+    rk = build_rocksdb_testbed(seed=2, n_test_threads=1)
+    pairs = small_pairs(seed=4)
+    load_phase(rk.env, rk.adapter, [("db", pairs, rk.thread_ctx(0))])
+    cached_before = rk.cache.size_bytes
+
+    def proc():
+        yield from rk.adapter.prepare_queries("db", rk.thread_ctx(0))
+
+    rk.env.run(rk.env.process(proc()))
+    assert rk.cache.size_bytes <= cached_before
+
+
+def test_load_phase_multiple_threads_shared_container():
+    kv = build_kvcsd_testbed(seed=5)
+    chunks = [small_pairs(n=256, seed=10 + t) for t in range(4)]
+    assignments = [("shared", chunks[t], kv.thread_ctx(t)) for t in range(4)]
+    report = load_phase(kv.env, kv.adapter, assignments)
+    assert report.operations == 4 * 256
+    assert kv.device.keyspaces["shared"].n_pairs == 4 * 256
+
+
+def test_load_phase_distinct_containers():
+    kv = build_kvcsd_testbed(seed=5)
+    assignments = [
+        (f"ks-{t}", small_pairs(n=128, seed=20 + t), kv.thread_ctx(t))
+        for t in range(3)
+    ]
+    load_phase(kv.env, kv.adapter, assignments)
+    assert sorted(kv.device.list_keyspaces()) == ["ks-0", "ks-1", "ks-2"]
