@@ -24,7 +24,7 @@ they are the physics the shapes come from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -144,7 +144,16 @@ class KvcsdTestbed:
         cluster_zones: int = 4,
         membuf_bytes: int = 192 * KiB,
         bulk_message_bytes: int = 128 * KiB,
+        compaction_shards: int | None = None,
+        block_cache_bytes: int | None = None,
     ):
+        overrides = {}
+        if compaction_shards is not None:
+            overrides["compaction_shards"] = compaction_shards
+        if block_cache_bytes is not None:
+            overrides["block_cache_bytes"] = block_cache_bytes
+        if overrides:
+            soc = replace(soc, **overrides)
         self.env = Environment()
         self.host = host
         self.ssd = ZnsSsd(self.env, geometry=geometry or bench_geometry(), latency=nand)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.bench.compaction import CompactionBenchConfig, run_compaction_bench
 from repro.bench.fig7 import Fig7Config, run_fig7
 from repro.bench.fig8 import Fig8Config, run_fig8
 from repro.bench.fig9 import Fig9Config, run_fig9
@@ -88,6 +89,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             pairs_per_keyspace=8192,
             query_counts=(64, 128, 256, 512),
         ),
+    ),
+    "compaction": Experiment(
+        "compaction",
+        "Multi-core pipelined compaction + device block cache ablation",
+        lambda config=None: run_compaction_bench(config or CompactionBenchConfig()),
+        CompactionBenchConfig(),
+        CompactionBenchConfig(n_pairs=8192, n_queries=512),
     ),
     "fig11": Experiment(
         "fig11",

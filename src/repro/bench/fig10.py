@@ -39,6 +39,10 @@ class Fig10Config:
     #: of queries to stored keys is what matters and is kept comparable)
     query_counts: tuple[int, ...] = (256, 512, 1024, 2048)
     seed: int = 10
+    #: SoC DRAM block cache bytes; 0 keeps the paper's "KV-CSD does not
+    #: cache data in host or device memory" configuration (and the shape
+    #: check that depends on it)
+    block_cache_bytes: int = 0
 
 
 @dataclass
@@ -153,7 +157,9 @@ def run_fig10(config: Fig10Config = Fig10Config()) -> Fig10Result:
     n_ks = config.n_keyspaces
 
     # ---- load both stores once (the Figure 9 dataset)
-    kv = build_kvcsd_testbed(seed=config.seed)
+    kv = build_kvcsd_testbed(
+        seed=config.seed, block_cache_bytes=config.block_cache_bytes
+    )
     assignments = [
         (f"ks-{i}", per_ks_pairs[i], kv.thread_ctx(i % kv.host.n_cores))
         for i in range(n_ks)

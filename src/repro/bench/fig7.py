@@ -35,6 +35,8 @@ class Fig7Config:
     value_bytes: int = 32
     thread_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
     seed: int = 7
+    #: SoC key-range shards for the deferred compaction (1 = serial firmware)
+    compaction_shards: int = 1
 
 
 @dataclass
@@ -171,7 +173,9 @@ def run_fig7(config: Fig7Config = Fig7Config()) -> Fig7Result:
         chunks = _split(pairs, threads)
 
         # --- KV-CSD: reset device, new keyspace, bulk puts, deferred compaction
-        kv = build_kvcsd_testbed(seed=config.seed)
+        kv = build_kvcsd_testbed(
+            seed=config.seed, compaction_shards=config.compaction_shards
+        )
         before = kv.io_snapshot()
         assignments = [
             ("shared", chunks[i], kv.thread_ctx(i)) for i in range(threads)

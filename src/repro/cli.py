@@ -5,7 +5,9 @@ Commands:
 * ``list``                 — show the experiment registry;
 * ``run <exp-id> [...]``   — run experiments and print their tables/checks;
 * ``table1``               — print the hardware-spec encoding;
-* ``selftest``             — a fast end-to-end sanity run of both stores.
+* ``selftest``             — a fast end-to-end sanity run of both stores;
+* ``compaction-bench``     — compaction pipeline + block cache ablation,
+  with optional JSON export (``--out results/BENCH_compaction.json``).
 """
 
 from __future__ import annotations
@@ -80,6 +82,32 @@ def _cmd_selftest(_args) -> int:
     return 0
 
 
+def _cmd_compaction_bench(args) -> int:
+    from dataclasses import replace
+
+    from repro.bench.compaction import (
+        CompactionBenchConfig,
+        run_compaction_bench,
+        write_json,
+    )
+
+    config = CompactionBenchConfig()
+    if args.shards is not None:
+        config = replace(config, shards=args.shards)
+    if args.cache_bytes is not None:
+        config = replace(config, block_cache_bytes=args.cache_bytes)
+    result = run_compaction_bench(config)
+    print(result.table())
+    ok = True
+    for check in result.checks():
+        print(check)
+        ok = ok and check.passed
+    if args.out:
+        write_json(result, args.out)
+        print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="KV-CSD reproduction toolkit"
@@ -98,6 +126,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("selftest", help="fast sanity run of both stores").set_defaults(
         func=_cmd_selftest
     )
+    comp = sub.add_parser(
+        "compaction-bench",
+        help="compaction pipeline + block cache ablation",
+    )
+    comp.add_argument("--shards", type=int, default=None, help="SoC sort shards")
+    comp.add_argument(
+        "--cache-bytes", type=int, default=None, help="device block cache size"
+    )
+    comp.add_argument("--out", default=None, help="write JSON results to this path")
+    comp.set_defaults(func=_cmd_compaction_bench)
     return parser
 
 

@@ -30,6 +30,7 @@ class CsdCostModel:
     gather_per_record: float = nsec(80)  #: place one value during reorder
     sketch_search: float = nsec(300)  #: binary-search a sketch
     extract_per_record: float = nsec(50)  #: pull a secondary key from a value
+    cache_lookup: float = nsec(150)  #: probe the SoC DRAM block cache
 
     def __post_init__(self) -> None:
         for field_name, value in self.__dict__.items():

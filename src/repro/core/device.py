@@ -19,12 +19,18 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.block_cache import BlockCache
 from repro.core.costs import CsdCostModel
 from repro.core.keyspace import Keyspace, KeyspaceState
 from repro.core.klog import pack_klog_records, unpack_klog_records
 from repro.core.membuf import MEMBUF_BYTES, MemBuffer
 from repro.core.metadata import encode_delete, encode_upsert, replay_records
-from repro.core.pidx import PidxSketch, build_pidx_blocks
+from repro.core.pidx import (
+    PidxSketch,
+    build_pidx_blocks,
+    pack_value_pointer,
+    read_block_entries,
+)
 from repro.core.query import QueryEngine
 from repro.core.sidx import (
     SidxConfig,
@@ -34,7 +40,7 @@ from repro.core.sidx import (
     pack_sidx_pairs,
     unpack_sidx_pairs,
 )
-from repro.core.sort import ExternalSorter
+from repro.core.sort import ExternalSorter, ParallelSortCoordinator
 from repro.core.zone_manager import ZoneCluster, ZoneManager, ZonePointer
 from repro.errors import (
     DbError,
@@ -45,9 +51,11 @@ from repro.errors import (
     ZoneFullError,
 )
 from repro.host.threads import ThreadCtx
+from repro.lsm.block import BlockBuilder
 from repro.sim.core import Environment, Event
 from repro.sim.resources import Resource
 from repro.sim.stats import StatsRegistry
+from repro.sim.sync import AllOf, BoundedQueue
 from repro.soc.board import SocBoard
 from repro.units import KiB
 
@@ -91,7 +99,20 @@ class KvCsdDevice:
         #: async job completion events per keyspace (compaction + sidx builds)
         self._jobs: dict[str, list[Event]] = {}
         self._inflight = Resource(self.env, capacity=max_inflight)
-        self.query_engine = QueryEngine(self.ssd, self.costs, board.scale_cpu)
+        #: key-range shards for the compaction sort, bounded by the cores
+        #: that could actually run them concurrently
+        self.compaction_shards = max(
+            1, min(board.spec.compaction_shards, board.spec.n_cores)
+        )
+        #: SoC DRAM block cache (None when the spec carves out no capacity)
+        self.block_cache = (
+            BlockCache(board.spec.block_cache_bytes)
+            if board.spec.block_cache_bytes
+            else None
+        )
+        self.query_engine = QueryEngine(
+            self.ssd, self.costs, board.scale_cpu, block_cache=self.block_cache
+        )
         self.stats = StatsRegistry("kvcsd")
         #: durations of the latest offloaded jobs, for Figure 11's breakdown
         self.job_durations: dict[tuple[str, str], float] = {}
@@ -111,6 +132,18 @@ class KvCsdDevice:
         if ks is None:
             raise KeyspaceNotFoundError(name)
         return ks
+
+    def _release_cluster(self, cluster: ZoneCluster) -> Generator:
+        """Release a cluster, dropping cached blocks of its zones first.
+
+        Zone ids are recycled, so any extent cached from a released zone
+        must die with it — otherwise a later keyspace re-using the zone
+        could be served another keyspace's (or an older compaction's) data.
+        """
+        if self.block_cache is not None:
+            for zone_id in cluster.zone_ids:
+                self.block_cache.invalidate_zone(zone_id)
+        yield from self.zone_manager.release_cluster(cluster)
 
     def _metadata_update(self, ctx: ThreadCtx, ks: Keyspace | None = None) -> Generator:
         """Persist a keyspace-table change to the metadata zone.
@@ -214,7 +247,7 @@ class KvCsdDevice:
         for job in list(self._jobs.get(name, [])):
             yield job
         for cluster in ks.all_clusters():
-            yield from self.zone_manager.release_cluster(cluster)
+            yield from self._release_cluster(cluster)
         del self.keyspaces[name]
         self._membufs.pop(name, None)
         self._write_locks.pop(name, None)
@@ -327,6 +360,11 @@ class KvCsdDevice:
             "allocated_clusters": self.zone_manager.allocated_clusters,
             "dram_available": self.board.dram.available,
             "soc_busy_seconds": self.board.cpu.total_busy_time(),
+            "soc_core_busy_seconds": list(self.board.cpu.busy_time),
+            "compaction_shards": self.compaction_shards,
+            "block_cache": (
+                self.block_cache.report() if self.block_cache is not None else None
+            ),
             "ssd": {
                 "bytes_read": self.ssd.stats.bytes_read,
                 "bytes_written": self.ssd.stats.bytes_written,
@@ -528,10 +566,13 @@ class KvCsdDevice:
                         records.append((key, (seq, pointer)))
             yield from self._exec(ctx, self.costs.record_parse * len(records))
 
-            # ---- step 2: sort the keys (external merge sort under the budget)
-            sorter = ExternalSorter(
+            # ---- step 2: sort the keys (external merge sort under the budget,
+            # range-partitioned across the SoC cores when shards > 1)
+            shards = self.compaction_shards
+            coordinator = ParallelSortCoordinator(
                 self.zone_manager,
                 budget_bytes=self.board.spec.sort_budget_bytes,
+                shards=shards,
                 compare_cost=self.board.scale_cpu(self.costs.key_compare),
                 pack=lambda recs: pack_klog_records(
                     [(k, s, p) for k, (s, p) in recs]
@@ -540,8 +581,48 @@ class KvCsdDevice:
                     (k, (s, p)) for k, s, p in unpack_klog_records(blob)
                 ],
                 sort_key=lambda rec: (rec[0], -rec[1][0]),  # key asc, seq desc
+                make_ctx=lambda: self._ctx(priority=5),
             )
-            sorted_records = yield from sorter.sort(records, klog_bytes, ctx)
+            vlog_bytes = sum(c.bytes_stored() for c in ks.vlog_clusters)
+            value_passes = max(
+                1, -(-vlog_bytes // self.board.spec.sort_budget_bytes)
+            )
+            zone_blobs: dict[int, bytes] = {}
+
+            def read_vlog() -> Generator:
+                for _pass in range(value_passes):
+                    for cluster in ks.vlog_clusters:
+                        contents = yield from cluster.read_all()
+                        zone_blobs.update(contents)
+
+            if shards == 1:
+                # Serial reference path: sort, then read the values.
+                sorted_records = yield from coordinator.sort(
+                    records, klog_bytes, ctx
+                )
+                yield from read_vlog()
+            else:
+                # Pipelined path: prefetch VLOG clusters on the device
+                # channels *while* the shard sorts burn CPU, so the value
+                # transfer hides behind the sort instead of following it.
+                sort_out: list[list] = []
+
+                def run_sort() -> Generator:
+                    out = yield from coordinator.sort(records, klog_bytes, ctx)
+                    sort_out.append(out)
+
+                yield AllOf(
+                    self.env,
+                    [
+                        self.env.process(
+                            run_sort(), name=f"compact-sort-{ks.name}"
+                        ),
+                        self.env.process(
+                            read_vlog(), name=f"vlog-prefetch-{ks.name}"
+                        ),
+                    ],
+                )
+                sorted_records = sort_out[0]
             # Newest-wins dedup; tombstones drop their key entirely.
             live: list[tuple[bytes, ZonePointer]] = []
             last_key: Optional[bytes] = None
@@ -552,18 +633,32 @@ class KvCsdDevice:
                 if pointer is not None:
                     live.append((key, pointer))
 
-            # ---- step 3: read values and write them in key order
-            vlog_bytes = sum(c.bytes_stored() for c in ks.vlog_clusters)
-            value_passes = max(
-                1, -(-vlog_bytes // self.board.spec.sort_budget_bytes)
-            )
-            zone_blobs: dict[int, bytes] = {}
-            for _pass in range(value_passes):
-                for cluster in ks.vlog_clusters:
-                    contents = yield from cluster.read_all()
-                    zone_blobs.update(contents)
-            yield from self._exec(ctx, self.costs.gather_per_record * len(live))
+            # ---- step 3: gather values in key order into stripe groups
+            # (the per-record placement is independent across key ranges, so
+            # the pipelined path spreads the gather over the SoC cores too)
+            if shards == 1 or len(live) < shards:
+                yield from self._exec(
+                    ctx, self.costs.gather_per_record * len(live)
+                )
+            else:
+                per_shard = -(-len(live) // shards)
 
+                def gather_slice(count: int) -> Generator:
+                    slice_ctx = self._ctx(priority=5)
+                    yield from self._exec(
+                        slice_ctx, self.costs.gather_per_record * count
+                    )
+
+                yield AllOf(
+                    self.env,
+                    [
+                        self.env.process(
+                            gather_slice(min(per_shard, len(live) - start)),
+                            name=f"gather-{ks.name}-{start}",
+                        )
+                        for start in range(0, len(live), per_shard)
+                    ],
+                )
             groups: list[bytes] = []
             placements: list[tuple[int, int, int]] = []
             current: list[bytes] = []
@@ -578,40 +673,45 @@ class KvCsdDevice:
                 used += length
             if current:
                 groups.append(b"".join(current))
-            yield from self._exec(
-                ctx, self.costs.block_build_per_byte * sum(map(len, groups))
-            )
-            group_ptrs = yield from self._append_stream(
-                ks.sorted_value_clusters, groups, ctx
-            )
-            value_pointers: list[ZonePointer] = []
-            for gidx, off, length in placements:
-                zone_id, zone_off, _ = group_ptrs[gidx]
-                value_pointers.append((zone_id, zone_off + off, length))
 
-            # ---- step 4: build the PIDX blocks and the sketch
-            pidx_entries = [
-                (key, pointer)
-                for (key, _old), pointer in zip(live, value_pointers)
-            ]
-            blocks = build_pidx_blocks(pidx_entries, self.block_bytes)
-            yield from self._exec(
-                ctx,
-                self.costs.block_build_per_byte
-                * sum(len(blob) for _p, blob in blocks),
-            )
-            block_ptrs = yield from self._append_stream(
-                ks.pidx_clusters, [blob for _p, blob in blocks], ctx
-            )
-            sketch = PidxSketch()
-            for (pivot, _blob), pointer in zip(blocks, block_ptrs):
-                sketch.add_block(pivot, pointer)
+            # ---- step 4: write SORTED_VALUES and build PIDX blocks
+            if shards == 1:
+                yield from self._exec(
+                    ctx, self.costs.block_build_per_byte * sum(map(len, groups))
+                )
+                group_ptrs = yield from self._append_stream(
+                    ks.sorted_value_clusters, groups, ctx
+                )
+                value_pointers: list[ZonePointer] = []
+                for gidx, off, length in placements:
+                    zone_id, zone_off, _ = group_ptrs[gidx]
+                    value_pointers.append((zone_id, zone_off + off, length))
+                pidx_entries = [
+                    (key, pointer)
+                    for (key, _old), pointer in zip(live, value_pointers)
+                ]
+                blocks = build_pidx_blocks(pidx_entries, self.block_bytes)
+                yield from self._exec(
+                    ctx,
+                    self.costs.block_build_per_byte
+                    * sum(len(blob) for _p, blob in blocks),
+                )
+                block_ptrs = yield from self._append_stream(
+                    ks.pidx_clusters, [blob for _p, blob in blocks], ctx
+                )
+                sketch = PidxSketch()
+                for (pivot, _blob), pointer in zip(blocks, block_ptrs):
+                    sketch.add_block(pivot, pointer)
+            else:
+                sketch, value_pointers = yield from self._materialize_pipelined(
+                    ks, live, groups, placements
+                )
             ks.pidx_sketch = sketch
-            ks.n_pairs = len(pidx_entries)
+            ks.n_pairs = len(live)
 
             # ---- step 5: drop the unsorted logs, flip the state
             for cluster in ks.klog_clusters + ks.vlog_clusters:
-                yield from self.zone_manager.release_cluster(cluster)
+                yield from self._release_cluster(cluster)
             ks.klog_clusters = []
             ks.vlog_clusters = []
             ks.finish_compaction()
@@ -632,8 +732,6 @@ class KvCsdDevice:
                         value_by_key[key] = blob[off : off + length]
                     # Each index sorts an independent pair set: build them
                     # concurrently across the SoC cores.
-                    from repro.sim.sync import AllOf
-
                     procs = [
                         self.env.process(
                             self._build_sidx_inline(ks, config, value_by_key, ctx),
@@ -654,6 +752,99 @@ class KvCsdDevice:
         finally:
             self._jobs[ks.name].remove(done)
             done.succeed()
+
+    def _materialize_pipelined(
+        self,
+        ks: Keyspace,
+        live: list[tuple[bytes, ZonePointer]],
+        groups: list[bytes],
+        placements: list[tuple[int, int, int]],
+    ) -> Generator:
+        """Stream SORTED_VALUES appends concurrently with PIDX construction.
+
+        A value-writer process appends stripe groups (in cluster-width
+        batches, keeping the zone-append channel parallelism of the serial
+        path) and hands each batch's pointers through a bounded queue to a
+        PIDX-builder process, which cuts and appends index blocks as soon
+        as their entries' value pointers are known.  Device channel time
+        for the value stream thus hides behind the index builder's CPU
+        time instead of preceding it.  Block boundaries and contents are
+        identical to the serial :func:`build_pidx_blocks` path.
+
+        Returns ``(sketch, value_pointers)``.
+        """
+        queue = BoundedQueue(self.env, capacity=4)
+        writer_ctx = self._ctx(priority=5)
+        builder_ctx = self._ctx(priority=5)
+        batch = max(1, self.cluster_zones)
+
+        def value_writer() -> Generator:
+            for start in range(0, len(groups), batch):
+                chunk = groups[start : start + batch]
+                yield from self._exec(
+                    writer_ctx,
+                    self.costs.block_build_per_byte * sum(map(len, chunk)),
+                )
+                ptrs = yield from self._append_stream(
+                    ks.sorted_value_clusters, chunk, writer_ctx
+                )
+                yield from queue.put((start, ptrs))
+            yield from queue.put(None)
+
+        group_ptrs: dict[int, ZonePointer] = {}
+        value_pointers: list[ZonePointer] = []
+        sketch = PidxSketch()
+
+        def flush_block(builder: BlockBuilder) -> Generator:
+            pivot = builder.first_key
+            assert pivot is not None
+            blob = builder.finish()
+            yield from self._exec(
+                builder_ctx, self.costs.block_build_per_byte * len(blob)
+            )
+            ptrs = yield from self._append_stream(
+                ks.pidx_clusters, [blob], builder_ctx
+            )
+            sketch.add_block(pivot, ptrs[0])
+
+        def pidx_builder() -> Generator:
+            entry_idx = 0
+            builder = BlockBuilder(self.block_bytes)
+            while True:
+                item = yield from queue.get()
+                if item is None:
+                    break
+                start, ptrs = item
+                for j, pointer in enumerate(ptrs):
+                    group_ptrs[start + j] = pointer
+                # Consume every entry whose value group has landed.
+                while entry_idx < len(live):
+                    gidx, off, length = placements[entry_idx]
+                    if gidx not in group_ptrs:
+                        break
+                    zone_id, zone_off, _ = group_ptrs[gidx]
+                    pointer = (zone_id, zone_off + off, length)
+                    value_pointers.append(pointer)
+                    builder.add(live[entry_idx][0], pack_value_pointer(pointer))
+                    entry_idx += 1
+                    if builder.full:
+                        yield from flush_block(builder)
+                        builder = BlockBuilder(self.block_bytes)
+            if not builder.empty:
+                yield from flush_block(builder)
+
+        yield AllOf(
+            self.env,
+            [
+                self.env.process(
+                    value_writer(), name=f"compact-values-{ks.name}"
+                ),
+                self.env.process(
+                    pidx_builder(), name=f"compact-pidx-{ks.name}"
+                ),
+            ],
+        )
+        return sketch, value_pointers
 
     def _build_sidx_inline(
         self,
@@ -727,8 +918,6 @@ class KvCsdDevice:
             # ---- full scan: PIDX for keys+pointers, SORTED_VALUES for values
             assert ks.pidx_sketch is not None
             entries: list[tuple[bytes, ZonePointer]] = []
-            from repro.core.pidx import read_block_entries
-
             blobs = yield from self.query_engine._read_blocks(
                 list(ks.pidx_sketch.block_pointers), ctx
             )

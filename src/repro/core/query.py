@@ -9,13 +9,17 @@ transferred back to the application." (Section V)
 
 All block and value reads happen on the device's SSD; point lookups touch
 one PIDX block plus one value extent, range scans touch a contiguous block
-span and coalesce adjacent value pointers into large reads.
+span and coalesce adjacent value pointers into large reads.  When the SoC
+carries a DRAM block cache (:class:`repro.core.block_cache.BlockCache`),
+every extent read — PIDX block, SIDX block or coalesced value extent —
+is served from DRAM on a hit and inserted on a miss, so repeated and
+skewed query workloads stop re-paying device-read latency.
 """
 
 from __future__ import annotations
 
 from collections.abc import Generator
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.costs import CsdCostModel
 from repro.core.keyspace import Keyspace, KeyspaceState
@@ -27,16 +31,26 @@ from repro.host.threads import ThreadCtx
 from repro.sim.sync import AllOf
 from repro.ssd.zns import ZnsSsd
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (device -> query)
+    from repro.core.block_cache import BlockCache
+
 __all__ = ["QueryEngine"]
 
 
 class QueryEngine:
     """Executes point/range queries against one device's keyspaces."""
 
-    def __init__(self, ssd: ZnsSsd, costs: CsdCostModel, scale_cpu):
+    def __init__(
+        self,
+        ssd: ZnsSsd,
+        costs: CsdCostModel,
+        scale_cpu,
+        block_cache: "BlockCache | None" = None,
+    ):
         self.ssd = ssd
         self.costs = costs
         self._scale = scale_cpu  # host-seconds -> SoC-seconds
+        self.block_cache = block_cache
 
     def _exec(self, ctx: ThreadCtx, host_seconds: float) -> Generator:
         yield from ctx.execute(self._scale(host_seconds))
@@ -45,18 +59,45 @@ class QueryEngine:
     def _read_blocks(
         self, pointers: list[ZonePointer], ctx: ThreadCtx
     ) -> Generator:
-        """Read several blocks concurrently; returns blobs in input order."""
-        env = self.ssd.env
-        procs = []
-        for zone_id, offset, length in pointers:
+        """Read several blocks concurrently; returns blobs in input order.
 
-            def one(z=zone_id, o=offset, n=length):
-                data = yield from self.ssd.read(z, o, n)
-                return data
+        Consults the SoC block cache first: hits cost one DRAM probe, only
+        the misses go to the SSD (and are inserted on the way back).
+        """
+        cache = self.block_cache
+        blobs: list[Optional[bytes]] = [None] * len(pointers)
+        missing: list[int] = []
+        if cache is not None:
+            if pointers:
+                yield from self._exec(
+                    ctx, self.costs.cache_lookup * len(pointers)
+                )
+            for i, pointer in enumerate(pointers):
+                cached = cache.get(pointer)
+                if cached is None:
+                    missing.append(i)
+                else:
+                    blobs[i] = cached
+        else:
+            missing = list(range(len(pointers)))
+        if missing:
+            env = self.ssd.env
+            procs = []
+            for i in missing:
+                zone_id, offset, length = pointers[i]
 
-            procs.append(env.process(one()))
-        result = yield AllOf(env, procs)
-        return [result[p] for p in procs]
+                def one(z=zone_id, o=offset, n=length):
+                    data = yield from self.ssd.read(z, o, n)
+                    return data
+
+                procs.append(env.process(one()))
+            result = yield AllOf(env, procs)
+            for i, proc in zip(missing, procs):
+                blob = result[proc]
+                blobs[i] = blob
+                if cache is not None:
+                    cache.put(pointers[i], blob)
+        return blobs
 
     #: NAND page granularity: the device reads whole 4 KiB pages, so value
     #: fetches are aligned and deduplicated at page level — scattered hits in

@@ -17,15 +17,22 @@ paper credits LSM-style sorting for (Section III, "LSM-Trees").
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from collections.abc import Generator
 from typing import Any, Callable
 
 from repro.core.zone_manager import ZoneCluster, ZoneManager, ZonePointer
 from repro.errors import SimulationError
 from repro.host.threads import ThreadCtx
+from repro.sim.sync import AllOf
 from repro.units import KiB
 
-__all__ = ["ExternalSorter", "plan_external_sort", "SortPlan"]
+__all__ = [
+    "ExternalSorter",
+    "ParallelSortCoordinator",
+    "plan_external_sort",
+    "SortPlan",
+]
 
 #: Per-input-run read buffer assumed during merge; sets the merge fan-in.
 MERGE_BUFFER_BYTES = 256 * KiB
@@ -45,10 +52,14 @@ class SortPlan:
         self.budget_bytes = budget_bytes
         self.n_runs = max(1, math.ceil(total_bytes / budget_bytes))
         self.fanin = max(2, budget_bytes // MERGE_BUFFER_BYTES)
-        if self.n_runs == 1:
-            self.n_merge_passes = 0
-        else:
-            self.n_merge_passes = max(1, math.ceil(math.log(self.n_runs, self.fanin)))
+        # Exact pass count by simulating the merge tree in integers; the
+        # closed form ceil(log_fanin(n_runs)) over-counts a whole pass when
+        # the float log lands just above an integer (e.g. 125 runs, fan-in 5).
+        self.n_merge_passes = 0
+        runs = self.n_runs
+        while runs > 1:
+            runs = math.ceil(runs / self.fanin)
+            self.n_merge_passes += 1
 
     @property
     def spills(self) -> bool:
@@ -56,13 +67,33 @@ class SortPlan:
 
     @property
     def temp_bytes_written(self) -> int:
-        """Total temp traffic: run generation + all but the final merge pass
-        (whose output streams straight to the consumer)."""
+        """Total bytes of temp-cluster writes for the whole sort.
+
+        Run generation writes the data once, and every merge pass except
+        the last rewrites it once more (the final pass's output streams
+        straight to the consumer); that is ``n_merge_passes`` copies in
+        total, since 1 (runs) + (n_merge_passes - 1) intermediate rewrites
+        = n_merge_passes.  Matches the byte traffic :class:`ExternalSorter`
+        actually issues (pinned by ``tests/core/test_sort.py``).
+        """
         if not self.spills:
             return 0
-        return self.total_bytes * self.n_merge_passes  # final pass output not written,
-        # but run generation wrote one copy: passes * total counts runs + (passes-1)
-        # intermediate rewrites.
+        return self.total_bytes * self.n_merge_passes
+
+    def split_across(self, shards: int) -> list["SortPlan"]:
+        """Per-shard plans when the sort is range-partitioned.
+
+        Each of ``shards`` key-range shards sorts roughly ``1/shards`` of
+        the data under ``1/shards`` of the DRAM budget (the shards run
+        concurrently, so they share the budget, not time-slice it).
+        """
+        if shards < 1:
+            raise SimulationError("shard count must be >= 1")
+        if shards == 1:
+            return [self]
+        shard_bytes = math.ceil(self.total_bytes / shards)
+        shard_budget = max(1, self.budget_bytes // shards)
+        return [SortPlan(shard_bytes, shard_budget) for _ in range(shards)]
 
 
 def plan_external_sort(total_bytes: int, budget_bytes: int) -> SortPlan:
@@ -197,3 +228,147 @@ class ExternalSorter:
         import heapq
 
         return list(heapq.merge(*sorted_lists, key=sort_key))
+
+
+class ParallelSortCoordinator:
+    """Range-partitioned sort across the SoC's cores.
+
+    Partitions the input into ``shards`` contiguous key ranges (pivots
+    drawn deterministically from a sorted sample), runs one
+    :class:`ExternalSorter` per shard as a concurrent simulation process —
+    each under ``budget_bytes / shards`` of DRAM and its own thread
+    context, so the DES scheduler spreads them over distinct cores — and
+    finishes with a cheap streaming merge.  Because the ranges are
+    disjoint and each shard sort is stable, the merge is a concatenation
+    and the result is *identical* to a serial stable sort of the whole
+    input, whatever the shard count.
+
+    ``make_ctx`` supplies a fresh :class:`ThreadCtx` per shard (the device
+    passes its firmware-context factory); the coordinator's own CPU charge
+    (partitioning + final merge) goes to the caller's ``ctx``.
+    """
+
+    #: stride-sampled keys used to choose range pivots
+    PIVOT_SAMPLE = 1024
+
+    def __init__(
+        self,
+        zone_manager: ZoneManager,
+        budget_bytes: int,
+        shards: int,
+        compare_cost: float,
+        pack: Callable[[list[Record]], bytes],
+        unpack: Callable[[bytes], list[Record]],
+        sort_key: Callable[[Record], Any] | None = None,
+        make_ctx: Callable[[], ThreadCtx] | None = None,
+    ):
+        if shards < 1:
+            raise SimulationError("shard count must be >= 1")
+        if budget_bytes <= 0:
+            raise SimulationError("sort budget must be positive")
+        self.zm = zone_manager
+        self.budget_bytes = budget_bytes
+        self.shards = shards
+        self.compare_cost = compare_cost
+        self.pack = pack
+        self.unpack = unpack
+        self.sort_key = sort_key or (lambda record: record[0])
+        self.make_ctx = make_ctx
+        #: one :class:`SortPlan` per shard actually run, for reporting
+        self.last_plans: list[SortPlan] = []
+
+    def _partition(self, records: list[Record], shards: int) -> list[list[Record]]:
+        """Split into ``shards`` disjoint key ranges, preserving input order."""
+        n = len(records)
+        stride = max(1, n // self.PIVOT_SAMPLE)
+        sample = sorted(self.sort_key(records[i]) for i in range(0, n, stride))
+        pivots = []
+        for i in range(1, shards):
+            pivot = sample[min(len(sample) - 1, len(sample) * i // shards)]
+            if not pivots or pivot > pivots[-1]:
+                pivots.append(pivot)
+        buckets: list[list[Record]] = [[] for _ in range(len(pivots) + 1)]
+        for record in records:
+            buckets[bisect_right(pivots, self.sort_key(record))].append(record)
+        # skewed key sets can leave ranges empty; drop them rather than
+        # spawning do-nothing shard sorts
+        return [bucket for bucket in buckets if bucket]
+
+    def sort(
+        self, records: list[Record], total_bytes: int, ctx: ThreadCtx
+    ) -> Generator:
+        """Sort ``records``; equal to the serial sort's output, run P-wide."""
+        n = len(records)
+        env = self.zm.ssd.env
+        shards = min(self.shards, n) if n else 1
+        if shards <= 1:
+            sorter = ExternalSorter(
+                self.zm,
+                budget_bytes=self.budget_bytes,
+                compare_cost=self.compare_cost,
+                pack=self.pack,
+                unpack=self.unpack,
+                sort_key=self.sort_key,
+            )
+            result = yield from sorter.sort(records, total_bytes, ctx)
+            self.last_plans = [sorter.last_plan] if sorter.last_plan else []
+            return result
+
+        # ---- partition into contiguous key ranges: one binary search over
+        # the shards-1 pivots per record.  Each record's bucket is independent
+        # of every other's, so the scan is charged as parallel slices when a
+        # per-shard context factory is available.
+        buckets = self._partition(records, shards)
+        per_record = self.compare_cost * max(1, (shards - 1).bit_length())
+        if self.make_ctx is None:
+            yield from ctx.execute(per_record * n)
+        else:
+            slice_len = -(-n // shards)
+
+            def scan_slice(count: int):
+                scan_ctx = self.make_ctx()
+                yield from scan_ctx.execute(per_record * count)
+
+            procs = [
+                env.process(
+                    scan_slice(min(slice_len, n - start)),
+                    name=f"partition-{start}",
+                )
+                for start in range(0, n, slice_len)
+            ]
+            yield AllOf(env, procs)
+
+        # ---- sort every shard concurrently, each on its own context
+        shard_budget = max(1, self.budget_bytes // shards)
+        outputs: list[list[Record] | None] = [None] * len(buckets)
+        plans: list[SortPlan | None] = [None] * len(buckets)
+
+        def run_shard(idx: int, chunk: list[Record]):
+            shard_bytes = max(1, round(total_bytes * len(chunk) / n))
+            sorter = ExternalSorter(
+                self.zm,
+                budget_bytes=shard_budget,
+                compare_cost=self.compare_cost,
+                pack=self.pack,
+                unpack=self.unpack,
+                sort_key=self.sort_key,
+            )
+            shard_ctx = self.make_ctx() if self.make_ctx is not None else ctx
+            out = yield from sorter.sort(chunk, shard_bytes, shard_ctx)
+            outputs[idx] = out
+            plans[idx] = sorter.last_plan
+
+        procs = [
+            env.process(run_shard(i, chunk), name=f"sort-shard-{i}")
+            for i, chunk in enumerate(buckets)
+        ]
+        yield AllOf(env, procs)
+        self.last_plans = [p for p in plans if p is not None]
+
+        # ---- streaming merge: ranges are disjoint, so the P-way merge
+        # degenerates to a concatenation — one boundary compare per seam
+        yield from ctx.execute(self.compare_cost * len(buckets))
+        merged: list[Record] = []
+        for out in outputs:
+            merged.extend(out or [])
+        return merged

@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Counter", "Histogram", "TimeSeries", "StatsRegistry"]
+__all__ = ["Counter", "HitRatio", "Histogram", "TimeSeries", "StatsRegistry"]
 
 
 class Counter:
@@ -31,6 +31,43 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
+
+
+class HitRatio:
+    """Paired hit/miss counters with a derived ratio (caches, filters)."""
+
+    __slots__ = ("name", "hits", "misses")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.hits = Counter(f"{name}.hits")
+        self.misses = Counter(f"{name}.misses")
+
+    def hit(self, amount: float = 1.0) -> None:
+        self.hits.add(amount)
+
+    def miss(self, amount: float = 1.0) -> None:
+        self.misses.add(amount)
+
+    @property
+    def total(self) -> float:
+        return self.hits.value + self.misses.value
+
+    @property
+    def ratio(self) -> float:
+        """Hit fraction in [0, 1]; NaN before the first lookup."""
+        total = self.total
+        return self.hits.value / total if total else math.nan
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "hits": self.hits.value,
+            "misses": self.misses.value,
+            "hit_ratio": self.ratio,
+        }
+
+    def __repr__(self) -> str:
+        return f"HitRatio({self.name}: {self.hits.value}/{self.total})"
 
 
 class Histogram:

@@ -1,13 +1,21 @@
-"""Composite condition events: wait for all or any of a set of events."""
+"""Composite condition events and producer/consumer queues.
+
+:class:`AllOf` / :class:`AnyOf` wait for a set of events; :class:`BoundedQueue`
+connects pipeline stages (e.g. the compaction engine's SORTED_VALUES writer
+feeding the PIDX builder) with backpressure: a full queue blocks the producer,
+an empty queue blocks the consumer.
+"""
 
 from __future__ import annotations
 
+from collections import deque
+from collections.abc import Generator
 from typing import Any
 
 from repro.errors import SimulationError
 from repro.sim.core import Environment, Event, PENDING
 
-__all__ = ["AllOf", "AnyOf"]
+__all__ = ["AllOf", "AnyOf", "BoundedQueue"]
 
 
 class _Condition(Event):
@@ -75,6 +83,49 @@ class AllOf(_Condition):
 
     def _finalize(self) -> None:
         self.succeed(self._collect_values())
+
+
+class BoundedQueue:
+    """A FIFO channel of bounded capacity between simulation processes.
+
+    ``put`` blocks (in simulated time) while the queue is full, ``get``
+    while it is empty, so a fast producer cannot run unboundedly ahead of
+    its consumer — the buffer models a fixed number of in-flight items
+    (e.g. stripe groups) held in DRAM.
+    """
+
+    def __init__(self, env: Environment, capacity: int):
+        if capacity < 1:
+            raise SimulationError("queue capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Generator:
+        """Enqueue ``item``; waits while the queue is at capacity."""
+        while len(self._items) >= self.capacity:
+            slot = Event(self.env)
+            self._putters.append(slot)
+            yield slot
+        self._items.append(item)
+        if self._getters:
+            self._getters.popleft().succeed()
+
+    def get(self) -> Generator:
+        """Dequeue the oldest item; waits while the queue is empty."""
+        while not self._items:
+            ready = Event(self.env)
+            self._getters.append(ready)
+            yield ready
+        item = self._items.popleft()
+        if self._putters:
+            self._putters.popleft().succeed()
+        return item
 
 
 class AnyOf(_Condition):

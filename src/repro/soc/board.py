@@ -43,6 +43,12 @@ class SocSpec:
     #: DRAM the firmware may use for one sort run (leaves room for buffers);
     #: scaled down together with workloads in benchmarks.
     sort_budget_bytes: int = 4 * GiB
+    #: key-range shards the compaction sort is partitioned into (clamped to
+    #: ``n_cores`` at use); 1 = the serial single-process compaction path.
+    compaction_shards: int = 1
+    #: SoC DRAM carved out for the device-side LRU block cache; 0 disables
+    #: caching (the paper's "no device cache" configuration).
+    block_cache_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.n_cores < 1:
@@ -51,6 +57,12 @@ class SocSpec:
             raise SimulationError("arm_slowdown must be positive")
         if not 0 < self.sort_budget_bytes <= self.dram_bytes:
             raise SimulationError("sort budget must fit in DRAM")
+        if self.compaction_shards < 1:
+            raise SimulationError("compaction needs at least one shard")
+        if self.block_cache_bytes < 0:
+            raise SimulationError("block cache size cannot be negative")
+        if self.sort_budget_bytes + self.block_cache_bytes > self.dram_bytes:
+            raise SimulationError("sort budget + block cache must fit in DRAM")
 
 
 class SocBoard:

@@ -91,7 +91,7 @@ def test_table1_encoding_consistent():
 # ------------------------------------------------------------------ experiments registry
 def test_registry_covers_every_table_and_figure():
     assert set(EXPERIMENTS) == {
-        "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"
+        "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "compaction"
     }
     for exp in EXPERIMENTS.values():
         assert exp.description

@@ -24,6 +24,8 @@ class CsdTestbed:
         membuf_bytes=192 * KiB,
         cluster_zones=4,
         host_cores=4,
+        compaction_shards=1,
+        block_cache_bytes=0,
     ):
         self.env = Environment()
         self.ssd = ZnsSsd(
@@ -35,7 +37,11 @@ class CsdTestbed:
         self.board = SocBoard(
             self.env,
             self.ssd,
-            spec=SocSpec(sort_budget_bytes=sort_budget),
+            spec=SocSpec(
+                sort_budget_bytes=sort_budget,
+                compaction_shards=compaction_shards,
+                block_cache_bytes=block_cache_bytes,
+            ),
         )
         self.device = KvCsdDevice(
             self.board,

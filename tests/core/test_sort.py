@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.sort import ExternalSorter, SortPlan, plan_external_sort
+from repro.core.sort import (
+    MERGE_BUFFER_BYTES,
+    ExternalSorter,
+    ParallelSortCoordinator,
+    SortPlan,
+    plan_external_sort,
+)
 from repro.core.zone_manager import ZoneManager
 from repro.errors import SimulationError
 from repro.host.threads import ThreadCtx
@@ -172,3 +178,143 @@ def test_sort_charges_cpu_time():
     records = random_records(1000, seed=4)
     _, _, _, _, env = run_sort(records, budget_bytes=10 * MiB)
     assert env.now > 0
+
+
+# ------------------------------------------------------- temp I/O accounting
+def test_plan_exact_pass_count_near_float_boundary():
+    # 125 runs at fan-in 5 need exactly 3 passes (125 -> 25 -> 5 -> out);
+    # the old ceil(log(125, 5)) closed form said 4 because the float log
+    # lands at 3.0000000000000004.
+    budget = 5 * MERGE_BUFFER_BYTES
+    plan = SortPlan(total_bytes=125 * budget, budget_bytes=budget)
+    assert plan.fanin == 5
+    assert plan.n_runs == 125
+    assert plan.n_merge_passes == 3
+    # same boundary for 216 runs at fan-in 6
+    budget = 6 * MERGE_BUFFER_BYTES
+    plan = SortPlan(total_bytes=216 * budget, budget_bytes=budget)
+    assert plan.n_merge_passes == 3
+
+
+def test_temp_bytes_written_matches_measured_io():
+    # Pin the SortPlan formula to the byte traffic the sorter actually
+    # issues: run generation writes the data once, every pass except the
+    # (streamed) last rewrites it once -> n_merge_passes copies in total.
+    for seed, divisor in [(5, 5), (6, 16)]:
+        records = random_records(2000, seed=seed)
+        total = sum(len(k) + len(p) + 4 for k, p in records)
+        _, sorter, ssd, _, _ = run_sort(records, budget_bytes=total // divisor)
+        plan = sorter.last_plan
+        assert plan.spills
+        assert ssd.stats.bytes_written == plan.temp_bytes_written
+
+
+def test_split_across_divides_data_and_budget():
+    plan = SortPlan(total_bytes=8 * MiB, budget_bytes=4 * MiB)
+    shards = plan.split_across(4)
+    assert len(shards) == 4
+    assert all(p.total_bytes == 2 * MiB for p in shards)
+    assert all(p.budget_bytes == 1 * MiB for p in shards)
+    assert plan.split_across(1) == [plan]
+    with pytest.raises(SimulationError):
+        plan.split_across(0)
+
+
+# ------------------------------------------------------------ parallel sort
+def run_parallel_sort(records, budget_bytes, shards, n_cores=4):
+    env = Environment()
+    sorter, ssd, zm = make_sorter(env, budget_bytes)
+    cpu = CpuPool(env, n_cores)
+    coord = ParallelSortCoordinator(
+        zm,
+        budget_bytes=budget_bytes,
+        shards=shards,
+        compare_cost=25e-9,
+        pack=sorter.pack,
+        unpack=sorter.unpack,
+        make_ctx=lambda: ThreadCtx(cpu=cpu, priority=5),
+    )
+    ctx = ThreadCtx(cpu=cpu)
+    total = sum(len(k) + len(p) + 4 for k, p in records)
+
+    def proc():
+        out = yield from coord.sort(records, total, ctx)
+        return out
+
+    result = env.run(env.process(proc()))
+    return result, coord, ssd, zm, cpu
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_parallel_sort_matches_serial(shards):
+    records = random_records(3000, seed=7)
+    expected = sorted(records, key=lambda r: r[0])
+    result, coord, _, zm, _ = run_parallel_sort(
+        records, budget_bytes=10 * MiB, shards=shards
+    )
+    assert result == expected
+    assert 1 <= len(coord.last_plans) <= shards
+    assert zm.allocated_clusters == 0
+
+
+def test_parallel_sort_empty_and_singleton():
+    result, *_ = run_parallel_sort([], budget_bytes=1024, shards=4)
+    assert result == []
+    result, *_ = run_parallel_sort([(b"k", b"v")], budget_bytes=1024, shards=4)
+    assert result == [(b"k", b"v")]
+
+
+def test_parallel_sort_all_keys_equal_collapses_to_one_shard():
+    # Pivot dedup leaves a single bucket; the result must stay stable.
+    records = [(b"same-key", f"payload-{i}".encode()) for i in range(500)]
+    result, coord, _, _, _ = run_parallel_sort(records, budget_bytes=10 * MiB, shards=4)
+    assert result == records  # stable: equal keys keep input order
+    assert len(coord.last_plans) == 1
+
+
+def test_parallel_sort_skewed_keys_leave_empty_shards():
+    # Nearly all keys identical: most quantile pivots dedup away, so fewer
+    # buckets than shards exist; the sort must still be correct and stable.
+    records = [(b"hot", f"p{i:04d}".encode()) for i in range(900)]
+    records += [(b"z-cold", f"q{i:04d}".encode()) for i in range(10)]
+    expected = sorted(records, key=lambda r: r[0])
+    result, coord, _, _, _ = run_parallel_sort(records, budget_bytes=10 * MiB, shards=4)
+    assert result == expected
+    assert len(coord.last_plans) <= 4
+
+
+def test_parallel_sort_budget_below_one_merge_buffer_per_shard():
+    # Shard budget < MERGE_BUFFER_BYTES: fan-in clamps to 2 and the shard
+    # sorts spill; output must still match a serial stable sort.
+    records = random_records(2000, seed=8)
+    expected = sorted(records, key=lambda r: r[0])
+    total = sum(len(k) + len(p) + 4 for k, p in records)
+    budget = min(4 * (MERGE_BUFFER_BYTES - KiB), max(4096, total // 4))
+    assert budget // 4 < MERGE_BUFFER_BYTES
+    result, coord, ssd, zm, _ = run_parallel_sort(records, budget_bytes=budget, shards=4)
+    assert result == expected
+    assert any(p.spills for p in coord.last_plans)
+    assert ssd.stats.bytes_written > 0
+    assert zm.allocated_clusters == 0
+
+
+def test_parallel_sort_spreads_work_across_cores():
+    records = random_records(4000, seed=9)
+    _, _, _, _, cpu = run_parallel_sort(records, budget_bytes=10 * MiB, shards=4)
+    # make_ctx hands each shard its own floating context over a 4-core pool,
+    # so concurrent shard sorts land on distinct cores
+    assert sum(1 for t in cpu.busy_time if t > 0) >= 2
+
+
+def test_parallel_sort_rejects_bad_shard_count():
+    env = Environment()
+    sorter, _, zm = make_sorter(env, 1 * MiB)
+    with pytest.raises(SimulationError):
+        ParallelSortCoordinator(
+            zm,
+            budget_bytes=1 * MiB,
+            shards=0,
+            compare_cost=25e-9,
+            pack=sorter.pack,
+            unpack=sorter.unpack,
+        )

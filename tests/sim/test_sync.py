@@ -1,8 +1,10 @@
-"""Unit tests for AllOf / AnyOf condition events."""
+"""Unit tests for AllOf / AnyOf condition events and BoundedQueue."""
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.sim import AllOf, AnyOf, Environment
+from repro.sim.sync import BoundedQueue
 
 
 def test_all_of_waits_for_slowest():
@@ -132,3 +134,93 @@ def test_env_helpers():
         return (sorted(r1.values()), list(r2.values()), env.now)
 
     assert env.run(env.process(proc())) == ([1, 2], [3], 3.0)
+
+
+# --------------------------------------------------------------- BoundedQueue
+def test_bounded_queue_rejects_bad_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        BoundedQueue(env, 0)
+
+
+def test_bounded_queue_fifo_order():
+    env = Environment()
+    queue = BoundedQueue(env, capacity=2)
+    received = []
+
+    def producer():
+        for i in range(5):
+            yield from queue.put(i)
+
+    def consumer():
+        for _ in range(5):
+            item = yield from queue.get()
+            received.append(item)
+            yield env.timeout(1.0)
+
+    env.process(producer())
+    env.run(env.process(consumer()))
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_bounded_queue_put_blocks_when_full():
+    env = Environment()
+    queue = BoundedQueue(env, capacity=1)
+    times = []
+
+    def producer():
+        for i in range(3):
+            yield from queue.put(i)
+            times.append(env.now)
+
+    def consumer():
+        for _ in range(3):
+            yield env.timeout(2.0)
+            yield from queue.get()
+
+    env.process(producer())
+    env.run(env.process(consumer()))
+    # first put is immediate, later puts wait for the consumer's drain
+    assert times[0] == 0.0
+    assert times[1] == 2.0
+    assert times[2] == 4.0
+    assert len(queue) == 0
+
+
+def test_bounded_queue_get_blocks_until_put():
+    env = Environment()
+    queue = BoundedQueue(env, capacity=4)
+
+    def producer():
+        yield env.timeout(3.0)
+        yield from queue.put("late")
+
+    def consumer():
+        item = yield from queue.get()
+        return (env.now, item)
+
+    env.process(producer())
+    assert env.run(env.process(consumer())) == (3.0, "late")
+
+
+def test_bounded_queue_sentinel_shutdown_pattern():
+    # the producer/consumer idiom the compaction pipeline uses: a None
+    # sentinel closes the stream
+    env = Environment()
+    queue = BoundedQueue(env, capacity=2)
+    drained = []
+
+    def producer():
+        for i in range(4):
+            yield from queue.put(i)
+        yield from queue.put(None)
+
+    def consumer():
+        while True:
+            item = yield from queue.get()
+            if item is None:
+                return drained
+            drained.append(item)
+
+    env.process(producer())
+    assert env.run(env.process(consumer())) == [0, 1, 2, 3]

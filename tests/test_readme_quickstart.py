@@ -18,3 +18,16 @@ def test_readme_quickstart_snippet():
 
     env.run(env.process(app()))
     assert env.now > 0
+
+
+def test_readme_performance_knobs_snippet():
+    from repro.bench import build_kvcsd_testbed
+
+    tb = build_kvcsd_testbed(
+        seed=1,
+        compaction_shards=4,
+        block_cache_bytes=8 << 20,
+    )
+    assert tb.device.compaction_shards == 4
+    assert tb.device.block_cache is not None
+    assert tb.board.spec.block_cache_bytes == 8 << 20
