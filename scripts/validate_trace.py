@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Validate a Chrome-trace JSON file produced by ``repro trace``.
+
+Checks the invariants chrome://tracing / Perfetto rely on:
+
+* the file loads as strict JSON with a ``traceEvents`` list;
+* every event carries ``name``/``ph``/``pid``, every complete (``X``)
+  event also carries numeric ``ts``/``dur``/``tid`` with ``dur >= 0``;
+* complete events are sorted by ``(ts, tid)`` (monotonic timestamps);
+* at least one complete event exists (an empty trace means the tracer
+  was never installed).
+
+Usage: ``python scripts/validate_trace.py trace.json``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _reject_constant(name: str):
+    raise ValueError(f"non-finite constant {name!r} in trace")
+
+
+def validate(path: str) -> list[str]:
+    errors: list[str] = []
+    with open(path) as fh:
+        doc = json.load(fh, parse_constant=_reject_constant)
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return [f"{path}: top level must be an object with a traceEvents list"]
+
+    complete = []
+    for i, event in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid"):
+            if key not in event:
+                errors.append(f"{where}: missing {key!r}")
+        if event.get("ph") != "X":
+            continue
+        complete.append(event)
+        for key in ("ts", "dur", "tid"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value != value:
+                errors.append(f"{where}: {key!r} must be a finite number")
+        if isinstance(event.get("dur"), (int, float)) and event["dur"] < 0:
+            errors.append(f"{where}: negative dur {event['dur']}")
+
+    if not complete:
+        errors.append(f"{path}: no complete ('X') events")
+    order = [(e.get("ts", 0), e.get("tid", 0)) for e in complete]
+    if order != sorted(order):
+        errors.append(f"{path}: complete events not sorted by (ts, tid)")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = validate(argv[1])
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    if not errors:
+        print(f"{argv[1]}: valid Chrome trace")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

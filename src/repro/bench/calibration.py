@@ -179,6 +179,18 @@ class KvcsdTestbed:
         """A test thread pinned to one host core (the paper pins every one)."""
         return ThreadCtx(cpu=self.cpu, core=core)
 
+    def enable_tracing(self):
+        """Install the observability layer; returns ``(tracer, hub)``.
+
+        Must be called before the workload runs — spans are only recorded
+        for simulation activity after installation.
+        """
+        from repro.obs import install_observability
+
+        return install_observability(
+            self.env, device=self.device, ssd=self.ssd, link=self.link
+        )
+
     def io_snapshot(self):
         return self.ssd.stats.snapshot()
 

@@ -54,6 +54,8 @@ class CompactionBenchConfig:
     n_queries: int = 1024
     query_rounds: int = 2
     zipf_theta: float = 0.99
+    #: trace the pipelined run and attach its latency attribution to the JSON
+    trace: bool = False
 
 
 @dataclass
@@ -65,6 +67,8 @@ class CompactionBenchResult:
     pipelined_busy: list[float] = field(default_factory=list)
     identical_outputs: bool = False
     cache_report: dict = field(default_factory=dict)
+    device_stats: dict = field(default_factory=dict)
+    attribution: dict = field(default_factory=dict)
 
     @property
     def compaction_speedup(self) -> float:
@@ -146,6 +150,8 @@ class CompactionBenchResult:
             "cores_used": self.cores_used,
             "identical_outputs": self.identical_outputs,
             "block_cache": self.cache_report,
+            "device_stats": self.device_stats,
+            "attribution": self.attribution,
             "checks": [
                 {"description": c.description, "passed": c.passed, "observed": c.observed}
                 for c in self.checks()
@@ -153,13 +159,15 @@ class CompactionBenchResult:
         }
 
 
-def _load_and_compact(config: CompactionBenchConfig, pairs, shards, cache_bytes):
+def _load_and_compact(config: CompactionBenchConfig, pairs, shards, cache_bytes, trace=False):
     """One testbed: load, wait for device compaction, return measurements."""
     kv = build_kvcsd_testbed(
         seed=config.seed,
         compaction_shards=shards,
         block_cache_bytes=cache_bytes,
     )
+    if trace:
+        kv.enable_tracing()
     load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
 
     def wait():
@@ -188,7 +196,11 @@ def run_compaction_bench(
         config, pairs, shards=1, cache_bytes=0
     )
     piped, result.pipelined_seconds, result.pipelined_busy = _load_and_compact(
-        config, pairs, shards=config.shards, cache_bytes=config.block_cache_bytes
+        config,
+        pairs,
+        shards=config.shards,
+        cache_bytes=config.block_cache_bytes,
+        trace=config.trace,
     )
 
     a = serial.device.keyspaces["ks"].pidx_sketch
@@ -213,6 +225,11 @@ def run_compaction_bench(
     get_phase(piped.env, piped.adapter, [("ks", keys, piped.thread_ctx(0))])
     cache = piped.device.block_cache
     result.cache_report = cache.report() if cache is not None else {}
+    result.device_stats = piped.device.stats.as_dict()
+    if piped.env.tracer is not None:
+        from repro.obs import attribution_rows
+
+        result.attribution = attribution_rows(piped.env.tracer)
     return result
 
 

@@ -58,6 +58,8 @@ class ResultTable:
     @staticmethod
     def _fmt(value: Any) -> str:
         if isinstance(value, float):
+            if value != value:  # NaN: undefined ratio (e.g. no lookups yet)
+                return "n/a"
             if value == float("inf"):
                 return "inf"
             if abs(value) >= 100:
@@ -89,11 +91,19 @@ class ResultTable:
         return self.render()
 
     def to_dict(self) -> dict:
-        """Machine-readable form (for JSON export / plotting scripts)."""
+        """Machine-readable form (for JSON export / plotting scripts).
+
+        NaN cells become 0.0 so the export is always valid strict JSON.
+        """
+        from repro.sim.stats import nan_to_zero
+
+        def scrub(value: Any) -> Any:
+            return nan_to_zero(value) if isinstance(value, float) else value
+
         return {
             "title": self.title,
             "columns": list(self.columns),
-            "rows": [list(row) for row in self.rows],
+            "rows": [[scrub(v) for v in row] for row in self.rows],
             "notes": list(self.notes),
         }
 

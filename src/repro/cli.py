@@ -7,7 +7,11 @@ Commands:
 * ``table1``               — print the hardware-spec encoding;
 * ``selftest``             — a fast end-to-end sanity run of both stores;
 * ``compaction-bench``     — compaction pipeline + block cache ablation,
-  with optional JSON export (``--out results/BENCH_compaction.json``).
+  with optional JSON export (``--out results/BENCH_compaction.json``);
+* ``trace``                — run a traced workload, dump a Chrome-trace
+  timeline and print the per-command latency-attribution table;
+* ``metrics``              — run a traced workload and dump a
+  Prometheus-style text exposition of every counter/histogram.
 """
 
 from __future__ import annotations
@@ -96,6 +100,8 @@ def _cmd_compaction_bench(args) -> int:
         config = replace(config, shards=args.shards)
     if args.cache_bytes is not None:
         config = replace(config, block_cache_bytes=args.cache_bytes)
+    if args.trace:
+        config = replace(config, trace=True)
     result = run_compaction_bench(config)
     print(result.table())
     ok = True
@@ -106,6 +112,51 @@ def _cmd_compaction_bench(args) -> int:
         write_json(result, args.out)
         print(f"wrote {args.out}")
     return 0 if ok else 1
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs import (
+        attribution_rows,
+        format_attribution,
+        min_command_coverage,
+        to_chrome_trace,
+    )
+    from repro.obs.harness import run_traced_selftest
+
+    kv, tracer, _hub = run_traced_selftest(seed=args.seed)
+    doc = to_chrome_trace(tracer)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh)
+    print(format_attribution(attribution_rows(tracer)))
+    coverage = min_command_coverage(tracer)
+    print(
+        f"trace: {len(doc['traceEvents'])} events, "
+        f"{len(tracer.spans)} spans -> {args.out}"
+    )
+    print(
+        f"min command coverage: {coverage:.3f} "
+        f"({kv.env.now:.4f} simulated seconds)"
+    )
+    if coverage < 0.95:
+        print("FAIL: span trees cover < 95% of command latency", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs.harness import run_traced_selftest
+
+    _kv, _tracer, hub = run_traced_selftest(seed=args.seed)
+    text = hub.to_prometheus()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,7 +186,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-bytes", type=int, default=None, help="device block cache size"
     )
     comp.add_argument("--out", default=None, help="write JSON results to this path")
+    comp.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace the pipelined run and attach its latency attribution",
+    )
     comp.set_defaults(func=_cmd_compaction_bench)
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced workload, export a Chrome-trace timeline",
+    )
+    trace.add_argument(
+        "--workload",
+        default="selftest",
+        choices=["selftest"],
+        help="traced workload to run",
+    )
+    trace.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    trace.add_argument(
+        "--out", default="trace.json", help="Chrome-trace JSON output path"
+    )
+    trace.set_defaults(func=_cmd_trace)
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a traced workload, dump Prometheus-style metrics",
+    )
+    metrics.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    metrics.add_argument("--out", default=None, help="write the dump to this path")
+    metrics.set_defaults(func=_cmd_metrics)
     return parser
 
 

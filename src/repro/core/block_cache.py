@@ -22,7 +22,7 @@ from collections import OrderedDict
 
 from repro.core.zone_manager import ZonePointer
 from repro.errors import SimulationError
-from repro.sim.stats import HitRatio, StatsRegistry
+from repro.sim.stats import StatsRegistry
 
 __all__ = ["BlockCache"]
 
@@ -39,7 +39,7 @@ class BlockCache:
         self._by_zone: dict[int, set[ZonePointer]] = {}
         self.used_bytes = 0
         self.stats = StatsRegistry("block_cache")
-        self.lookups = HitRatio("block_cache.lookups")
+        self.lookups = self.stats.hit_ratio("lookups")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -100,7 +100,7 @@ class BlockCache:
     # -- reporting ----------------------------------------------------------
     @property
     def hit_rate(self) -> float:
-        return self.lookups.ratio
+        return self.lookups.ratio_or_zero
 
     def report(self) -> dict:
         """Observability snapshot for the device report / benchmarks."""
@@ -111,7 +111,7 @@ class BlockCache:
             "entries": len(self._entries),
             "hits": self.lookups.hits.value,
             "misses": self.lookups.misses.value,
-            "hit_rate": self.lookups.ratio,
+            "hit_rate": self.lookups.ratio_or_zero,
             "evictions": counters.get("evictions", 0.0),
             "invalidations": counters.get("invalidations", 0.0),
         }

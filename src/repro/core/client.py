@@ -23,6 +23,7 @@ from repro.core.sidx import SidxConfig
 from repro.core.wire import BULK_MESSAGE_BYTES, pair_wire_size, split_into_messages
 from repro.host.threads import ThreadCtx
 from repro.nvme.transport import PcieLink
+from repro.obs.trace import trace_span
 
 __all__ = ["KvCsdClient"]
 
@@ -47,6 +48,10 @@ class KvCsdClient:
         self.env = device.env
 
     # ------------------------------------------------------------------ plumbing
+    def _cmd(self, op: str, **args):
+        """A top-level span covering one client-visible command."""
+        return trace_span(self.env, f"cmd.{op}", "command", **args)
+
     def _send_command(self, payload_bytes: int, ctx: ThreadCtx) -> Generator:
         """Client-side cost + host->device transfer of one command."""
         yield from ctx.execute(
@@ -62,34 +67,39 @@ class KvCsdClient:
     # ------------------------------------------------------------------ keyspaces
     def create_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
         """Create a new (EMPTY) keyspace on the device."""
-        yield from self._send_command(len(name), ctx)
-        yield from self.device.create_keyspace(name, ctx)
-        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("create_keyspace", keyspace=name):
+            yield from self._send_command(len(name), ctx)
+            yield from self.device.create_keyspace(name, ctx)
+            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
 
     def open_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
         """Open a keyspace for insertion (EMPTY -> WRITABLE)."""
-        yield from self._send_command(len(name), ctx)
-        yield from self.device.open_keyspace(name, ctx)
-        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("open_keyspace", keyspace=name):
+            yield from self._send_command(len(name), ctx)
+            yield from self.device.open_keyspace(name, ctx)
+            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
 
     def delete_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
         """Delete a keyspace and reclaim its zones."""
-        yield from self._send_command(len(name), ctx)
-        yield from self.device.delete_keyspace(name, ctx)
-        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("delete_keyspace", keyspace=name):
+            yield from self._send_command(len(name), ctx)
+            yield from self.device.delete_keyspace(name, ctx)
+            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
 
     def list_keyspaces(self, ctx: ThreadCtx) -> Generator:
         """Names of all live keyspaces."""
-        yield from self._send_command(0, ctx)
-        names = self.device.list_keyspaces()
-        yield from self._receive_result(sum(len(n) for n in names) + 16, ctx)
+        with self._cmd("list_keyspaces"):
+            yield from self._send_command(0, ctx)
+            names = self.device.list_keyspaces()
+            yield from self._receive_result(sum(len(n) for n in names) + 16, ctx)
         return names
 
     def keyspace_stat(self, name: str, ctx: ThreadCtx) -> Generator:
         """State + metadata of one keyspace."""
-        yield from self._send_command(len(name), ctx)
-        stat = self.device.keyspace_stat(name)
-        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("keyspace_stat", keyspace=name):
+            yield from self._send_command(len(name), ctx)
+            stat = self.device.keyspace_stat(name)
+            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
         return stat
 
     # ------------------------------------------------------------------ writes
@@ -108,26 +118,29 @@ class KvCsdClient:
         Pairs are chunked into messages; each message is packed on the host,
         DMA'd to the device, and ingested into the keyspace's write buffer.
         """
-        for message in split_into_messages(list(pairs), self.bulk_message_bytes):
-            message_bytes = 4 + sum(pair_wire_size(k, v) for k, v in message)
-            yield from self._send_command(message_bytes, ctx)
-            yield from self.device.bulk_put(keyspace, message, message_bytes, ctx)
-            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("bulk_put", keyspace=keyspace, pairs=len(pairs)):
+            for message in split_into_messages(list(pairs), self.bulk_message_bytes):
+                message_bytes = 4 + sum(pair_wire_size(k, v) for k, v in message)
+                yield from self._send_command(message_bytes, ctx)
+                yield from self.device.bulk_put(keyspace, message, message_bytes, ctx)
+                yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
 
     def bulk_delete(
         self, keyspace: str, keys: Sequence[bytes], ctx: ThreadCtx
     ) -> Generator:
         """Delete keys (tombstones resolved by compaction)."""
-        payload = sum(len(k) + 2 for k in keys)
-        yield from self._send_command(payload, ctx)
-        yield from self.device.bulk_delete(keyspace, list(keys), ctx)
-        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("bulk_delete", keyspace=keyspace, keys=len(keys)):
+            payload = sum(len(k) + 2 for k in keys)
+            yield from self._send_command(payload, ctx)
+            yield from self.device.bulk_delete(keyspace, list(keys), ctx)
+            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
 
     def fsync(self, keyspace: str, ctx: ThreadCtx) -> Generator:
         """Force buffered writes to the device's zones (durability point)."""
-        yield from self._send_command(len(keyspace), ctx)
-        yield from self.device.fsync(keyspace, ctx)
-        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("fsync", keyspace=keyspace):
+            yield from self._send_command(len(keyspace), ctx)
+            yield from self.device.fsync(keyspace, ctx)
+            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
 
     # ------------------------------------------------------------------ offloaded ops
     def compact(
@@ -146,13 +159,14 @@ class KvCsdClient:
         still in SoC DRAM, instead of rescanning the keyspace per index
         (the consolidation Section V anticipates as future work).
         """
-        yield from self._send_command(
-            len(keyspace) + 24 * len(secondary_indexes), ctx
-        )
-        yield from self.device.compact(
-            keyspace, ctx, sidx_configs=tuple(secondary_indexes)
-        )
-        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("compact", keyspace=keyspace, sidx=len(secondary_indexes)):
+            yield from self._send_command(
+                len(keyspace) + 24 * len(secondary_indexes), ctx
+            )
+            yield from self.device.compact(
+                keyspace, ctx, sidx_configs=tuple(secondary_indexes)
+            )
+            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
 
     def build_secondary_index(
         self,
@@ -167,23 +181,26 @@ class KvCsdClient:
         config = SidxConfig(
             name=index_name, value_offset=value_offset, width=width, dtype=dtype
         )
-        yield from self._send_command(len(keyspace) + len(index_name) + 16, ctx)
-        yield from self.device.build_sidx(keyspace, config, ctx)
-        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("build_sidx", keyspace=keyspace, index=index_name):
+            yield from self._send_command(len(keyspace) + len(index_name) + 16, ctx)
+            yield from self.device.build_sidx(keyspace, config, ctx)
+            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
 
     def wait_for_device(self, keyspace: str, ctx: ThreadCtx) -> Generator:
         """Block until the keyspace's offloaded jobs (compaction, index
         builds) are complete.  Applications use this before querying."""
-        yield from self._send_command(len(keyspace), ctx)
-        yield from self.device.wait_for_jobs(keyspace)
-        yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("wait_for_device", keyspace=keyspace):
+            yield from self._send_command(len(keyspace), ctx)
+            yield from self.device.wait_for_jobs(keyspace)
+            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
 
     # ------------------------------------------------------------------ queries
     def get(self, keyspace: str, key: bytes, ctx: ThreadCtx) -> Generator:
         """Primary-index point query; raises KeyNotFoundError when absent."""
-        yield from self._send_command(len(key), ctx)
-        value = yield from self.device.point_query(keyspace, key, ctx)
-        yield from self._receive_result(len(value), ctx)
+        with self._cmd("get", keyspace=keyspace):
+            yield from self._send_command(len(key), ctx)
+            value = yield from self.device.point_query(keyspace, key, ctx)
+            yield from self._receive_result(len(value), ctx)
         return value
 
     def multi_get(
@@ -195,21 +212,23 @@ class KvCsdClient:
         across the batch — many GETs for the price of few media reads.
         Missing keys are absent from the result dict.
         """
-        payload = sum(len(k) + 2 for k in keys)
-        yield from self._send_command(payload, ctx)
-        result = yield from self.device.multi_point_query(keyspace, list(keys), ctx)
-        result_bytes = sum(len(k) + len(v) for k, v in result.items())
-        yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("multi_get", keyspace=keyspace, keys=len(keys)):
+            payload = sum(len(k) + 2 for k in keys)
+            yield from self._send_command(payload, ctx)
+            result = yield from self.device.multi_point_query(keyspace, list(keys), ctx)
+            result_bytes = sum(len(k) + len(v) for k, v in result.items())
+            yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
         return result
 
     def range_query(
         self, keyspace: str, lo: bytes, hi: bytes, ctx: ThreadCtx
     ) -> Generator:
         """Primary-index range query over [lo, hi); returns (key, value) pairs."""
-        yield from self._send_command(len(lo) + len(hi), ctx)
-        result = yield from self.device.range_query(keyspace, lo, hi, ctx)
-        result_bytes = sum(len(k) + len(v) for k, v in result)
-        yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("range_query", keyspace=keyspace):
+            yield from self._send_command(len(lo) + len(hi), ctx)
+            result = yield from self.device.range_query(keyspace, lo, hi, ctx)
+            result_bytes = sum(len(k) + len(v) for k, v in result)
+            yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
         return result
 
     def sidx_range_query(
@@ -222,22 +241,26 @@ class KvCsdClient:
     ) -> Generator:
         """Secondary-index range query; returns full (primary key, value)
         records whose secondary key lies in [lo, hi)."""
-        yield from self._send_command(len(lo_raw) + len(hi_raw) + len(index_name), ctx)
-        result = yield from self.device.sidx_range_query(
-            keyspace, index_name, lo_raw, hi_raw, ctx
-        )
-        result_bytes = sum(len(k) + len(v) for k, v in result)
-        yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("sidx_range_query", keyspace=keyspace, index=index_name):
+            yield from self._send_command(
+                len(lo_raw) + len(hi_raw) + len(index_name), ctx
+            )
+            result = yield from self.device.sidx_range_query(
+                keyspace, index_name, lo_raw, hi_raw, ctx
+            )
+            result_bytes = sum(len(k) + len(v) for k, v in result)
+            yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
         return result
 
     def sidx_point_query(
         self, keyspace: str, index_name: str, skey_raw: bytes, ctx: ThreadCtx
     ) -> Generator:
         """All records whose secondary key equals ``skey_raw``."""
-        yield from self._send_command(len(skey_raw) + len(index_name), ctx)
-        result = yield from self.device.sidx_point_query(
-            keyspace, index_name, skey_raw, ctx
-        )
-        result_bytes = sum(len(k) + len(v) for k, v in result)
-        yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
+        with self._cmd("sidx_point_query", keyspace=keyspace, index=index_name):
+            yield from self._send_command(len(skey_raw) + len(index_name), ctx)
+            result = yield from self.device.sidx_point_query(
+                keyspace, index_name, skey_raw, ctx
+            )
+            result_bytes = sum(len(k) + len(v) for k, v in result)
+            yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
         return result

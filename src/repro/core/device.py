@@ -52,6 +52,7 @@ from repro.errors import (
 )
 from repro.host.threads import ThreadCtx
 from repro.lsm.block import BlockBuilder
+from repro.obs.trace import trace_span, trace_wait
 from repro.sim.core import Environment, Event
 from repro.sim.resources import Resource
 from repro.sim.stats import StatsRegistry
@@ -386,11 +387,11 @@ class KvCsdDevice:
     ) -> Generator:
         """Ingest one bulk-PUT message into the keyspace's membuf."""
         with self._inflight.request() as slot:
-            yield slot
+            yield from trace_wait(self.env, slot, "dev.inflight_wait")
             ks = self._keyspace(name)
             ks.require(KeyspaceState.WRITABLE)
             with self._write_locks[name].request() as lock:
-                yield lock
+                yield from trace_wait(self.env, lock, "dev.write_lock_wait")
                 yield from self._exec(
                     ctx,
                     self.costs.request_overhead
@@ -410,11 +411,11 @@ class KvCsdDevice:
     def bulk_delete(self, name: str, keys: list[bytes], ctx: ThreadCtx) -> Generator:
         """Record tombstones; masked pairs disappear during compaction."""
         with self._inflight.request() as slot:
-            yield slot
+            yield from trace_wait(self.env, slot, "dev.inflight_wait")
             ks = self._keyspace(name)
             ks.require(KeyspaceState.WRITABLE)
             with self._write_locks[name].request() as lock:
-                yield lock
+                yield from trace_wait(self.env, lock, "dev.write_lock_wait")
                 yield from self._exec(
                     ctx,
                     self.costs.request_overhead
@@ -445,7 +446,7 @@ class KvCsdDevice:
                 yield None
             return
         with self._write_locks[name].request() as lock:
-            yield lock
+            yield from trace_wait(self.env, lock, "dev.write_lock_wait")
             yield from self._exec(ctx, self.costs.request_overhead)
             yield from self._flush_membuf(ks, ctx)
         self.stats.counter("fsyncs").add()
@@ -455,6 +456,15 @@ class KvCsdDevice:
         pairs = self._membufs[ks.name].drain()
         if not pairs:
             return
+        with trace_span(self.env, "dev.flush", "stage", pairs=len(pairs)):
+            yield from self._flush_pairs(ks, pairs, ctx)
+
+    def _flush_pairs(
+        self,
+        ks: Keyspace,
+        pairs: list[tuple[bytes, bytes, int]],
+        ctx: ThreadCtx,
+    ) -> Generator:
         clusters_before = len(ks.klog_clusters) + len(ks.vlog_clusters)
         # Pack values into stripe groups; remember each value's place.
         groups: list[bytes] = []
@@ -522,7 +532,7 @@ class KvCsdDevice:
                     f"keyspace {name!r} already has index {config.name!r}"
                 )
         with self._write_locks[name].request() as lock:
-            yield lock
+            yield from trace_wait(self.env, lock, "dev.write_lock_wait")
             yield from self._flush_membuf(ks, ctx)
         ks.begin_compaction()
         yield from self._metadata_update(ctx, ks)
@@ -544,7 +554,7 @@ class KvCsdDevice:
             if not jobs:
                 return
             for job in jobs:
-                yield job
+                yield from trace_wait(self.env, job, "dev.wait_jobs")
 
     def _compact_job(
         self,
@@ -554,17 +564,26 @@ class KvCsdDevice:
     ) -> Generator:
         ctx = self._ctx(priority=5)
         t0 = self.env.now
+        tracer = self.env.tracer
+        job_span = (
+            tracer.start(
+                "job.compaction", "job", lane="jobs/compaction", keyspace=ks.name
+            )
+            if tracer is not None
+            else None
+        )
         try:
             # ---- step 1: read back the unordered KLOG records
             records: list[tuple[bytes, tuple[int, ZonePointer | None]]] = []
             klog_bytes = 0
-            for cluster in ks.klog_clusters:
-                contents = yield from cluster.read_all()
-                for blob in contents.values():
-                    klog_bytes += len(blob)
-                    for key, seq, pointer in unpack_klog_records(blob):
-                        records.append((key, (seq, pointer)))
-            yield from self._exec(ctx, self.costs.record_parse * len(records))
+            with trace_span(self.env, "compact.read_klog", "stage"):
+                for cluster in ks.klog_clusters:
+                    contents = yield from cluster.read_all()
+                    for blob in contents.values():
+                        klog_bytes += len(blob)
+                        for key, seq, pointer in unpack_klog_records(blob):
+                            records.append((key, (seq, pointer)))
+                yield from self._exec(ctx, self.costs.record_parse * len(records))
 
             # ---- step 2: sort the keys (external merge sort under the budget,
             # range-partitioned across the SoC cores when shards > 1)
@@ -595,34 +614,35 @@ class KvCsdDevice:
                         contents = yield from cluster.read_all()
                         zone_blobs.update(contents)
 
-            if shards == 1:
-                # Serial reference path: sort, then read the values.
-                sorted_records = yield from coordinator.sort(
-                    records, klog_bytes, ctx
-                )
-                yield from read_vlog()
-            else:
-                # Pipelined path: prefetch VLOG clusters on the device
-                # channels *while* the shard sorts burn CPU, so the value
-                # transfer hides behind the sort instead of following it.
-                sort_out: list[list] = []
+            with trace_span(self.env, "compact.sort", "stage", shards=shards):
+                if shards == 1:
+                    # Serial reference path: sort, then read the values.
+                    sorted_records = yield from coordinator.sort(
+                        records, klog_bytes, ctx
+                    )
+                    yield from read_vlog()
+                else:
+                    # Pipelined path: prefetch VLOG clusters on the device
+                    # channels *while* the shard sorts burn CPU, so the value
+                    # transfer hides behind the sort instead of following it.
+                    sort_out: list[list] = []
 
-                def run_sort() -> Generator:
-                    out = yield from coordinator.sort(records, klog_bytes, ctx)
-                    sort_out.append(out)
+                    def run_sort() -> Generator:
+                        out = yield from coordinator.sort(records, klog_bytes, ctx)
+                        sort_out.append(out)
 
-                yield AllOf(
-                    self.env,
-                    [
-                        self.env.process(
-                            run_sort(), name=f"compact-sort-{ks.name}"
-                        ),
-                        self.env.process(
-                            read_vlog(), name=f"vlog-prefetch-{ks.name}"
-                        ),
-                    ],
-                )
-                sorted_records = sort_out[0]
+                    yield AllOf(
+                        self.env,
+                        [
+                            self.env.process(
+                                run_sort(), name=f"compact-sort-{ks.name}"
+                            ),
+                            self.env.process(
+                                read_vlog(), name=f"vlog-prefetch-{ks.name}"
+                            ),
+                        ],
+                    )
+                    sorted_records = sort_out[0]
             # Newest-wins dedup; tombstones drop their key entirely.
             live: list[tuple[bytes, ZonePointer]] = []
             last_key: Optional[bytes] = None
@@ -636,29 +656,30 @@ class KvCsdDevice:
             # ---- step 3: gather values in key order into stripe groups
             # (the per-record placement is independent across key ranges, so
             # the pipelined path spreads the gather over the SoC cores too)
-            if shards == 1 or len(live) < shards:
-                yield from self._exec(
-                    ctx, self.costs.gather_per_record * len(live)
-                )
-            else:
-                per_shard = -(-len(live) // shards)
-
-                def gather_slice(count: int) -> Generator:
-                    slice_ctx = self._ctx(priority=5)
+            with trace_span(self.env, "compact.gather", "stage", records=len(live)):
+                if shards == 1 or len(live) < shards:
                     yield from self._exec(
-                        slice_ctx, self.costs.gather_per_record * count
+                        ctx, self.costs.gather_per_record * len(live)
                     )
+                else:
+                    per_shard = -(-len(live) // shards)
 
-                yield AllOf(
-                    self.env,
-                    [
-                        self.env.process(
-                            gather_slice(min(per_shard, len(live) - start)),
-                            name=f"gather-{ks.name}-{start}",
+                    def gather_slice(count: int) -> Generator:
+                        slice_ctx = self._ctx(priority=5)
+                        yield from self._exec(
+                            slice_ctx, self.costs.gather_per_record * count
                         )
-                        for start in range(0, len(live), per_shard)
-                    ],
-                )
+
+                    yield AllOf(
+                        self.env,
+                        [
+                            self.env.process(
+                                gather_slice(min(per_shard, len(live) - start)),
+                                name=f"gather-{ks.name}-{start}",
+                            )
+                            for start in range(0, len(live), per_shard)
+                        ],
+                    )
             groups: list[bytes] = []
             placements: list[tuple[int, int, int]] = []
             current: list[bytes] = []
@@ -675,47 +696,49 @@ class KvCsdDevice:
                 groups.append(b"".join(current))
 
             # ---- step 4: write SORTED_VALUES and build PIDX blocks
-            if shards == 1:
-                yield from self._exec(
-                    ctx, self.costs.block_build_per_byte * sum(map(len, groups))
-                )
-                group_ptrs = yield from self._append_stream(
-                    ks.sorted_value_clusters, groups, ctx
-                )
-                value_pointers: list[ZonePointer] = []
-                for gidx, off, length in placements:
-                    zone_id, zone_off, _ = group_ptrs[gidx]
-                    value_pointers.append((zone_id, zone_off + off, length))
-                pidx_entries = [
-                    (key, pointer)
-                    for (key, _old), pointer in zip(live, value_pointers)
-                ]
-                blocks = build_pidx_blocks(pidx_entries, self.block_bytes)
-                yield from self._exec(
-                    ctx,
-                    self.costs.block_build_per_byte
-                    * sum(len(blob) for _p, blob in blocks),
-                )
-                block_ptrs = yield from self._append_stream(
-                    ks.pidx_clusters, [blob for _p, blob in blocks], ctx
-                )
-                sketch = PidxSketch()
-                for (pivot, _blob), pointer in zip(blocks, block_ptrs):
-                    sketch.add_block(pivot, pointer)
-            else:
-                sketch, value_pointers = yield from self._materialize_pipelined(
-                    ks, live, groups, placements
-                )
+            with trace_span(self.env, "compact.materialize", "stage"):
+                if shards == 1:
+                    yield from self._exec(
+                        ctx, self.costs.block_build_per_byte * sum(map(len, groups))
+                    )
+                    group_ptrs = yield from self._append_stream(
+                        ks.sorted_value_clusters, groups, ctx
+                    )
+                    value_pointers: list[ZonePointer] = []
+                    for gidx, off, length in placements:
+                        zone_id, zone_off, _ = group_ptrs[gidx]
+                        value_pointers.append((zone_id, zone_off + off, length))
+                    pidx_entries = [
+                        (key, pointer)
+                        for (key, _old), pointer in zip(live, value_pointers)
+                    ]
+                    blocks = build_pidx_blocks(pidx_entries, self.block_bytes)
+                    yield from self._exec(
+                        ctx,
+                        self.costs.block_build_per_byte
+                        * sum(len(blob) for _p, blob in blocks),
+                    )
+                    block_ptrs = yield from self._append_stream(
+                        ks.pidx_clusters, [blob for _p, blob in blocks], ctx
+                    )
+                    sketch = PidxSketch()
+                    for (pivot, _blob), pointer in zip(blocks, block_ptrs):
+                        sketch.add_block(pivot, pointer)
+                else:
+                    sketch, value_pointers = yield from self._materialize_pipelined(
+                        ks, live, groups, placements
+                    )
             ks.pidx_sketch = sketch
             ks.n_pairs = len(live)
 
             # ---- step 5: drop the unsorted logs, flip the state
-            for cluster in ks.klog_clusters + ks.vlog_clusters:
-                yield from self._release_cluster(cluster)
-            ks.klog_clusters = []
-            ks.vlog_clusters = []
-            ks.finish_compaction()
-            yield from self._metadata_update(ctx, ks)
+            with trace_span(self.env, "compact.cleanup", "stage"):
+                for cluster in ks.klog_clusters + ks.vlog_clusters:
+                    yield from self._release_cluster(cluster)
+                ks.klog_clusters = []
+                ks.vlog_clusters = []
+                ks.finish_compaction()
+                yield from self._metadata_update(ctx, ks)
             self.stats.counter("compactions").add()
             self.job_durations[(ks.name, "compaction")] = self.env.now - t0
 
@@ -724,32 +747,37 @@ class KvCsdDevice:
             # every requested index without re-reading the keyspace — unless
             # that working set would not have fit the sort budget.
             if sidx_configs:
-                values_resident = sum(len(g) for g in groups)
-                if values_resident <= self.board.spec.sort_budget_bytes:
-                    value_by_key = {}
-                    for (key, _old), (gidx, off, length) in zip(live, placements):
-                        blob = groups[gidx]
-                        value_by_key[key] = blob[off : off + length]
-                    # Each index sorts an independent pair set: build them
-                    # concurrently across the SoC cores.
-                    procs = [
-                        self.env.process(
-                            self._build_sidx_inline(ks, config, value_by_key, ctx),
-                            name=f"sidx-inline-{ks.name}-{config.name}",
-                        )
-                        for config in sidx_configs
-                    ]
-                    if procs:
-                        yield AllOf(self.env, procs)
-                else:
-                    for config in sidx_configs:
-                        fallback = Event(self.env)
-                        self._jobs[ks.name].append(fallback)
-                        self.env.process(
-                            self._sidx_job(ks, config, fallback),
-                            name=f"sidx-{ks.name}-{config.name}",
-                        )
+                with trace_span(
+                    self.env, "compact.sidx", "stage", indexes=len(sidx_configs)
+                ):
+                    values_resident = sum(len(g) for g in groups)
+                    if values_resident <= self.board.spec.sort_budget_bytes:
+                        value_by_key = {}
+                        for (key, _old), (gidx, off, length) in zip(live, placements):
+                            blob = groups[gidx]
+                            value_by_key[key] = blob[off : off + length]
+                        # Each index sorts an independent pair set: build them
+                        # concurrently across the SoC cores.
+                        procs = [
+                            self.env.process(
+                                self._build_sidx_inline(ks, config, value_by_key, ctx),
+                                name=f"sidx-inline-{ks.name}-{config.name}",
+                            )
+                            for config in sidx_configs
+                        ]
+                        if procs:
+                            yield AllOf(self.env, procs)
+                    else:
+                        for config in sidx_configs:
+                            fallback = Event(self.env)
+                            self._jobs[ks.name].append(fallback)
+                            self.env.process(
+                                self._sidx_job(ks, config, fallback),
+                                name=f"sidx-{ks.name}-{config.name}",
+                            )
         finally:
+            if job_span is not None:
+                tracer.finish(job_span)
             self._jobs[ks.name].remove(done)
             done.succeed()
 
@@ -779,17 +807,18 @@ class KvCsdDevice:
         batch = max(1, self.cluster_zones)
 
         def value_writer() -> Generator:
-            for start in range(0, len(groups), batch):
-                chunk = groups[start : start + batch]
-                yield from self._exec(
-                    writer_ctx,
-                    self.costs.block_build_per_byte * sum(map(len, chunk)),
-                )
-                ptrs = yield from self._append_stream(
-                    ks.sorted_value_clusters, chunk, writer_ctx
-                )
-                yield from queue.put((start, ptrs))
-            yield from queue.put(None)
+            with trace_span(self.env, "materialize.value_writer", "stage"):
+                for start in range(0, len(groups), batch):
+                    chunk = groups[start : start + batch]
+                    yield from self._exec(
+                        writer_ctx,
+                        self.costs.block_build_per_byte * sum(map(len, chunk)),
+                    )
+                    ptrs = yield from self._append_stream(
+                        ks.sorted_value_clusters, chunk, writer_ctx
+                    )
+                    yield from queue.put((start, ptrs))
+                yield from queue.put(None)
 
         group_ptrs: dict[int, ZonePointer] = {}
         value_pointers: list[ZonePointer] = []
@@ -808,30 +837,31 @@ class KvCsdDevice:
             sketch.add_block(pivot, ptrs[0])
 
         def pidx_builder() -> Generator:
-            entry_idx = 0
-            builder = BlockBuilder(self.block_bytes)
-            while True:
-                item = yield from queue.get()
-                if item is None:
-                    break
-                start, ptrs = item
-                for j, pointer in enumerate(ptrs):
-                    group_ptrs[start + j] = pointer
-                # Consume every entry whose value group has landed.
-                while entry_idx < len(live):
-                    gidx, off, length = placements[entry_idx]
-                    if gidx not in group_ptrs:
+            with trace_span(self.env, "materialize.pidx_builder", "stage"):
+                entry_idx = 0
+                builder = BlockBuilder(self.block_bytes)
+                while True:
+                    item = yield from queue.get()
+                    if item is None:
                         break
-                    zone_id, zone_off, _ = group_ptrs[gidx]
-                    pointer = (zone_id, zone_off + off, length)
-                    value_pointers.append(pointer)
-                    builder.add(live[entry_idx][0], pack_value_pointer(pointer))
-                    entry_idx += 1
-                    if builder.full:
-                        yield from flush_block(builder)
-                        builder = BlockBuilder(self.block_bytes)
-            if not builder.empty:
-                yield from flush_block(builder)
+                    start, ptrs = item
+                    for j, pointer in enumerate(ptrs):
+                        group_ptrs[start + j] = pointer
+                    # Consume every entry whose value group has landed.
+                    while entry_idx < len(live):
+                        gidx, off, length = placements[entry_idx]
+                        if gidx not in group_ptrs:
+                            break
+                        zone_id, zone_off, _ = group_ptrs[gidx]
+                        pointer = (zone_id, zone_off + off, length)
+                        value_pointers.append(pointer)
+                        builder.add(live[entry_idx][0], pack_value_pointer(pointer))
+                        entry_idx += 1
+                        if builder.full:
+                            yield from flush_block(builder)
+                            builder = BlockBuilder(self.block_bytes)
+                if not builder.empty:
+                    yield from flush_block(builder)
 
         yield AllOf(
             self.env,
@@ -855,38 +885,39 @@ class KvCsdDevice:
     ) -> Generator:
         """Build one secondary index from values already resident in DRAM."""
         t0 = self.env.now
-        yield from self._exec(
-            ctx, self.costs.extract_per_record * len(value_by_key)
-        )
-        pairs = [
-            (encode_skey(config.extract(value), config.dtype), key)
-            for key, value in value_by_key.items()
-        ]
-        pair_bytes = sum(len(s) + len(p) + 4 for s, p in pairs)
-        sorter = ExternalSorter(
-            self.zone_manager,
-            budget_bytes=self.board.spec.sort_budget_bytes,
-            compare_cost=self.board.scale_cpu(self.costs.key_compare),
-            pack=pack_sidx_pairs,
-            unpack=unpack_sidx_pairs,
-            sort_key=lambda pair: pair,
-        )
-        sorted_pairs = yield from sorter.sort(pairs, pair_bytes, ctx)
-        blocks = build_sidx_blocks(sorted_pairs, self.block_bytes)
-        yield from self._exec(
-            ctx,
-            self.costs.block_build_per_byte * sum(len(b) for _p, b in blocks),
-        )
-        clusters: list[ZoneCluster] = []
-        block_ptrs = yield from self._append_stream(
-            clusters, [blob for _p, blob in blocks], ctx
-        )
-        ks.sidx_clusters[config.name] = clusters
-        sketch = SidxSketch(skey_width=config.width)
-        for (pivot, _blob), pointer in zip(blocks, block_ptrs):
-            sketch.add_block(pivot, pointer)
-        ks.sidx[config.name] = (config, sketch)
-        yield from self._metadata_update(ctx, ks)
+        with trace_span(self.env, "sidx.build_inline", "stage", index=config.name):
+            yield from self._exec(
+                ctx, self.costs.extract_per_record * len(value_by_key)
+            )
+            pairs = [
+                (encode_skey(config.extract(value), config.dtype), key)
+                for key, value in value_by_key.items()
+            ]
+            pair_bytes = sum(len(s) + len(p) + 4 for s, p in pairs)
+            sorter = ExternalSorter(
+                self.zone_manager,
+                budget_bytes=self.board.spec.sort_budget_bytes,
+                compare_cost=self.board.scale_cpu(self.costs.key_compare),
+                pack=pack_sidx_pairs,
+                unpack=unpack_sidx_pairs,
+                sort_key=lambda pair: pair,
+            )
+            sorted_pairs = yield from sorter.sort(pairs, pair_bytes, ctx)
+            blocks = build_sidx_blocks(sorted_pairs, self.block_bytes)
+            yield from self._exec(
+                ctx,
+                self.costs.block_build_per_byte * sum(len(b) for _p, b in blocks),
+            )
+            clusters: list[ZoneCluster] = []
+            block_ptrs = yield from self._append_stream(
+                clusters, [blob for _p, blob in blocks], ctx
+            )
+            ks.sidx_clusters[config.name] = clusters
+            sketch = SidxSketch(skey_width=config.width)
+            for (pivot, _blob), pointer in zip(blocks, block_ptrs):
+                sketch.add_block(pivot, pointer)
+            ks.sidx[config.name] = (config, sketch)
+            yield from self._metadata_update(ctx, ks)
         self.stats.counter("sidx_builds_inline").add()
         self.job_durations[(ks.name, f"sidx:{config.name}")] = self.env.now - t0
 
@@ -914,6 +945,18 @@ class KvCsdDevice:
     def _sidx_job(self, ks: Keyspace, config: SidxConfig, done: Event) -> Generator:
         ctx = self._ctx(priority=5)
         t0 = self.env.now
+        tracer = self.env.tracer
+        job_span = (
+            tracer.start(
+                "job.sidx",
+                "job",
+                lane="jobs/sidx",
+                keyspace=ks.name,
+                index=config.name,
+            )
+            if tracer is not None
+            else None
+        )
         try:
             # ---- full scan: PIDX for keys+pointers, SORTED_VALUES for values
             assert ks.pidx_sketch is not None
@@ -968,6 +1011,8 @@ class KvCsdDevice:
             self.stats.counter("sidx_builds").add()
             self.job_durations[(ks.name, f"sidx:{config.name}")] = self.env.now - t0
         finally:
+            if job_span is not None:
+                tracer.finish(job_span)
             self._jobs[ks.name].remove(done)
             done.succeed()
 
@@ -975,7 +1020,7 @@ class KvCsdDevice:
     def point_query(self, name: str, key: bytes, ctx: ThreadCtx) -> Generator:
         """GET over the primary index; returns the value or raises."""
         with self._inflight.request() as slot:
-            yield slot
+            yield from trace_wait(self.env, slot, "dev.inflight_wait")
             yield from self._exec(ctx, self.costs.request_overhead)
             ks = self._keyspace(name)
             value = yield from self.query_engine.point_query(ks, key, ctx)
@@ -987,7 +1032,7 @@ class KvCsdDevice:
     ) -> Generator:
         """Batched GETs with shared block reads; returns {key: value}."""
         with self._inflight.request() as slot:
-            yield slot
+            yield from trace_wait(self.env, slot, "dev.inflight_wait")
             yield from self._exec(ctx, self.costs.request_overhead)
             ks = self._keyspace(name)
             result = yield from self.query_engine.multi_point_query(ks, keys, ctx)
@@ -999,7 +1044,7 @@ class KvCsdDevice:
     ) -> Generator:
         """Primary-index range query over [lo, hi)."""
         with self._inflight.request() as slot:
-            yield slot
+            yield from trace_wait(self.env, slot, "dev.inflight_wait")
             yield from self._exec(ctx, self.costs.request_overhead)
             ks = self._keyspace(name)
             result = yield from self.query_engine.range_query(ks, lo, hi, ctx)
@@ -1011,7 +1056,7 @@ class KvCsdDevice:
     ) -> Generator:
         """Secondary-index range query; returns full matching records."""
         with self._inflight.request() as slot:
-            yield slot
+            yield from trace_wait(self.env, slot, "dev.inflight_wait")
             yield from self._exec(ctx, self.costs.request_overhead)
             ks = self._keyspace(name)
             result = yield from self.query_engine.sidx_range_query(
@@ -1025,7 +1070,7 @@ class KvCsdDevice:
     ) -> Generator:
         """All records whose secondary key equals ``skey_raw``."""
         with self._inflight.request() as slot:
-            yield slot
+            yield from trace_wait(self.env, slot, "dev.inflight_wait")
             yield from self._exec(ctx, self.costs.request_overhead)
             ks = self._keyspace(name)
             result = yield from self.query_engine.sidx_point_query(

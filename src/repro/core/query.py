@@ -28,6 +28,7 @@ from repro.core.sidx import SidxConfig, SidxSketch, encode_skey, read_sidx_block
 from repro.core.zone_manager import ZonePointer
 from repro.errors import KeyNotFoundError, SecondaryIndexError
 from repro.host.threads import ThreadCtx
+from repro.obs.trace import trace_span
 from repro.sim.sync import AllOf
 from repro.ssd.zns import ZnsSsd
 
@@ -67,36 +68,41 @@ class QueryEngine:
         cache = self.block_cache
         blobs: list[Optional[bytes]] = [None] * len(pointers)
         missing: list[int] = []
-        if cache is not None:
-            if pointers:
-                yield from self._exec(
-                    ctx, self.costs.cache_lookup * len(pointers)
-                )
-            for i, pointer in enumerate(pointers):
-                cached = cache.get(pointer)
-                if cached is None:
-                    missing.append(i)
-                else:
-                    blobs[i] = cached
-        else:
-            missing = list(range(len(pointers)))
-        if missing:
-            env = self.ssd.env
-            procs = []
-            for i in missing:
-                zone_id, offset, length = pointers[i]
+        with trace_span(
+            self.ssd.env, "query.read_blocks", "stage", blocks=len(pointers)
+        ) as span:
+            if cache is not None:
+                if pointers:
+                    yield from self._exec(
+                        ctx, self.costs.cache_lookup * len(pointers)
+                    )
+                for i, pointer in enumerate(pointers):
+                    cached = cache.get(pointer)
+                    if cached is None:
+                        missing.append(i)
+                    else:
+                        blobs[i] = cached
+            else:
+                missing = list(range(len(pointers)))
+            if span is not None:
+                span.args["misses"] = len(missing)
+            if missing:
+                env = self.ssd.env
+                procs = []
+                for i in missing:
+                    zone_id, offset, length = pointers[i]
 
-                def one(z=zone_id, o=offset, n=length):
-                    data = yield from self.ssd.read(z, o, n)
-                    return data
+                    def one(z=zone_id, o=offset, n=length):
+                        data = yield from self.ssd.read(z, o, n)
+                        return data
 
-                procs.append(env.process(one()))
-            result = yield AllOf(env, procs)
-            for i, proc in zip(missing, procs):
-                blob = result[proc]
-                blobs[i] = blob
-                if cache is not None:
-                    cache.put(pointers[i], blob)
+                    procs.append(env.process(one()))
+                result = yield AllOf(env, procs)
+                for i, proc in zip(missing, procs):
+                    blob = result[proc]
+                    blobs[i] = blob
+                    if cache is not None:
+                        cache.put(pointers[i], blob)
         return blobs
 
     #: NAND page granularity: the device reads whole 4 KiB pages, so value
@@ -136,21 +142,28 @@ class QueryEngine:
     ) -> Generator:
         """Read many value extents, page-coalesced; values in input order."""
         extents = self._coalesce(pointers)
-        # Clip each extent to the zone's written bytes (the final page of a
-        # zone may be partial).
-        clipped = []
-        for (zone_id, off, length), members in extents:
-            wp = self.ssd.zone(zone_id).write_pointer
-            clipped.append(((zone_id, off, min(length, wp - off)), members))
-        blobs = yield from self._read_blocks([e for e, _ in clipped], ctx)
-        values: list[Optional[bytes]] = [None] * len(pointers)
-        for (extent, members), blob in zip(clipped, blobs):
-            _, ext_off, _ = extent
-            for i in members:
-                _, off, length = pointers[i]
-                start = off - ext_off
-                values[i] = blob[start : start + length]
-        yield from self._exec(ctx, self.costs.gather_per_record * len(pointers))
+        with trace_span(
+            self.ssd.env,
+            "query.fetch_values",
+            "stage",
+            values=len(pointers),
+            extents=len(extents),
+        ):
+            # Clip each extent to the zone's written bytes (the final page of
+            # a zone may be partial).
+            clipped = []
+            for (zone_id, off, length), members in extents:
+                wp = self.ssd.zone(zone_id).write_pointer
+                clipped.append(((zone_id, off, min(length, wp - off)), members))
+            blobs = yield from self._read_blocks([e for e, _ in clipped], ctx)
+            values: list[Optional[bytes]] = [None] * len(pointers)
+            for (extent, members), blob in zip(clipped, blobs):
+                _, ext_off, _ = extent
+                for i in members:
+                    _, off, length = pointers[i]
+                    start = off - ext_off
+                    values[i] = blob[start : start + length]
+            yield from self._exec(ctx, self.costs.gather_per_record * len(pointers))
         return values  # type: ignore[return-value]
 
     # -- primary index ---------------------------------------------------------------

@@ -24,6 +24,7 @@ from typing import Any, Callable
 from repro.core.zone_manager import ZoneCluster, ZoneManager, ZonePointer
 from repro.errors import SimulationError
 from repro.host.threads import ThreadCtx
+from repro.obs.trace import trace_span
 from repro.sim.sync import AllOf
 from repro.units import KiB
 
@@ -178,10 +179,28 @@ class ExternalSorter:
                 yield None
             return list(records)
         if not plan.spills:
-            yield from ctx.execute(
-                self.compare_cost * n * max(1, int(math.log2(n)))
-            )
+            with trace_span(
+                self.zm.ssd.env, "sort.external", "stage", records=n, runs=1
+            ):
+                yield from ctx.execute(
+                    self.compare_cost * n * max(1, int(math.log2(n)))
+                )
             return sorted(records, key=self.sort_key)
+        with trace_span(
+            self.zm.ssd.env,
+            "sort.external",
+            "stage",
+            records=n,
+            runs=plan.n_runs,
+            passes=plan.n_merge_passes,
+        ):
+            result = yield from self._sort_spilled(records, plan, ctx)
+        return result
+
+    def _sort_spilled(
+        self, records: list[Record], plan: SortPlan, ctx: ThreadCtx
+    ) -> Generator:
+        n = len(records)
 
         # ---- run generation: budget-sized sorted runs spilled to temp zones
         clusters: list[ZoneCluster] = []
@@ -354,7 +373,10 @@ class ParallelSortCoordinator:
                 sort_key=self.sort_key,
             )
             shard_ctx = self.make_ctx() if self.make_ctx is not None else ctx
-            out = yield from sorter.sort(chunk, shard_bytes, shard_ctx)
+            with trace_span(
+                env, "sort.shard", "stage", shard=idx, records=len(chunk)
+            ):
+                out = yield from sorter.sort(chunk, shard_bytes, shard_ctx)
             outputs[idx] = out
             plans[idx] = sorter.last_plan
 

@@ -24,6 +24,7 @@ from repro.nvme.commands import (
     ZoneReadCmd,
     ZoneResetCmd,
 )
+from repro.obs.trace import trace_span
 from repro.sim.core import Environment
 from repro.ssd.conventional import ConventionalSsd
 from repro.ssd.zns import ZnsSsd
@@ -51,7 +52,8 @@ class NvmeController:
 
     def execute(self, command: NvmeCommand) -> Generator:
         """Run one command to completion; returns a :class:`Completion`."""
-        yield self.env.timeout(self.firmware_overhead)
+        with trace_span(self.env, "nvme.firmware", "firmware"):
+            yield self.env.timeout(self.firmware_overhead)
         self.commands_executed += 1
         try:
             value = yield from self._dispatch(command)

@@ -46,26 +46,41 @@ class NvmeOfLink:
         self.bytes_tx = 0
         self.bytes_rx = 0
 
-    def _move(self, direction: Resource, nbytes: int) -> Generator:
+    def _move(self, direction: Resource, nbytes: int, op: str) -> Generator:
         seconds = (
             self.latency + self.capsule_overhead + nbytes / self.bandwidth
         )
-        with direction.request() as req:
-            yield req
-            yield self.env.timeout(seconds)
+        tracer = self.env.tracer
+        if tracer is None:
+            with direction.request() as req:
+                yield req
+                yield self.env.timeout(seconds)
+            return
+        with tracer.span(
+            f"{self.name}.{op}",
+            "transport",
+            lane=f"{self.name}/{op}",
+            bytes=nbytes,
+            busy=seconds,
+        ) as span:
+            with direction.request() as req:
+                t0 = self.env.now
+                yield req
+                span.args["wait"] = self.env.now - t0
+                yield self.env.timeout(seconds)
 
     def send(self, nbytes: int) -> Generator:
         """Host-to-target transfer."""
         if nbytes < 0:
             raise SimulationError("cannot transfer negative bytes")
-        yield from self._move(self._tx, nbytes)
+        yield from self._move(self._tx, nbytes, "tx")
         self.bytes_tx += nbytes
 
     def receive(self, nbytes: int) -> Generator:
         """Target-to-host transfer."""
         if nbytes < 0:
             raise SimulationError("cannot transfer negative bytes")
-        yield from self._move(self._rx, nbytes)
+        yield from self._move(self._rx, nbytes, "rx")
         self.bytes_rx += nbytes
 
     @property

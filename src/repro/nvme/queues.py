@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import NvmeError, SimulationError
 from repro.nvme.commands import Completion, NvmeCommand
+from repro.obs.trace import trace_span
 from repro.sim.core import Environment
 from repro.sim.resources import Resource
 
@@ -41,11 +42,17 @@ class QueuePair:
         Raises :class:`NvmeError` if the command completed with an error
         status, mirroring how a polled driver surfaces failed CQEs.
         """
-        with self._slots.request() as slot:
-            yield slot
-            self.submitted += 1
-            completion = yield from self.controller.execute(command)
-            self.completed += 1
+        with trace_span(
+            self.env, f"nvme.{type(command).__name__}", "queue", lane="nvme/qp"
+        ) as span:
+            with self._slots.request() as slot:
+                t0 = self.env.now
+                yield slot
+                if span is not None:
+                    span.args["wait"] = self.env.now - t0
+                self.submitted += 1
+                completion = yield from self.controller.execute(command)
+                self.completed += 1
         if not completion.ok:
             raise NvmeError(completion.status, f"{type(command).__name__} failed")
         return completion

@@ -1,0 +1,72 @@
+"""Observability: span tracing, latency attribution, metrics export.
+
+Spans are stamped from the simulation's virtual clock and organised into
+per-command / per-job trees (:mod:`repro.obs.trace`); a :class:`MetricsHub`
+aggregates component stats, SSD I/O stats, link counters and per-op latency
+histograms (:mod:`repro.obs.metrics`); exporters render a Chrome-trace
+timeline, a Prometheus text dump and a latency-attribution table
+(:mod:`repro.obs.export`).  Tracing is off unless a tracer is installed on
+the environment, and in that default state every instrumentation site is a
+single ``None`` check — virtual time is identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.export import (
+    attribution_rows,
+    format_attribution,
+    min_command_coverage,
+    to_chrome_trace,
+)
+from repro.obs.metrics import MetricsHub
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    install_tracer,
+    trace_span,
+    trace_wait,
+)
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "MetricsHub",
+    "install_tracer",
+    "install_observability",
+    "trace_span",
+    "trace_wait",
+    "to_chrome_trace",
+    "attribution_rows",
+    "format_attribution",
+    "min_command_coverage",
+]
+
+
+def install_observability(
+    env: Any,
+    device: Optional[Any] = None,
+    ssd: Optional[Any] = None,
+    link: Optional[Any] = None,
+) -> tuple[Tracer, MetricsHub]:
+    """Wire a tracer + hub onto one testbed's components.
+
+    Registers the device's stats registry (and its block cache's, when
+    present), the SSD's :class:`IoStats` and the host link's byte counters,
+    then installs a tracer feeding per-op latency histograms into the hub.
+    """
+    hub = MetricsHub()
+    if device is not None:
+        hub.register_registry("kvcsd", device.stats)
+        cache = getattr(device, "block_cache", None)
+        if cache is not None:
+            hub.register_registry("block_cache", cache.stats)
+    if ssd is not None:
+        hub.register_io(getattr(ssd, "name", "ssd"), ssd.stats)
+    if link is not None:
+        hub.register_link(getattr(link, "name", "link"), link)
+    tracer = install_tracer(env, hub=hub)
+    return tracer, hub

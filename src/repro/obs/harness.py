@@ -1,0 +1,41 @@
+"""Traced reference workload for the ``trace``/``metrics`` CLI and CI.
+
+Builds the standard KV-CSD testbed, installs the observability layer
+*before* any simulation activity, and drives a selftest-shaped workload —
+bulk load, device-side compaction (with its background job), point GETs,
+a batched multi-GET and a primary-index range query — so every span
+category (command, job, stage, queue, transport, cpu, flash, firmware)
+appears in the resulting trace.
+"""
+
+from __future__ import annotations
+
+__all__ = ["run_traced_selftest"]
+
+
+def run_traced_selftest(seed: int = 0, n_pairs: int = 2000):
+    """Run the traced selftest workload; returns ``(testbed, tracer, hub)``."""
+    from repro.bench import build_kvcsd_testbed
+    from repro.workloads import SyntheticSpec, generate_pairs, get_phase, load_phase
+
+    kv = build_kvcsd_testbed(seed=seed)
+    tracer, hub = kv.enable_tracing()
+
+    pairs = generate_pairs(SyntheticSpec(n_pairs=n_pairs, seed=seed))
+    keys = [k for k, _ in pairs[::50]]
+    load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
+
+    def ready():
+        yield from kv.adapter.prepare_queries("ks", kv.thread_ctx(0))
+
+    kv.env.run(kv.env.process(ready()))
+    get_phase(kv.env, kv.adapter, [("ks", keys, kv.thread_ctx(0))])
+
+    def batched_queries():
+        ctx = kv.thread_ctx(1)
+        yield from kv.client.multi_get("ks", keys[:16], ctx)
+        lo, hi = min(keys), max(keys)
+        yield from kv.client.range_query("ks", lo, hi, ctx)
+
+    kv.env.run(kv.env.process(batched_queries()))
+    return kv, tracer, hub

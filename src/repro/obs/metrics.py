@@ -1,0 +1,178 @@
+"""Metrics aggregation and Prometheus-style text export.
+
+A :class:`MetricsHub` is the single place observability consumers look:
+component :class:`~repro.sim.stats.StatsRegistry` instances, SSD
+:class:`~repro.ssd.metrics.IoStats` (so channel-busy time shows up in the
+dump), link byte counters, and the per-op-type latency histograms fed by the
+tracer (one :class:`~repro.sim.stats.Histogram` per command/job name).
+
+The text format follows the Prometheus exposition conventions: ``# TYPE``
+lines, ``_total`` suffixes on counters, label pairs for per-channel and
+per-op series, and summaries with ``quantile`` labels for histograms.  All
+values are taken from the simulation's virtual clock/state at render time.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+from repro.sim.stats import Histogram, StatsRegistry
+
+__all__ = ["MetricsHub", "sanitize_metric_name"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Make ``name`` a legal Prometheus metric name component."""
+    cleaned = _NAME_RE.sub("_", name).strip("_")
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "unnamed"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+class MetricsHub:
+    """Registry of every metric source in one testbed."""
+
+    def __init__(self, namespace: str = "repro"):
+        self.namespace = namespace
+        self.registries: dict[str, StatsRegistry] = {}
+        self.io_stats: dict[str, Any] = {}
+        self.links: dict[str, Any] = {}
+        #: per-op-type latency histograms fed by Tracer.finish
+        self.op_latency: dict[str, Histogram] = {}
+
+    # -- registration --------------------------------------------------------
+    def register_registry(self, name: str, registry: StatsRegistry) -> None:
+        """Expose a component's counters/ratios/histograms in the dump."""
+        self.registries[name] = registry
+
+    def register_io(self, name: str, stats: Any) -> None:
+        """Expose an SSD's :class:`IoStats`, including channel-busy time."""
+        self.io_stats[name] = stats
+
+    def register_link(self, name: str, link: Any) -> None:
+        """Expose a transport link's byte counters."""
+        self.links[name] = link
+
+    # -- tracer feed ---------------------------------------------------------
+    def observe_op(self, op: str, seconds: float) -> None:
+        """Record one finished command/job latency (called by the tracer)."""
+        hist = self.op_latency.get(op)
+        if hist is None:
+            hist = Histogram(op)
+            self.op_latency[op] = hist
+        hist.record(seconds)
+
+    def op_summaries(self) -> dict[str, dict[str, float]]:
+        """Per-op latency summaries with percentiles, for results JSON."""
+        return {op: h.summary() for op, h in sorted(self.op_latency.items())}
+
+    # -- export --------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """Nested JSON-safe view of everything registered."""
+        out: dict[str, Any] = {
+            "registries": {
+                name: reg.as_dict() for name, reg in sorted(self.registries.items())
+            },
+            "op_latency": self.op_summaries(),
+        }
+        if self.io_stats:
+            out["io"] = {
+                name: {
+                    "bytes_read": io.bytes_read,
+                    "bytes_written": io.bytes_written,
+                    "read_ops": io.read_ops,
+                    "write_ops": io.write_ops,
+                    "erase_ops": io.erase_ops,
+                    "gc_bytes_copied": io.gc_bytes_copied,
+                    "channel_busy_seconds": dict(sorted(io.channel_busy.items())),
+                }
+                for name, io in sorted(self.io_stats.items())
+            }
+        if self.links:
+            out["links"] = {
+                name: {"bytes_tx": link.bytes_tx, "bytes_rx": link.bytes_rx}
+                for name, link in sorted(self.links.items())
+            }
+        return out
+
+    def to_prometheus(self) -> str:
+        """Render every registered source in Prometheus text format."""
+        ns = sanitize_metric_name(self.namespace)
+        lines: list[str] = []
+
+        for reg_name, registry in sorted(self.registries.items()):
+            data = registry.as_dict()
+            base = f"{ns}_{sanitize_metric_name(reg_name)}"
+            for name, value in sorted(data["counters"].items()):
+                metric = f"{base}_{sanitize_metric_name(name)}_total"
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {_fmt(value)}")
+            for name, pair in sorted(data["hit_ratios"].items()):
+                metric = f"{base}_{sanitize_metric_name(name)}"
+                lines.append(f"# TYPE {metric}_hits_total counter")
+                lines.append(f"{metric}_hits_total {_fmt(pair['hits'])}")
+                lines.append(f"# TYPE {metric}_misses_total counter")
+                lines.append(f"{metric}_misses_total {_fmt(pair['misses'])}")
+                lines.append(f"# TYPE {metric}_hit_ratio gauge")
+                lines.append(f"{metric}_hit_ratio {_fmt(pair['hit_ratio'])}")
+            for name, summary in sorted(data["histograms"].items()):
+                metric = f"{base}_{sanitize_metric_name(name)}"
+                lines.extend(_summary_lines(metric, summary))
+
+        for dev_name, io in sorted(self.io_stats.items()):
+            base = f"{ns}_ssd"
+            label = f'device="{dev_name}"'
+            for field in ("bytes_read", "bytes_written", "read_ops",
+                          "write_ops", "erase_ops", "gc_bytes_copied"):
+                metric = f"{base}_{field}_total"
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric}{{{label}}} {_fmt(getattr(io, field))}")
+            metric = f"{base}_channel_busy_seconds_total"
+            lines.append(f"# TYPE {metric} counter")
+            for channel, busy in sorted(io.channel_busy.items()):
+                lines.append(f'{metric}{{{label},channel="{channel}"}} {_fmt(busy)}')
+
+        for link_name, link in sorted(self.links.items()):
+            base = f"{ns}_link"
+            label = f'link="{link_name}"'
+            for field in ("bytes_tx", "bytes_rx"):
+                metric = f"{base}_{field}_total"
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric}{{{label}}} {_fmt(getattr(link, field))}")
+
+        if self.op_latency:
+            metric = f"{ns}_op_latency_seconds"
+            lines.append(f"# TYPE {metric} summary")
+            for op, hist in sorted(self.op_latency.items()):
+                label = f'op="{op}"'
+                for q, p in ((0.5, 50), (0.95, 95), (0.99, 99)):
+                    lines.append(
+                        f'{metric}{{{label},quantile="{q}"}} '
+                        f"{_fmt(hist.percentile(p))}"
+                    )
+                lines.append(f"{metric}_sum{{{label}}} {_fmt(hist.mean * hist.count)}")
+                lines.append(f"{metric}_count{{{label}}} {_fmt(hist.count)}")
+
+        return "\n".join(lines) + "\n"
+
+
+def _summary_lines(metric: str, summary: dict[str, float]) -> list[str]:
+    lines = [f"# TYPE {metric} summary"]
+    for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+        lines.append(f'{metric}{{quantile="{q}"}} {_fmt(summary[key])}')
+    count = summary["count"]
+    mean = summary["mean"]
+    total = 0.0 if count == 0 else mean * count
+    lines.append(f"{metric}_sum {_fmt(total)}")
+    lines.append(f"{metric}_count {_fmt(count)}")
+    return lines

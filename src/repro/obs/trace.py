@@ -1,0 +1,369 @@
+"""Hierarchical span tracing stamped from the simulation's virtual clock.
+
+Every traced operation — an NVMe command, a CPU slice, a flash-channel
+occupancy, a background compaction shard — becomes a :class:`Span` with a
+start/end taken from ``Environment.now``.  Spans nest: because an entire
+client->device->SSD call chain runs inside one simulation :class:`Process`
+as a ``yield from`` chain, the tracer tracks the *current* span per process
+and new spans implicitly parent under it.  Processes spawned with
+``env.process(...)`` inherit the spawner's current span (recorded by the
+:meth:`Tracer.on_process_spawn` hook wired into ``Environment.process``), so
+fan-out work — compaction shards, striped zone appends, pipelined
+materialisation stages — stays attached to the job that started it.
+
+Zero cost when disabled: ``Environment.tracer`` defaults to ``None`` and
+every instrumentation site goes through :func:`trace_span` /
+:func:`trace_wait`, which reduce to a shared no-op context manager / a bare
+``yield`` when no tracer is installed.  No simulation events are created
+either way, so virtual time is bit-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment, Event, Process
+
+__all__ = [
+    "CAT_COMMAND",
+    "CAT_JOB",
+    "CAT_STAGE",
+    "CAT_QUEUE",
+    "CAT_TRANSPORT",
+    "CAT_CPU",
+    "CAT_FLASH",
+    "CAT_FIRMWARE",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "install_tracer",
+    "trace_span",
+    "trace_wait",
+]
+
+# Span categories, used by the attribution exporter to bucket self-time.
+CAT_COMMAND = "command"  #: a client-visible operation (root of a span tree)
+CAT_JOB = "job"  #: an offloaded background job (compaction, SIDX build)
+CAT_STAGE = "stage"  #: an internal phase of a command or job
+CAT_QUEUE = "queue"  #: time spent waiting for a slot/lock/queue
+CAT_TRANSPORT = "transport"  #: PCIe / NVMe-oF byte movement
+CAT_CPU = "cpu"  #: core occupancy (args carry the wait/run split)
+CAT_FLASH = "flash"  #: NAND channel occupancy (args carry wait vs busy)
+CAT_FIRMWARE = "firmware"  #: fixed-function controller/dispatch overhead
+
+
+class Span:
+    """One timed operation; a node in a per-command/per-job tree."""
+
+    __slots__ = ("span_id", "name", "category", "start", "end", "parent", "lane",
+                 "args", "children")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        category: str,
+        start: float,
+        parent: Optional["Span"] = None,
+        lane: Optional[str] = None,
+        args: Optional[dict[str, Any]] = None,
+    ):
+        self.span_id = span_id
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent = parent
+        self.lane = lane
+        self.args: dict[str, Any] = args if args is not None else {}
+        self.children: list[Span] = []
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def duration(self, now: Optional[float] = None) -> float:
+        """Span length; open spans are clamped to ``now`` (or their start)."""
+        end = self.end if self.end is not None else (now if now is not None else self.start)
+        return max(0.0, end - self.start)
+
+    def iter_tree(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+    def self_time(self, now: Optional[float] = None) -> float:
+        """Duration not covered by this span's direct children."""
+        covered = union_length(
+            [(c.start, c.start + c.duration(now)) for c in self.children],
+            clip=(self.start, self.start + self.duration(now)),
+        )
+        return max(0.0, self.duration(now) - covered)
+
+    def coverage(self, now: Optional[float] = None) -> float:
+        """Fraction of this span's duration accounted for by descendants.
+
+        The union of every descendant interval, clipped to this span's own
+        interval, over this span's duration.  1.0 for a span with no
+        duration (nothing to attribute).
+        """
+        total = self.duration(now)
+        if total <= 0.0:
+            return 1.0
+        intervals = [
+            (s.start, s.start + s.duration(now))
+            for s in self.iter_tree()
+            if s is not self
+        ]
+        covered = union_length(intervals, clip=(self.start, self.start + total))
+        return covered / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = f"{self.end:.6f}" if self.end is not None else "..."
+        return f"<Span {self.name} [{self.category}] {self.start:.6f}-{end}>"
+
+
+def union_length(
+    intervals: list[tuple[float, float]],
+    clip: Optional[tuple[float, float]] = None,
+) -> float:
+    """Total length of the union of ``intervals``, optionally clipped."""
+    if clip is not None:
+        lo, hi = clip
+        intervals = [(max(a, lo), min(b, hi)) for a, b in intervals]
+    intervals = sorted((a, b) for a, b in intervals if b > a)
+    total = 0.0
+    cur_a: Optional[float] = None
+    cur_b = 0.0
+    for a, b in intervals:
+        if cur_a is None:
+            cur_a, cur_b = a, b
+        elif a <= cur_b:
+            cur_b = max(cur_b, b)
+        else:
+            total += cur_b - cur_a
+            cur_a, cur_b = a, b
+    if cur_a is not None:
+        total += cur_b - cur_a
+    return total
+
+
+class TraceContext:
+    """A capturable handle to the current span, for explicit handoff.
+
+    The implicit per-process propagation covers ``yield from`` chains and
+    ``env.process`` spawns.  When work crosses processes through a data
+    structure instead — e.g. items flowing through a
+    :class:`~repro.sim.sync.BoundedQueue` — the producer captures a context
+    and ships it with the item, and the consumer activates it while
+    processing so its spans parent under the producer's span.
+    """
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Optional[Span]):
+        self.tracer = tracer
+        self.span = span
+
+    def activate(self) -> "_Activation":
+        """Context manager making :attr:`span` current for this process."""
+        return _Activation(self.tracer, self.span)
+
+
+class _Activation:
+    __slots__ = ("tracer", "span", "_proc", "_prev", "_had_prev")
+
+    def __init__(self, tracer: "Tracer", span: Optional[Span]):
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Optional[Span]:
+        self._proc = self.tracer.env.active_process
+        self._had_prev = self._proc in self.tracer._current
+        self._prev = self.tracer._current.get(self._proc)
+        self.tracer._current[self._proc] = self.span
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._had_prev:
+            self.tracer._current[self._proc] = self._prev
+        else:
+            self.tracer._current.pop(self._proc, None)
+
+
+class _SpanScope:
+    """``with tracer.span(...) as span`` helper; finishes the span on exit."""
+
+    __slots__ = ("tracer", "name", "category", "lane", "args", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 lane: Optional[str], args: dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.category = category
+        self.lane = lane
+        self.args = args
+
+    def __enter__(self) -> Span:
+        self.span = self.tracer.start(
+            self.name, self.category, lane=self.lane, **self.args
+        )
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.args.setdefault("error", exc_type.__name__)
+        self.tracer.finish(self.span)
+
+
+class _NullScope:
+    """Shared no-op scope returned by :func:`trace_span` when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class Tracer:
+    """Records spans against an :class:`Environment`'s virtual clock.
+
+    Current-span state is tracked per simulation process (keyed by the
+    ``env.active_process`` identity; ``None`` keys cover code running
+    outside any process).  ``hub``, when given, receives a latency
+    observation for every finished command/job span so per-op-type
+    histograms accumulate as the run progresses.
+    """
+
+    def __init__(self, env: "Environment", hub: Optional[Any] = None):
+        self.env = env
+        self.hub = hub
+        self.spans: list[Span] = []
+        self._current: dict[Optional["Process"], Optional[Span]] = {}
+        self._inherited: dict["Process", Optional[Span]] = {}
+        self._next_id = 0
+
+    # -- propagation ---------------------------------------------------------
+    def current(self) -> Optional[Span]:
+        """The active process's current span (inherited at spawn if unset)."""
+        proc = self.env.active_process
+        span = self._current.get(proc)
+        if span is None and proc is not None:
+            span = self._inherited.get(proc)
+        return span
+
+    def capture(self) -> TraceContext:
+        """Snapshot the current span for explicit cross-process handoff."""
+        return TraceContext(self, self.current())
+
+    def on_process_spawn(self, process: "Process") -> None:
+        """Hook called by ``Environment.process``: inherit the spawner's span."""
+        span = self.current()
+        if span is not None:
+            self._inherited[process] = span
+
+    # -- span lifecycle ------------------------------------------------------
+    def start(
+        self,
+        name: str,
+        category: str,
+        lane: Optional[str] = None,
+        **args: Any,
+    ) -> Span:
+        """Open a span parented under the current span of this process."""
+        proc = self.env.active_process
+        parent = self._current.get(proc)
+        if parent is None and proc is not None:
+            parent = self._inherited.get(proc)
+        self._next_id += 1
+        span = Span(
+            self._next_id, name, category, self.env.now,
+            parent=parent, lane=lane, args=dict(args),
+        )
+        self.spans.append(span)
+        if parent is not None:
+            parent.children.append(span)
+        self._current[proc] = span
+        return span
+
+    def finish(self, span: Span, **args: Any) -> None:
+        """Close ``span`` at the current virtual time."""
+        span.end = self.env.now
+        if args:
+            span.args.update(args)
+        proc = self.env.active_process
+        if self._current.get(proc) is span:
+            self._current[proc] = span.parent
+        if self.hub is not None and span.category in (CAT_COMMAND, CAT_JOB):
+            self.hub.observe_op(span.name, span.end - span.start)
+
+    def span(
+        self,
+        name: str,
+        category: str,
+        lane: Optional[str] = None,
+        **args: Any,
+    ) -> _SpanScope:
+        """``with``-scope that opens on entry and finishes on exit."""
+        return _SpanScope(self, name, category, lane, args)
+
+    # -- queries -------------------------------------------------------------
+    def roots(self) -> list[Span]:
+        """All spans without a parent, in start order."""
+        return [s for s in self.spans if s.parent is None]
+
+    def command_roots(self) -> list[Span]:
+        """Root spans of client-visible commands (coverage is judged here)."""
+        return [s for s in self.roots() if s.category == CAT_COMMAND]
+
+
+def install_tracer(env: "Environment", hub: Optional[Any] = None) -> Tracer:
+    """Attach a fresh :class:`Tracer` to ``env`` and return it."""
+    tracer = Tracer(env, hub=hub)
+    env.tracer = tracer
+    return tracer
+
+
+def trace_span(
+    env: "Environment",
+    name: str,
+    category: str,
+    lane: Optional[str] = None,
+    **args: Any,
+):
+    """A span scope when ``env`` has a tracer, else a shared no-op scope.
+
+    The disabled path costs one attribute read and returns a singleton, so
+    instrumented code can use a single body for both modes::
+
+        with trace_span(self.env, "dev.bulk_put", CAT_STAGE) as span:
+            ...  # span is None when tracing is disabled
+    """
+    tracer = env.tracer
+    if tracer is None:
+        return _NULL_SCOPE
+    return _SpanScope(tracer, name, category, lane, args)
+
+
+def trace_wait(env: "Environment", event: "Event", name: str,
+               category: str = CAT_QUEUE):
+    """Yield ``event`` wrapped in a span (generator; bare yield if disabled).
+
+    Used for slot/lock acquisitions where the wait itself is the interesting
+    quantity: ``yield from trace_wait(env, slot, "dev.inflight")``.
+    """
+    tracer = env.tracer
+    if tracer is None:
+        value = yield event
+        return value
+    with tracer.span(name, category):
+        value = yield event
+    return value

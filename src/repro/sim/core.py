@@ -263,6 +263,10 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._counter: int = 0
         self._active_process: Optional[Process] = None
+        #: optional :class:`repro.obs.trace.Tracer`; ``None`` (the default)
+        #: means tracing is disabled and instrumentation costs one attribute
+        #: check.  Installed via ``repro.obs.install_tracer``.
+        self.tracer = None
 
     @property
     def now(self) -> float:
@@ -285,7 +289,13 @@ class Environment:
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start running ``generator`` as a simulation process."""
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        if self.tracer is not None:
+            # Spawned processes inherit the spawner's current span so that
+            # fan-out work (compaction shards, striped appends) stays inside
+            # the span tree of the command or job that launched it.
+            self.tracer.on_process_spawn(proc)
+        return proc
 
     def all_of(self, events: list[Event]) -> Event:
         """Event that fires when all of ``events`` have succeeded."""

@@ -120,22 +120,41 @@ class CpuPool:
         if seconds < 0:
             raise SimulationError("cannot execute negative CPU time")
         allowed = self._check_allowed(core, cores)
-        remaining = float(seconds)
-        if remaining == 0.0:
-            # Zero-cost work still passes through the queue once so that
-            # ordering against other work on the core is preserved.
-            idx, req = yield from self._acquire(allowed, priority)
-            self._cores[idx].release(req)
-            return
-        while remaining > 0:
-            idx, req = yield from self._acquire(allowed, priority)
-            slice_len = min(remaining, self.timeslice)
-            try:
-                yield self.env.timeout(slice_len)
-            finally:
-                self.busy_time[idx] += slice_len
+        tracer = self.env.tracer
+        span = None
+        wait = 0.0
+        if tracer is not None:
+            span = tracer.start(
+                f"cpu.{self.name}", "cpu", pool=self.name, run=float(seconds)
+            )
+        try:
+            remaining = float(seconds)
+            if remaining == 0.0:
+                # Zero-cost work still passes through the queue once so that
+                # ordering against other work on the core is preserved.
+                t0 = self.env.now
+                idx, req = yield from self._acquire(allowed, priority)
+                wait += self.env.now - t0
+                if span is not None:
+                    span.lane = f"{self.name}/core{idx}"
                 self._cores[idx].release(req)
-            remaining -= slice_len
+                return
+            while remaining > 0:
+                t0 = self.env.now
+                idx, req = yield from self._acquire(allowed, priority)
+                wait += self.env.now - t0
+                if span is not None and span.lane is None:
+                    span.lane = f"{self.name}/core{idx}"
+                slice_len = min(remaining, self.timeslice)
+                try:
+                    yield self.env.timeout(slice_len)
+                finally:
+                    self.busy_time[idx] += slice_len
+                    self._cores[idx].release(req)
+                remaining -= slice_len
+        finally:
+            if span is not None:
+                tracer.finish(span, wait=wait, run=float(seconds) - remaining)
 
     def utilization(self, up_to: Optional[float] = None) -> list[float]:
         """Per-core busy fraction of elapsed simulated time."""

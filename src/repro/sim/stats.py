@@ -12,7 +12,19 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Counter", "HitRatio", "Histogram", "TimeSeries", "StatsRegistry"]
+__all__ = [
+    "Counter",
+    "HitRatio",
+    "Histogram",
+    "TimeSeries",
+    "StatsRegistry",
+    "nan_to_zero",
+]
+
+
+def nan_to_zero(value: float) -> float:
+    """0.0 for NaN, the value otherwise — for JSON-bound report fields."""
+    return 0.0 if isinstance(value, float) and math.isnan(value) else value
 
 
 class Counter:
@@ -59,11 +71,22 @@ class HitRatio:
         total = self.total
         return self.hits.value / total if total else math.nan
 
+    @property
+    def ratio_or_zero(self) -> float:
+        """Like :attr:`ratio` but 0.0 before the first lookup.
+
+        Use this anywhere the value lands in JSON or formatted reports:
+        NaN is not valid JSON and reads as garbage in tables, while "no
+        lookups yet" rendering as a 0% hit rate is the expected shape.
+        """
+        total = self.total
+        return self.hits.value / total if total else 0.0
+
     def summary(self) -> dict[str, float]:
         return {
             "hits": self.hits.value,
             "misses": self.misses.value,
-            "hit_ratio": self.ratio,
+            "hit_ratio": self.ratio_or_zero,
         }
 
     def __repr__(self) -> str:
@@ -150,6 +173,7 @@ class StatsRegistry:
     def __init__(self, prefix: str = ""):
         self.prefix = prefix
         self._counters: dict[str, Counter] = {}
+        self._hit_ratios: dict[str, HitRatio] = {}
         self._histograms: dict[str, Histogram] = {}
         self._series: dict[str, TimeSeries] = {}
 
@@ -162,6 +186,13 @@ class StatsRegistry:
             c = Counter(self._full(name))
             self._counters[name] = c
         return c
+
+    def hit_ratio(self, name: str) -> HitRatio:
+        r = self._hit_ratios.get(name)
+        if r is None:
+            r = HitRatio(self._full(name))
+            self._hit_ratios[name] = r
+        return r
 
     def histogram(self, name: str) -> Histogram:
         h = self._histograms.get(name)
@@ -190,3 +221,31 @@ class StatsRegistry:
             out[self._full(name) + ".mean"] = h.mean
             out[self._full(name) + ".count"] = float(h.count)
         return out
+
+    def as_dict(self) -> dict[str, dict]:
+        """Structured, JSON-safe view for results files and metrics export.
+
+        Unlike :meth:`snapshot`, histograms carry their full percentile
+        summary (p50/p95/p99, not just the mean) and hit ratios appear as
+        hit/miss pairs with a NaN-free ratio.  Histogram means of empty
+        histograms are reported as 0.0 so the output is always valid JSON.
+        """
+        histograms = {}
+        for name, h in self._histograms.items():
+            summary = h.summary()
+            histograms[name] = {
+                key: nan_to_zero(value) for key, value in summary.items()
+            }
+        return {
+            "counters": {
+                name: c.value for name, c in self._counters.items()
+            },
+            "hit_ratios": {
+                name: r.summary() for name, r in self._hit_ratios.items()
+            },
+            "histograms": histograms,
+            "series": {
+                name: {"samples": float(len(s)), "last": s.last()}
+                for name, s in self._series.items()
+            },
+        }

@@ -111,7 +111,14 @@ class BoundedQueue:
         while len(self._items) >= self.capacity:
             slot = Event(self.env)
             self._putters.append(slot)
-            yield slot
+            tracer = self.env.tracer
+            if tracer is None:
+                yield slot
+            else:
+                # The blocked wait is backpressure from the consumer; record
+                # it as queue time on the producer's span tree.
+                with tracer.span("queue.put_wait", "queue", capacity=self.capacity):
+                    yield slot
         self._items.append(item)
         if self._getters:
             self._getters.popleft().succeed()
@@ -121,7 +128,12 @@ class BoundedQueue:
         while not self._items:
             ready = Event(self.env)
             self._getters.append(ready)
-            yield ready
+            tracer = self.env.tracer
+            if tracer is None:
+                yield ready
+            else:
+                with tracer.span("queue.get_wait", "queue", capacity=self.capacity):
+                    yield ready
         item = self._items.popleft()
         if self._putters:
             self._putters.popleft().succeed()

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections.abc import Generator
 
 from repro.errors import InvalidAddressError, StorageError
+from repro.obs.trace import trace_span
 from repro.sim.core import Environment
 from repro.sim.resources import Resource
 from repro.sim.sync import AllOf
@@ -97,11 +98,24 @@ class ConventionalSsd:
                 f"{self.name}: I/O must be {self.page_size}-byte aligned"
             )
 
-    def _occupy_channel(self, channel: int, seconds: float) -> Generator:
+    def _occupy_channel(
+        self, channel: int, seconds: float, op: str = "io", nbytes: int = 0
+    ) -> Generator:
         res = self._channels[channel]
-        with res.request() as req:
-            yield req
-            yield self.env.timeout(seconds)
+        with trace_span(
+            self.env,
+            f"nand.{op}",
+            "flash",
+            lane=f"{self.name}/ch{channel}",
+            busy=seconds,
+            bytes=nbytes,
+        ) as span:
+            with res.request() as req:
+                t0 = self.env.now
+                yield req
+                if span is not None:
+                    span.args["wait"] = self.env.now - t0
+                yield self.env.timeout(seconds)
         self.stats.record_channel_busy(channel, seconds)
 
     def _charge_per_channel(self, channel_bytes: dict[int, int], write: bool) -> Generator:
@@ -111,7 +125,10 @@ class ConventionalSsd:
             seconds = (
                 self.latency.write_time(nbytes) if write else self.latency.read_time(nbytes)
             )
-            procs.append(self.env.process(self._occupy_channel(channel, seconds)))
+            op = "write" if write else "read"
+            procs.append(
+                self.env.process(self._occupy_channel(channel, seconds, op, nbytes))
+            )
         if procs:
             yield AllOf(self.env, procs)
 
@@ -122,12 +139,14 @@ class ConventionalSsd:
                 seconds = self.latency.read_time(moved_bytes) + self.latency.write_time(
                     moved_bytes
                 )
-                yield from self._occupy_channel(work.channel, seconds)
+                yield from self._occupy_channel(work.channel, seconds, "gc", moved_bytes)
                 self.stats.record_gc_copy(moved_bytes)
                 self.stats.record_read(moved_bytes)
                 self.stats.record_write(moved_bytes)
             for _ in range(work.erased_blocks):
-                yield from self._occupy_channel(work.channel, self.latency.erase_time())
+                yield from self._occupy_channel(
+                    work.channel, self.latency.erase_time(), "erase"
+                )
                 self.stats.record_erase()
 
     # -- operations (simulation generators) --------------------------------------
@@ -184,4 +203,5 @@ class ConventionalSsd:
         self.ftl.trim_pages(lpns)
         for lpn in lpns:
             self._pages.pop(int(lpn), None)
-        yield self.env.timeout(self.latency.command_overhead)
+        with trace_span(self.env, "nand.trim", "flash", busy=self.latency.command_overhead):
+            yield self.env.timeout(self.latency.command_overhead)

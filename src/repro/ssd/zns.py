@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Generator
 
 from repro.errors import StorageError
+from repro.obs.trace import trace_span
 from repro.sim.core import Environment
 from repro.sim.resources import Resource
 from repro.ssd.geometry import SsdGeometry
@@ -57,11 +58,24 @@ class ZnsSsd:
             raise StorageError(f"zone id {zone_id} out of range for {self.name}")
         return self.zones[zone_id]
 
-    def _occupy_channel(self, channel: int, seconds: float) -> Generator:
+    def _occupy_channel(
+        self, channel: int, seconds: float, op: str = "io", nbytes: int = 0
+    ) -> Generator:
         res = self._channels[channel]
-        with res.request() as req:
-            yield req
-            yield self.env.timeout(seconds)
+        with trace_span(
+            self.env,
+            f"nand.{op}",
+            "flash",
+            lane=f"{self.name}/ch{channel}",
+            busy=seconds,
+            bytes=nbytes,
+        ) as span:
+            with res.request() as req:
+                t0 = self.env.now
+                yield req
+                if span is not None:
+                    span.args["wait"] = self.env.now - t0
+                yield self.env.timeout(seconds)
         self.stats.record_channel_busy(channel, seconds)
 
     # -- operations (simulation generators) -----------------------------------
@@ -76,7 +90,9 @@ class ZnsSsd:
         if self.faults is not None:
             self.faults.check_write()
         offset = zone.append(bytes(data))  # validates state/space, claims range
-        yield from self._occupy_channel(zone.channel, self.latency.write_time(len(data)))
+        yield from self._occupy_channel(
+            zone.channel, self.latency.write_time(len(data)), "append", len(data)
+        )
         self.stats.record_write(len(data))
         return offset
 
@@ -86,21 +102,25 @@ class ZnsSsd:
         if self.faults is not None:
             self.faults.check_read()
         data = zone.read(offset, length)  # validates the range
-        yield from self._occupy_channel(zone.channel, self.latency.read_time(length))
+        yield from self._occupy_channel(
+            zone.channel, self.latency.read_time(length), "read", length
+        )
         self.stats.record_read(length)
         return data
 
     def reset_zone(self, zone_id: int) -> Generator:
         """Reset a zone: discard its data and rewind the write pointer."""
         zone = self.zone(zone_id)
-        yield from self._occupy_channel(zone.channel, self.latency.erase_time())
+        yield from self._occupy_channel(zone.channel, self.latency.erase_time(), "erase")
         zone.reset()
         self.stats.record_erase()
 
     def finish_zone(self, zone_id: int) -> Generator:
         """Transition a zone to FULL; costs one command overhead."""
         zone = self.zone(zone_id)
-        yield from self._occupy_channel(zone.channel, self.latency.command_overhead)
+        yield from self._occupy_channel(
+            zone.channel, self.latency.command_overhead, "finish"
+        )
         zone.finish()
 
     # -- inspection ------------------------------------------------------------

@@ -1,0 +1,143 @@
+"""Tests for the Chrome-trace exporter and the latency-attribution table."""
+
+import json
+
+from repro.obs.export import (
+    BUCKETS,
+    attribute_span,
+    attribution_rows,
+    format_attribution,
+    min_command_coverage,
+    to_chrome_trace,
+)
+from repro.obs.trace import install_tracer
+from repro.sim import Environment
+
+
+def _run_sample_workload(env, tracer):
+    """One command with cpu + flash work, launching a background job."""
+
+    def job():
+        with tracer.span("job.compaction", "job", lane="jobs/compaction"):
+            with tracer.span("compact.sort", "stage"):
+                with tracer.span(
+                    "cpu.soc", "cpu", lane="soc/core0", pool="soc",
+                    run=3.0, wait=1.0,
+                ):
+                    yield env.timeout(4.0)
+
+    def cmd():
+        with tracer.span("cmd.put", "command"):
+            with tracer.span(
+                "cpu.host", "cpu", lane="host/core0", pool="host",
+                run=1.0, wait=0.0,
+            ):
+                yield env.timeout(1.0)
+            with tracer.span(
+                "nand.append", "flash", lane="zns0/ch0", busy=1.5,
+            ) as span:
+                yield env.timeout(0.5)  # queued behind another op
+                span.args["wait"] = 0.5
+                yield env.timeout(1.5)
+            env.process(job())
+
+    env.process(cmd())
+    env.run()  # drain the background job too
+
+
+def test_chrome_trace_shape():
+    env = Environment()
+    tracer = install_tracer(env)
+    _run_sample_workload(env, tracer)
+
+    doc = to_chrome_trace(tracer)
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == len(tracer.spans)
+    lane_names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert {"host/core0", "zns0/ch0", "soc/core0", "jobs/compaction"} <= lane_names
+    # complete events sorted by (ts, tid), all fields well-formed
+    order = [(e["ts"], e["tid"]) for e in spans]
+    assert order == sorted(order)
+    for e in spans:
+        assert e["pid"] == 1 and e["dur"] >= 0 and "span_id" in e["args"]
+    # microsecond stamps from the virtual clock
+    put = next(e for e in spans if e["name"] == "cmd.put")
+    assert put["ts"] == 0.0 and put["dur"] == 3.0 * 1e6
+    # the whole document is valid strict JSON
+    json.loads(json.dumps(doc, allow_nan=False))
+
+
+def test_spans_without_lane_inherit_an_ancestor_lane():
+    env = Environment()
+    tracer = install_tracer(env)
+
+    def proc():
+        with tracer.span("cmd.x", "command"):
+            with tracer.span("outer", "stage", lane="soc/core1"):
+                with tracer.span("inner", "stage"):
+                    yield env.timeout(1.0)
+
+    env.run(env.process(proc()))
+    doc = to_chrome_trace(tracer)
+    spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert spans["inner"]["tid"] == spans["outer"]["tid"]
+    assert spans["cmd.x"]["tid"] != spans["outer"]["tid"]
+
+
+def test_attribute_span_buckets():
+    env = Environment()
+    tracer = install_tracer(env)
+    _run_sample_workload(env, tracer)
+
+    cpu = next(s for s in tracer.spans if s.name == "cpu.soc")
+    buckets = attribute_span(cpu)
+    assert buckets["soc_cpu"] == 3.0
+    assert buckets["queue"] == 1.0
+    flash = next(s for s in tracer.spans if s.name == "nand.append")
+    buckets = attribute_span(flash)
+    assert buckets["flash"] == 1.5
+    assert buckets["queue"] == 0.5
+
+
+def test_attribution_rows_prune_background_jobs():
+    env = Environment()
+    tracer = install_tracer(env)
+    _run_sample_workload(env, tracer)
+
+    rows = {row["op"]: row for row in attribution_rows(tracer)}
+    assert set(rows) == {"cmd.put", "job.compaction"}
+    put = rows["cmd.put"]
+    # the job's 4 simulated seconds must not inflate the 3-second command
+    assert put["total_s"] == 3.0
+    assert put["host_cpu"] == 1.0
+    assert put["flash"] == 1.5
+    assert put["queue"] == 0.5
+    assert put["soc_cpu"] == 0.0
+    job = rows["job.compaction"]
+    assert job["soc_cpu"] == 3.0
+    assert job["queue"] == 1.0
+    assert min_command_coverage(tracer) == 1.0
+
+    text = format_attribution(attribution_rows(tracer))
+    lines = text.splitlines()
+    assert lines[0].split()[:3] == ["op", "count", "total_s"]
+    assert any(line.startswith("cmd.put") for line in lines)
+    for bucket in BUCKETS:
+        assert bucket in lines[0]
+
+
+def test_min_command_coverage_flags_unattributed_time():
+    env = Environment()
+    tracer = install_tracer(env)
+
+    def proc():
+        with tracer.span("cmd.sparse", "command"):
+            with tracer.span("step", "stage"):
+                yield env.timeout(1.0)
+            yield env.timeout(3.0)  # un-spanned tail
+
+    env.run(env.process(proc()))
+    assert min_command_coverage(tracer) == 0.25

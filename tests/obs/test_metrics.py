@@ -1,0 +1,103 @@
+"""Tests for stats JSON export and the Prometheus-style metrics hub."""
+
+import json
+import math
+
+from repro.obs.metrics import MetricsHub, sanitize_metric_name
+from repro.sim.stats import HitRatio, StatsRegistry
+
+
+def test_hit_ratio_or_zero():
+    r = HitRatio("cache")
+    assert math.isnan(r.ratio)
+    assert r.ratio_or_zero == 0.0
+    r.hit(3)
+    r.miss(1)
+    assert r.ratio == 0.75
+    assert r.ratio_or_zero == 0.75
+    assert r.summary() == {"hits": 3.0, "misses": 1.0, "hit_ratio": 0.75}
+
+
+def test_registry_as_dict_is_json_safe():
+    reg = StatsRegistry("kvcsd")
+    reg.counter("puts").add(5)
+    reg.hit_ratio("cache")  # no lookups yet: ratio must export as 0.0
+    reg.histogram("lat")  # empty histogram: stats must export as 0.0
+    reg.histogram("lat2").record(2.0)
+    reg.series("depth").sample(0.0, 1.0)
+
+    data = reg.as_dict()
+    json.dumps(data, allow_nan=False)  # raises if any NaN leaked
+    assert data["counters"] == {"puts": 5.0}
+    assert data["hit_ratios"]["cache"]["hit_ratio"] == 0.0
+    assert data["histograms"]["lat"]["mean"] == 0.0
+    h = data["histograms"]["lat2"]
+    assert (h["p50"], h["p95"], h["p99"]) == (2.0, 2.0, 2.0)
+    assert data["series"]["depth"] == {"samples": 1.0, "last": 1.0}
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("cmd.bulk_put") == "cmd_bulk_put"
+    assert sanitize_metric_name("9lives") == "_9lives"
+    assert sanitize_metric_name("///") == "unnamed"
+
+
+class _FakeIo:
+    bytes_read = 100
+    bytes_written = 200
+    read_ops = 3
+    write_ops = 4
+    erase_ops = 1
+    gc_bytes_copied = 50
+    channel_busy = {0: 0.5, 1: 0.25}
+
+
+class _FakeLink:
+    bytes_tx = 1000
+    bytes_rx = 2000
+
+
+def _sample_hub() -> MetricsHub:
+    hub = MetricsHub()
+    reg = StatsRegistry("kvcsd")
+    reg.counter("pairs_inserted").add(7)
+    reg.hit_ratio("membuf").hit(2)
+    hub.register_registry("kvcsd", reg)
+    hub.register_io("zns0", _FakeIo())
+    hub.register_link("pcie", _FakeLink())
+    hub.observe_op("cmd.get", 0.002)
+    hub.observe_op("cmd.get", 0.004)
+    return hub
+
+
+def test_hub_as_dict():
+    data = _sample_hub().as_dict()
+    json.dumps(data, allow_nan=False)
+    assert data["registries"]["kvcsd"]["counters"]["pairs_inserted"] == 7.0
+    assert data["io"]["zns0"]["erase_ops"] == 1
+    assert data["io"]["zns0"]["channel_busy_seconds"] == {0: 0.5, 1: 0.25}
+    assert data["links"]["pcie"]["bytes_tx"] == 1000
+    assert data["op_latency"]["cmd.get"]["count"] == 2.0
+
+
+def test_prometheus_exposition():
+    text = _sample_hub().to_prometheus()
+    assert "# TYPE repro_kvcsd_pairs_inserted_total counter" in text
+    assert "repro_kvcsd_pairs_inserted_total 7.0" in text
+    assert "repro_kvcsd_membuf_hit_ratio 1.0" in text
+    assert 'repro_ssd_bytes_read_total{device="zns0"} 100.0' in text
+    assert 'repro_ssd_erase_ops_total{device="zns0"} 1.0' in text
+    assert (
+        'repro_ssd_channel_busy_seconds_total{device="zns0",channel="0"} 0.5'
+        in text
+    )
+    assert 'repro_link_bytes_rx_total{link="pcie"} 2000.0' in text
+    assert 'repro_op_latency_seconds{op="cmd.get",quantile="0.5"} 0.002' in text
+    assert 'repro_op_latency_seconds_count{op="cmd.get"} 2.0' in text
+    # every non-comment line is "name{labels} value" with a float value
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        assert name
+        float(value)

@@ -1,0 +1,222 @@
+"""Unit tests for the span tracer: nesting, propagation, zero-cost disable."""
+
+from repro.obs.trace import (
+    Span,
+    install_tracer,
+    trace_span,
+    trace_wait,
+    union_length,
+)
+from repro.sim import Environment, Event
+from repro.sim.sync import BoundedQueue
+
+
+def test_union_length():
+    assert union_length([]) == 0.0
+    assert union_length([(0.0, 1.0), (2.0, 3.0)]) == 2.0
+    assert union_length([(0.0, 2.0), (1.0, 3.0)]) == 3.0
+    assert union_length([(0.0, 10.0)], clip=(2.0, 5.0)) == 3.0
+    assert union_length([(5.0, 4.0)]) == 0.0  # empty interval dropped
+
+
+def test_disabled_env_records_nothing():
+    env = Environment()
+    assert env.tracer is None
+    scope = trace_span(env, "x", "stage")
+    with scope as span:
+        assert span is None
+    # the disabled scope is a shared singleton — no per-call allocation
+    assert trace_span(env, "y", "stage") is scope
+
+
+def test_spans_nest_within_one_process():
+    env = Environment()
+    tracer = install_tracer(env)
+
+    def proc():
+        with tracer.span("outer", "command"):
+            yield env.timeout(1.0)
+            with tracer.span("inner", "stage"):
+                yield env.timeout(2.0)
+            yield env.timeout(0.5)
+
+    env.run(env.process(proc()))
+    outer, inner = tracer.spans
+    assert outer.name == "outer" and inner.name == "inner"
+    assert inner.parent is outer
+    assert outer.children == [inner]
+    assert (outer.start, outer.end) == (0.0, 3.5)
+    assert (inner.start, inner.end) == (1.0, 3.0)
+    assert outer.self_time() == 1.5
+    assert inner.self_time() == 2.0
+
+
+def test_spawned_process_inherits_current_span():
+    env = Environment()
+    tracer = install_tracer(env)
+
+    def child():
+        with tracer.span("child.work", "stage"):
+            yield env.timeout(1.0)
+
+    def parent():
+        with tracer.span("cmd.fanout", "command"):
+            procs = [env.process(child()) for _ in range(3)]
+            for p in procs:
+                yield p
+
+    env.run(env.process(parent()))
+    root = tracer.roots()[0]
+    assert [c.name for c in root.children] == ["child.work"] * 3
+
+
+def test_sibling_processes_do_not_share_current_span():
+    env = Environment()
+    tracer = install_tracer(env)
+
+    def worker(name):
+        with tracer.span(name, "command"):
+            yield env.timeout(1.0)
+            with tracer.span(f"{name}.step", "stage"):
+                yield env.timeout(1.0)
+
+    env.run(env.process(worker("a")))
+    env.run(env.process(worker("b")))
+    roots = tracer.roots()
+    assert [r.name for r in roots] == ["a", "b"]
+    for root in roots:
+        assert [c.name for c in root.children] == [f"{root.name}.step"]
+
+
+def test_trace_wait_records_the_blocked_interval():
+    env = Environment()
+    tracer = install_tracer(env)
+    gate = Event(env)
+
+    def opener():
+        yield env.timeout(2.5)
+        gate.succeed("opened")
+
+    def waiter():
+        with tracer.span("cmd.wait", "command"):
+            value = yield from trace_wait(env, gate, "gate.wait")
+        return value
+
+    env.process(opener())
+    assert env.run(env.process(waiter())) == "opened"
+    wait_span = next(s for s in tracer.spans if s.name == "gate.wait")
+    assert wait_span.category == "queue"
+    assert (wait_span.start, wait_span.end) == (0.0, 2.5)
+    assert wait_span.parent.name == "cmd.wait"
+
+
+def test_trace_wait_disabled_is_a_bare_yield():
+    env = Environment()
+    gate = Event(env)
+
+    def opener():
+        yield env.timeout(1.0)
+        gate.succeed(42)
+
+    def waiter():
+        value = yield from trace_wait(env, gate, "gate.wait")
+        return value
+
+    env.process(opener())
+    assert env.run(env.process(waiter())) == 42
+
+
+def test_capture_activate_across_bounded_queue():
+    """Trace context ships with items through a producer/consumer queue."""
+    env = Environment()
+    tracer = install_tracer(env)
+    queue = BoundedQueue(env, capacity=1)
+    done = []
+
+    def producer():
+        with tracer.span("job.produce", "job"):
+            for i in range(3):
+                yield env.timeout(1.0)
+                yield from queue.put((i, tracer.capture()))
+            yield from queue.put((None, None))
+
+    def consumer():
+        while True:
+            item, ctx = yield from queue.get()
+            if item is None:
+                return
+            with ctx.activate():
+                with tracer.span("consume", "stage", item=item):
+                    yield env.timeout(0.5)
+            done.append(item)
+
+    env.process(producer())
+    env.run(env.process(consumer()))
+    assert done == [0, 1, 2]
+    produce = next(s for s in tracer.spans if s.name == "job.produce")
+    consumes = [s for s in tracer.spans if s.name == "consume"]
+    assert len(consumes) == 3
+    assert all(s.parent is produce for s in consumes)
+    # activation is scoped: the consumer has no current span afterwards
+    assert tracer.current() is None
+
+
+def test_context_propagates_across_parallel_sort_shards():
+    """Spawned shard processes parent their spans under the sort stage."""
+    env = Environment()
+    tracer = install_tracer(env)
+
+    def shard(idx):
+        with tracer.span("sort.shard", "stage", shard=idx):
+            yield env.timeout(1.0 + idx)
+
+    def job():
+        with tracer.span("job.compaction", "job"):
+            with tracer.span("compact.sort", "stage"):
+                procs = [env.process(shard(i)) for i in range(4)]
+                for p in procs:
+                    yield p
+
+    env.run(env.process(job()))
+    sort = next(s for s in tracer.spans if s.name == "compact.sort")
+    shards = [s for s in tracer.spans if s.name == "sort.shard"]
+    assert len(shards) == 4
+    assert all(s.parent is sort for s in shards)
+    assert sorted(s.args["shard"] for s in shards) == [0, 1, 2, 3]
+    # shards overlap, so the stage is fully covered by its children
+    assert sort.coverage() == 1.0
+
+
+def test_span_coverage_counts_descendants_once():
+    env = Environment()
+    root = Span(1, "root", "command", start=0.0)
+    root.end = 10.0
+    a = Span(2, "a", "stage", start=0.0, parent=root)
+    a.end = 4.0
+    b = Span(3, "b", "stage", start=2.0, parent=root)
+    b.end = 6.0
+    root.children = [a, b]
+    assert root.coverage() == 0.6
+    assert root.self_time() == 4.0
+
+
+def test_finish_feeds_command_latency_to_hub():
+    class FakeHub:
+        def __init__(self):
+            self.seen = []
+
+        def observe_op(self, op, seconds):
+            self.seen.append((op, seconds))
+
+    env = Environment()
+    hub = FakeHub()
+    tracer = install_tracer(env, hub=hub)
+
+    def proc():
+        with tracer.span("cmd.get", "command"):
+            with tracer.span("step", "stage"):
+                yield env.timeout(2.0)
+
+    env.run(env.process(proc()))
+    # only command/job spans are observed, not inner stages
+    assert hub.seen == [("cmd.get", 2.0)]
