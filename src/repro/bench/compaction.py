@@ -130,7 +130,7 @@ class CompactionBenchResult:
         ]
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "config": {
                 "n_pairs": self.config.n_pairs,
                 "key_bytes": self.config.key_bytes,
@@ -151,12 +151,16 @@ class CompactionBenchResult:
             "identical_outputs": self.identical_outputs,
             "block_cache": self.cache_report,
             "device_stats": self.device_stats,
-            "attribution": self.attribution,
             "checks": [
                 {"description": c.description, "passed": c.passed, "observed": c.observed}
                 for c in self.checks()
             ],
         }
+        # Only traced runs carry an attribution table; untraced runs omit the
+        # key entirely rather than emitting a misleading empty dict.
+        if self.attribution:
+            out["attribution"] = self.attribution
+        return out
 
 
 def _load_and_compact(config: CompactionBenchConfig, pairs, shards, cache_bytes, trace=False):

@@ -11,7 +11,14 @@ Commands:
 * ``trace``                — run a traced workload, dump a Chrome-trace
   timeline and print the per-command latency-attribution table;
 * ``metrics``              — run a traced workload and dump a
-  Prometheus-style text exposition of every counter/histogram.
+  Prometheus-style text exposition of every counter/histogram;
+* ``inspect``              — run a workload and dump the versioned
+  full-device snapshot as a human tree or JSON;
+* ``journal``              — run a journaled workload and print/export the
+  structured lifecycle-event journal (JSONL);
+* ``audit``                — run an audited workload, checking every device
+  invariant on demand and (``--audit-level=phase``) at each flush and
+  compaction-phase boundary; exits non-zero on violations.
 """
 
 from __future__ import annotations
@@ -159,6 +166,81 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_inspect(args) -> int:
+    from repro.obs import device_snapshot, format_snapshot, snapshot_json
+    from repro.obs.harness import run_audited_workload
+
+    kv, _auditor, _report = run_audited_workload(
+        seed=args.seed, audit_level="off"
+    )
+    if args.format == "json":
+        print(snapshot_json(kv.device))
+    else:
+        print(format_snapshot(device_snapshot(kv.device)), end="")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(snapshot_json(kv.device))
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_journal(args) -> int:
+    from repro.obs.harness import run_audited_workload
+
+    kv, _auditor, _report = run_audited_workload(
+        seed=args.seed, audit_level="off"
+    )
+    journal = kv.env.journal
+    for event in journal.tail(args.tail):
+        fields = " ".join(f"{k}={v}" for k, v in sorted(event.fields.items()))
+        span = f" span={event.span_id}" if event.span_id is not None else ""
+        print(f"#{event.seq} t={event.time:.6f}s {event.type}{span} {fields}")
+    summary = journal.summary()
+    print(
+        f"journal: {summary['total_recorded']} events recorded, "
+        f"{summary['retained']} retained, {summary['dropped']} dropped"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(journal.to_jsonl())
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    import json
+
+    from repro.obs import snapshot_json
+    from repro.obs.harness import run_audited_workload
+
+    kv, auditor, final_report = run_audited_workload(
+        seed=args.seed, audit_level=args.audit_level
+    )
+    print(final_report.format(), end="")
+    summary = auditor.summary()
+    print(
+        f"audit summary: {summary['runs']} run(s) at level "
+        f"{summary['level']!r}, {summary['failed_runs']} failed, "
+        f"{summary['total_violations']} total violation(s)"
+    )
+    if args.snapshot_out:
+        with open(args.snapshot_out, "w") as fh:
+            fh.write(snapshot_json(kv.device))
+            fh.write("\n")
+        print(f"wrote {args.snapshot_out}")
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump([r.as_dict() for r in auditor.reports], fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.report_out}")
+    if args.journal_out:
+        with open(args.journal_out, "w") as fh:
+            fh.write(kv.env.journal.to_jsonl())
+        print(f"wrote {args.journal_out}")
+    return 0 if summary["total_violations"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="KV-CSD reproduction toolkit"
@@ -214,6 +296,55 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     metrics.add_argument("--out", default=None, help="write the dump to this path")
     metrics.set_defaults(func=_cmd_metrics)
+    inspect = sub.add_parser(
+        "inspect",
+        help="run a workload, dump the versioned full-device snapshot",
+    )
+    inspect.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    inspect.add_argument(
+        "--format",
+        default="tree",
+        choices=["tree", "json"],
+        help="print as a human tree or as JSON",
+    )
+    inspect.add_argument(
+        "--out", default=None, help="also write the JSON snapshot to this path"
+    )
+    inspect.set_defaults(func=_cmd_inspect)
+    journal = sub.add_parser(
+        "journal",
+        help="run a journaled workload, print/export lifecycle events",
+    )
+    journal.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    journal.add_argument(
+        "--tail", type=int, default=32, help="events to print (most recent)"
+    )
+    journal.add_argument(
+        "--out", default=None, help="write the full journal as JSONL"
+    )
+    journal.set_defaults(func=_cmd_journal)
+    audit = sub.add_parser(
+        "audit",
+        help="run an audited workload, checking every device invariant",
+    )
+    audit.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    audit.add_argument(
+        "--audit-level",
+        default="phase",
+        choices=["off", "phase"],
+        help="'phase' audits at every flush/compaction-phase boundary; "
+        "'off' audits once at the end only",
+    )
+    audit.add_argument(
+        "--snapshot-out", default=None, help="write the device snapshot (JSON)"
+    )
+    audit.add_argument(
+        "--report-out", default=None, help="write all audit reports (JSON)"
+    )
+    audit.add_argument(
+        "--journal-out", default=None, help="write the event journal (JSONL)"
+    )
+    audit.set_defaults(func=_cmd_audit)
     return parser
 
 

@@ -40,6 +40,12 @@ class BlockCache:
         self.used_bytes = 0
         self.stats = StatsRegistry("block_cache")
         self.lookups = self.stats.hit_ratio("lookups")
+        # Pre-create the event counters so a metrics scrape sees explicit
+        # zeros (Prometheus consumers need the series to exist before the
+        # first eviction/invalidation to rate() over it).
+        self.stats.counter("insertions")
+        self.stats.counter("evictions")
+        self.stats.counter("invalidations")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -115,3 +121,13 @@ class BlockCache:
             "evictions": counters.get("evictions", 0.0),
             "invalidations": counters.get("invalidations", 0.0),
         }
+
+    def introspect(self) -> dict:
+        """Snapshot for ``repro inspect``: the report plus zone residency."""
+        out = self.report()
+        out["zones_cached"] = sorted(self._by_zone)
+        return out
+
+    def iter_entries(self):
+        """(pointer, blob) view for the invariant auditor (no mutation)."""
+        return self._entries.items()

@@ -15,6 +15,7 @@ receiving results, which is the paper's entire point.
 from __future__ import annotations
 
 from collections.abc import Generator
+from contextlib import contextmanager
 from typing import Optional
 
 import numpy as np
@@ -52,6 +53,7 @@ from repro.errors import (
 )
 from repro.host.threads import ThreadCtx
 from repro.lsm.block import BlockBuilder
+from repro.obs.journal import journal_event
 from repro.obs.trace import trace_span, trace_wait
 from repro.sim.core import Environment, Event
 from repro.sim.resources import Resource
@@ -117,6 +119,10 @@ class KvCsdDevice:
         self.stats = StatsRegistry("kvcsd")
         #: durations of the latest offloaded jobs, for Figure 11's breakdown
         self.job_durations: dict[tuple[str, str], float] = {}
+        #: optional :class:`repro.obs.audit.InvariantAuditor`; ``None`` (the
+        #: default) means the boundary hooks cost one attribute check, same
+        #: contract as tracing/journaling.
+        self.auditor = None
         #: the keyspace table's backing store is a fixed, well-known zone so
         #: a remounted device finds it after a power cycle
         self._metadata_cluster = self.zone_manager.reserve_zone(METADATA_ZONE_ID)
@@ -124,6 +130,34 @@ class KvCsdDevice:
     # ------------------------------------------------------------------ plumbing
     def _ctx(self, priority: int = 0) -> ThreadCtx:
         return self.board.firmware_ctx(priority=priority)
+
+    def _audit_boundary(self, boundary: str) -> None:
+        """Run the invariant auditor at a flush/phase boundary, if attached.
+
+        Synchronous and side-effect-free with respect to the simulation:
+        auditors read device state directly (never through timed SSD
+        operations), so an audited run's virtual timeline is byte-identical
+        to an unaudited one.
+        """
+        if self.auditor is not None:
+            self.auditor.on_boundary(boundary)
+
+    @contextmanager
+    def _compact_phase(self, ks: Keyspace, phase: str):
+        """Bracket one compaction phase with journal events + an audit.
+
+        The end event and the audit run only on success — a phase that
+        raised never ended, and auditing its half-mutated state would
+        report violations the device itself is about to unwind.
+        """
+        journal_event(
+            self.env, "compact.phase_begin", keyspace=ks.name, phase=phase
+        )
+        yield
+        journal_event(
+            self.env, "compact.phase_end", keyspace=ks.name, phase=phase
+        )
+        self._audit_boundary(f"compact.{phase}")
 
     def _exec(self, ctx: ThreadCtx, host_seconds: float) -> Generator:
         yield from ctx.execute(self.board.scale_cpu(host_seconds))
@@ -142,8 +176,17 @@ class KvCsdDevice:
         could be served another keyspace's (or an older compaction's) data.
         """
         if self.block_cache is not None:
+            before = len(self.block_cache)
             for zone_id in cluster.zone_ids:
                 self.block_cache.invalidate_zone(zone_id)
+            dropped = before - len(self.block_cache)
+            if dropped:
+                journal_event(
+                    self.env,
+                    "cache.invalidate",
+                    zones=sorted(cluster.zone_ids),
+                    entries_dropped=dropped,
+                )
         yield from self.zone_manager.release_cluster(cluster)
 
     def _metadata_update(self, ctx: ThreadCtx, ks: Keyspace | None = None) -> Generator:
@@ -183,6 +226,9 @@ class KvCsdDevice:
             snapshot = encode_upsert(self.keyspaces[name], self._seqs.get(name, 0))
             yield from self._metadata_cluster.append_group(snapshot)
         self.stats.counter("metadata_checkpoints").add()
+        journal_event(
+            self.env, "metadata.checkpoint", keyspaces=len(self.keyspaces)
+        )
 
     def _append_stream(
         self,
@@ -232,6 +278,7 @@ class KvCsdDevice:
         self._jobs[name] = []
         yield from self._metadata_update(ctx, ks)
         self.stats.counter("keyspaces_created").add()
+        journal_event(self.env, "keyspace.create", keyspace=name)
 
     def open_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
         """Open for insertion: EMPTY -> WRITABLE."""
@@ -239,6 +286,7 @@ class KvCsdDevice:
         ks = self._keyspace(name)
         ks.open_for_write()
         yield from self._metadata_update(ctx, ks)
+        journal_event(self.env, "keyspace.open", keyspace=name)
 
     def delete_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
         """Delete at any state; deferred until running jobs complete."""
@@ -256,6 +304,7 @@ class KvCsdDevice:
         self._jobs.pop(name, None)
         yield from self._metadata_delete(ctx, name)
         self.stats.counter("keyspaces_deleted").add()
+        journal_event(self.env, "keyspace.delete", keyspace=name)
 
     def list_keyspaces(self) -> list[str]:
         """Names of all live keyspaces (table lookup, no device time)."""
@@ -298,6 +347,9 @@ class KvCsdDevice:
                 used_zones.update(cluster.zone_ids)
             if ks.state is KeyspaceState.WRITABLE and ks.klog_clusters:
                 yield from self._rescan_klog(ks, ctx)
+            journal_event(
+                self.env, "keyspace.recover", keyspace=name, state=ks.state.value
+            )
         self.zone_manager.mark_used(sorted(used_zones))
         # Orphans: written zones nobody references (failed jobs, torn flushes).
         from repro.ssd.zone import ZoneState
@@ -375,6 +427,54 @@ class KvCsdDevice:
                 name: len(jobs) for name, jobs in self._jobs.items() if jobs
             },
             "job_durations": dict(self.job_durations),
+        }
+
+    def introspect(self) -> dict:
+        """Deep structural snapshot of every stateful firmware component.
+
+        Where :meth:`report` is the flat counter/SMART view, this walks the
+        object graph — keyspaces with their cluster chains and index
+        sketches, membufs, the zone manager's free list, the ZNS zone
+        table, the SoC board, the block cache, and the job table — into
+        plain JSON-ready dicts.  Pure state read: no simulation events, no
+        device time (see :mod:`repro.obs.inspect` for the versioned
+        full-snapshot wrapper).
+        """
+        return {
+            "keyspaces": {
+                name: self.keyspaces[name].introspect()
+                for name in sorted(self.keyspaces)
+            },
+            "membufs": {
+                name: self._membufs[name].introspect()
+                for name in sorted(self._membufs)
+            },
+            "sequence_numbers": {
+                name: self._seqs[name] for name in sorted(self._seqs)
+            },
+            "zone_manager": self.zone_manager.introspect(),
+            "metadata_zone": {
+                "zone_ids": list(self._metadata_cluster.zone_ids),
+                "bytes_stored": self._metadata_cluster.bytes_stored(),
+            },
+            "ssd": self.ssd.introspect(),
+            "soc": self.board.introspect(),
+            "block_cache": (
+                self.block_cache.introspect()
+                if self.block_cache is not None
+                else None
+            ),
+            "jobs": {
+                "pending": {
+                    name: len(jobs) for name, jobs in self._jobs.items() if jobs
+                },
+                "durations": {
+                    f"{ks}/{kind}": duration
+                    for (ks, kind), duration in sorted(self.job_durations.items())
+                },
+            },
+            "counters": self.stats.counter_values(),
+            "compaction_shards": self.compaction_shards,
         }
 
     # ------------------------------------------------------------------ insertion
@@ -458,6 +558,10 @@ class KvCsdDevice:
             return
         with trace_span(self.env, "dev.flush", "stage", pairs=len(pairs)):
             yield from self._flush_pairs(ks, pairs, ctx)
+        journal_event(
+            self.env, "membuf.flush", keyspace=ks.name, pairs=len(pairs)
+        )
+        self._audit_boundary("flush")
 
     def _flush_pairs(
         self,
@@ -536,6 +640,13 @@ class KvCsdDevice:
             yield from self._flush_membuf(ks, ctx)
         ks.begin_compaction()
         yield from self._metadata_update(ctx, ks)
+        journal_event(
+            self.env,
+            "keyspace.compaction_begin",
+            keyspace=name,
+            n_pairs=ks.n_pairs,
+            inline_sidx=[config.name for config in sidx_configs],
+        )
         done = Event(self.env)
         self._jobs[name].append(done)
         self.env.process(
@@ -576,7 +687,9 @@ class KvCsdDevice:
             # ---- step 1: read back the unordered KLOG records
             records: list[tuple[bytes, tuple[int, ZonePointer | None]]] = []
             klog_bytes = 0
-            with trace_span(self.env, "compact.read_klog", "stage"):
+            with self._compact_phase(ks, "read_klog"), trace_span(
+                self.env, "compact.read_klog", "stage"
+            ):
                 for cluster in ks.klog_clusters:
                     contents = yield from cluster.read_all()
                     for blob in contents.values():
@@ -614,7 +727,9 @@ class KvCsdDevice:
                         contents = yield from cluster.read_all()
                         zone_blobs.update(contents)
 
-            with trace_span(self.env, "compact.sort", "stage", shards=shards):
+            with self._compact_phase(ks, "sort"), trace_span(
+                self.env, "compact.sort", "stage", shards=shards
+            ):
                 if shards == 1:
                     # Serial reference path: sort, then read the values.
                     sorted_records = yield from coordinator.sort(
@@ -656,7 +771,9 @@ class KvCsdDevice:
             # ---- step 3: gather values in key order into stripe groups
             # (the per-record placement is independent across key ranges, so
             # the pipelined path spreads the gather over the SoC cores too)
-            with trace_span(self.env, "compact.gather", "stage", records=len(live)):
+            with self._compact_phase(ks, "gather"), trace_span(
+                self.env, "compact.gather", "stage", records=len(live)
+            ):
                 if shards == 1 or len(live) < shards:
                     yield from self._exec(
                         ctx, self.costs.gather_per_record * len(live)
@@ -696,7 +813,9 @@ class KvCsdDevice:
                 groups.append(b"".join(current))
 
             # ---- step 4: write SORTED_VALUES and build PIDX blocks
-            with trace_span(self.env, "compact.materialize", "stage"):
+            with self._compact_phase(ks, "materialize"), trace_span(
+                self.env, "compact.materialize", "stage"
+            ):
                 if shards == 1:
                     yield from self._exec(
                         ctx, self.costs.block_build_per_byte * sum(map(len, groups))
@@ -730,9 +849,18 @@ class KvCsdDevice:
                     )
             ks.pidx_sketch = sketch
             ks.n_pairs = len(live)
+            journal_event(
+                self.env,
+                "sketch.build",
+                keyspace=ks.name,
+                kind="pidx",
+                n_blocks=len(sketch),
+            )
 
             # ---- step 5: drop the unsorted logs, flip the state
-            with trace_span(self.env, "compact.cleanup", "stage"):
+            with self._compact_phase(ks, "cleanup"), trace_span(
+                self.env, "compact.cleanup", "stage"
+            ):
                 for cluster in ks.klog_clusters + ks.vlog_clusters:
                     yield from self._release_cluster(cluster)
                 ks.klog_clusters = []
@@ -741,13 +869,19 @@ class KvCsdDevice:
                 yield from self._metadata_update(ctx, ks)
             self.stats.counter("compactions").add()
             self.job_durations[(ks.name, "compaction")] = self.env.now - t0
+            journal_event(
+                self.env,
+                "keyspace.compaction_end",
+                keyspace=ks.name,
+                n_pairs=ks.n_pairs,
+            )
 
             # ---- step 6 (optional): single-pass secondary indexes.
             # The values are still in DRAM (zone_blobs + placements); build
             # every requested index without re-reading the keyspace — unless
             # that working set would not have fit the sort budget.
             if sidx_configs:
-                with trace_span(
+                with self._compact_phase(ks, "sidx"), trace_span(
                     self.env, "compact.sidx", "stage", indexes=len(sidx_configs)
                 ):
                     values_resident = sum(len(g) for g in groups)
@@ -885,6 +1019,13 @@ class KvCsdDevice:
     ) -> Generator:
         """Build one secondary index from values already resident in DRAM."""
         t0 = self.env.now
+        journal_event(
+            self.env,
+            "sidx.build_begin",
+            keyspace=ks.name,
+            index=config.name,
+            mode="inline",
+        )
         with trace_span(self.env, "sidx.build_inline", "stage", index=config.name):
             yield from self._exec(
                 ctx, self.costs.extract_per_record * len(value_by_key)
@@ -920,6 +1061,15 @@ class KvCsdDevice:
             yield from self._metadata_update(ctx, ks)
         self.stats.counter("sidx_builds_inline").add()
         self.job_durations[(ks.name, f"sidx:{config.name}")] = self.env.now - t0
+        journal_event(
+            self.env,
+            "sidx.build_end",
+            keyspace=ks.name,
+            index=config.name,
+            mode="inline",
+            n_blocks=len(sketch),
+        )
+        self._audit_boundary("sidx")
 
     # ------------------------------------------------------------------ secondary indexes
     def build_sidx(
@@ -958,6 +1108,13 @@ class KvCsdDevice:
             else None
         )
         try:
+            journal_event(
+                self.env,
+                "sidx.build_begin",
+                keyspace=ks.name,
+                index=config.name,
+                mode="scan",
+            )
             # ---- full scan: PIDX for keys+pointers, SORTED_VALUES for values
             assert ks.pidx_sketch is not None
             entries: list[tuple[bytes, ZonePointer]] = []
@@ -1010,6 +1167,15 @@ class KvCsdDevice:
             yield from self._metadata_update(ctx, ks)
             self.stats.counter("sidx_builds").add()
             self.job_durations[(ks.name, f"sidx:{config.name}")] = self.env.now - t0
+            journal_event(
+                self.env,
+                "sidx.build_end",
+                keyspace=ks.name,
+                index=config.name,
+                mode="scan",
+                n_blocks=len(sketch),
+            )
+            self._audit_boundary("sidx")
         finally:
             if job_span is not None:
                 tracer.finish(job_span)

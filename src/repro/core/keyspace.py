@@ -89,6 +89,49 @@ class Keyspace:
         if self.max_key is None or key > self.max_key:
             self.max_key = key
 
+    def introspect(self) -> dict:
+        """Versioned state dump for ``repro inspect`` (see obs/inspect.py).
+
+        Pure table read: no device time, no simulation events.  Byte keys
+        are hex-encoded so the snapshot is JSON-safe.
+        """
+        return {
+            "name": self.name,
+            "state": self.state.value,
+            "n_pairs": self.n_pairs,
+            "min_key": self.min_key.hex() if self.min_key is not None else None,
+            "max_key": self.max_key.hex() if self.max_key is not None else None,
+            "deletion_pending": self.deletion_pending,
+            "clusters": {
+                "klog": [c.introspect() for c in self.klog_clusters],
+                "vlog": [c.introspect() for c in self.vlog_clusters],
+                "pidx": [c.introspect() for c in self.pidx_clusters],
+                "sorted_values": [
+                    c.introspect() for c in self.sorted_value_clusters
+                ],
+                "sidx": {
+                    name: [c.introspect() for c in clusters]
+                    for name, clusters in sorted(self.sidx_clusters.items())
+                },
+            },
+            "pidx_sketch": (
+                self.pidx_sketch.introspect()
+                if self.pidx_sketch is not None
+                else None
+            ),
+            "sidx": {
+                name: {
+                    "config": {
+                        "value_offset": config.value_offset,
+                        "width": config.width,
+                        "dtype": config.dtype,
+                    },
+                    "sketch": sketch.introspect(),
+                }
+                for name, (config, sketch) in sorted(self.sidx.items())
+            },
+        }
+
     def all_clusters(self) -> list["ZoneCluster"]:
         """Every zone cluster currently mapped to this keyspace."""
         out = (

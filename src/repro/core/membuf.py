@@ -50,6 +50,15 @@ class MemBuffer:
         self._bytes = 0
         return pairs
 
+    def introspect(self) -> dict:
+        """Buffer occupancy for device snapshots (no simulation events)."""
+        return {
+            "capacity_bytes": self.capacity,
+            "bytes_buffered": self._bytes,
+            "n_pairs": len(self._pairs),
+            "should_flush": self.should_flush,
+        }
+
     def get(self, key: bytes) -> bytes | None:
         """Lookup inside the buffer (newest write wins)."""
         for k, v, _seq in reversed(self._pairs):

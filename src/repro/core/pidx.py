@@ -98,6 +98,16 @@ class PidxSketch:
         """Approximate in-DRAM footprint of the sketch."""
         return sum(len(p) for p in self.pivots) + 16 * len(self.block_pointers)
 
+    def introspect(self) -> dict:
+        """Sketch shape for device snapshots (no simulation events)."""
+        return {
+            "n_blocks": len(self.pivots),
+            "size_bytes": self.size_bytes,
+            "first_pivot": self.pivots[0].hex() if self.pivots else None,
+            "last_pivot": self.pivots[-1].hex() if self.pivots else None,
+            "zones": sorted({p[0] for p in self.block_pointers}),
+        }
+
 
 def read_block_entries(blob: bytes) -> list[tuple[bytes, ZonePointer]]:
     """Decode one PIDX block into (key, value-pointer) entries."""

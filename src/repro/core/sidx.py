@@ -231,3 +231,13 @@ class SidxSketch:
         while stop > start and self.pivots[stop - 1][: self.skey_width] >= hi_enc:
             stop -= 1
         return range(start, stop)
+
+    def introspect(self) -> dict:
+        """Sketch shape for device snapshots (no simulation events)."""
+        return {
+            "skey_width": self.skey_width,
+            "n_blocks": len(self.pivots),
+            "first_pivot": self.pivots[0].hex() if self.pivots else None,
+            "last_pivot": self.pivots[-1].hex() if self.pivots else None,
+            "zones": sorted({p[0] for p in self.block_pointers}),
+        }

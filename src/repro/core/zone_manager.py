@@ -19,6 +19,7 @@ from collections.abc import Generator
 import numpy as np
 
 from repro.errors import OutOfSpaceError, StorageError, ZoneFullError
+from repro.obs.journal import journal_event
 from repro.sim.sync import AllOf
 from repro.ssd.zns import ZnsSsd
 from repro.ssd.zone import ZoneState
@@ -106,6 +107,16 @@ class ZoneCluster:
         result = yield AllOf(env, procs)
         return [result[p] for p in procs]
 
+    def introspect(self) -> dict:
+        """Cluster layout for device snapshots (no simulation events)."""
+        return {
+            "zone_ids": list(self.zone_ids),
+            "rotation": self.rotation,
+            "next_stripe": self._next % len(self.zone_ids),
+            "bytes_stored": self.bytes_stored(),
+            "remaining_bytes": self.remaining(),
+        }
+
     # -- reads --------------------------------------------------------------------
     def read(self, pointer: ZonePointer) -> Generator:
         """Read the extent a pointer names."""
@@ -156,6 +167,7 @@ class ZoneManager:
         its current state; removes it from the free pool if present."""
         self._free = [z for z in self._free if z != zone_id]
         self.allocated_clusters += 1
+        journal_event(self.ssd.env, "cluster.reserve", zones=[zone_id])
         return ZoneCluster(self.ssd, [zone_id], rotation=0)
 
     def mark_used(self, zone_ids: list[int]) -> None:
@@ -203,6 +215,7 @@ class ZoneManager:
         self._free = [z for z in self._free if z not in chosen_set]
         rotation = int(self.rng.integers(0, want))
         self.allocated_clusters += 1
+        journal_event(self.ssd.env, "cluster.allocate", zones=sorted(chosen))
         return ZoneCluster(self.ssd, chosen, rotation)
 
     def release_cluster(self, cluster: ZoneCluster) -> Generator:
@@ -211,3 +224,15 @@ class ZoneManager:
             yield from self.ssd.reset_zone(zone_id)
         self._free.extend(cluster.zone_ids)
         self.allocated_clusters -= 1
+        journal_event(
+            self.ssd.env, "cluster.release", zones=sorted(cluster.zone_ids)
+        )
+
+    def introspect(self) -> dict:
+        """Free-pool and allocation accounting (no simulation events)."""
+        return {
+            "cluster_zones": self.cluster_zones,
+            "free_zone_count": len(self._free),
+            "free_zones": sorted(self._free),
+            "allocated_clusters": self.allocated_clusters,
+        }

@@ -61,3 +61,12 @@ class QueuePair:
     def inflight(self) -> int:
         """Commands currently occupying queue slots."""
         return self._slots.count
+
+    def introspect(self) -> dict:
+        """Queue-depth accounting for device snapshots (no simulation events)."""
+        return {
+            "depth": self.depth,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "inflight": self.inflight,
+        }

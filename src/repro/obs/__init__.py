@@ -1,13 +1,21 @@
-"""Observability: span tracing, latency attribution, metrics export.
+"""Observability: tracing, metrics, event journal, snapshots, auditing.
 
 Spans are stamped from the simulation's virtual clock and organised into
 per-command / per-job trees (:mod:`repro.obs.trace`); a :class:`MetricsHub`
 aggregates component stats, SSD I/O stats, link counters and per-op latency
 histograms (:mod:`repro.obs.metrics`); exporters render a Chrome-trace
 timeline, a Prometheus text dump and a latency-attribution table
-(:mod:`repro.obs.export`).  Tracing is off unless a tracer is installed on
-the environment, and in that default state every instrumentation site is a
-single ``None`` check — virtual time is identical either way.
+(:mod:`repro.obs.export`).  The structured event journal records typed
+lifecycle events correlated to spans (:mod:`repro.obs.journal`); versioned
+full-device snapshots aggregate every component's ``introspect()`` state
+(:mod:`repro.obs.inspect`); and the invariant auditor runs cross-structure
+consistency checks on demand or at flush/phase boundaries
+(:mod:`repro.obs.audit`).
+
+Every layer follows the same zero-cost contract: nothing is installed by
+default, each instrumentation site is a single ``None`` check when off, and
+none of them create simulation events when on — virtual time is identical
+either way.
 """
 
 from __future__ import annotations
@@ -19,6 +27,13 @@ from repro.obs.export import (
     format_attribution,
     min_command_coverage,
     to_chrome_trace,
+)
+from repro.obs.journal import (
+    EVENT_TYPES,
+    EventJournal,
+    JournalEvent,
+    install_journal,
+    journal_event,
 )
 from repro.obs.metrics import MetricsHub
 from repro.obs.trace import (
@@ -43,7 +58,46 @@ __all__ = [
     "attribution_rows",
     "format_attribution",
     "min_command_coverage",
+    "EVENT_TYPES",
+    "EventJournal",
+    "JournalEvent",
+    "install_journal",
+    "journal_event",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "device_snapshot",
+    "snapshot_json",
+    "format_snapshot",
+    "AuditReport",
+    "InvariantAuditor",
+    "Violation",
+    "attach_auditor",
 ]
+
+#: Symbols resolved on first access (PEP 562).  ``repro.obs.audit`` and
+#: ``repro.obs.inspect`` import ``repro.core`` modules, which themselves
+#: import ``repro.obs.journal`` — importing them eagerly here would close
+#: a cycle through this package's own initialisation.
+_LAZY_EXPORTS = {
+    "AuditReport": "repro.obs.audit",
+    "InvariantAuditor": "repro.obs.audit",
+    "Violation": "repro.obs.audit",
+    "attach_auditor": "repro.obs.audit",
+    "SNAPSHOT_SCHEMA_VERSION": "repro.obs.inspect",
+    "device_snapshot": "repro.obs.inspect",
+    "snapshot_json": "repro.obs.inspect",
+    "format_snapshot": "repro.obs.inspect",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
 
 
 def install_observability(
@@ -55,8 +109,9 @@ def install_observability(
     """Wire a tracer + hub onto one testbed's components.
 
     Registers the device's stats registry (and its block cache's, when
-    present), the SSD's :class:`IoStats` and the host link's byte counters,
-    then installs a tracer feeding per-op latency histograms into the hub.
+    present), the SSD's :class:`IoStats` and fault-trip counters, and the
+    host link's byte counters, then installs a tracer feeding per-op latency
+    histograms into the hub.
     """
     hub = MetricsHub()
     if device is not None:
@@ -65,7 +120,9 @@ def install_observability(
         if cache is not None:
             hub.register_registry("block_cache", cache.stats)
     if ssd is not None:
-        hub.register_io(getattr(ssd, "name", "ssd"), ssd.stats)
+        ssd_name = getattr(ssd, "name", "ssd")
+        hub.register_io(ssd_name, ssd.stats)
+        hub.register_faults(ssd_name, ssd)
     if link is not None:
         hub.register_link(getattr(link, "name", "link"), link)
     tracer = install_tracer(env, hub=hub)

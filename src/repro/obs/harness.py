@@ -1,24 +1,34 @@
-"""Traced reference workload for the ``trace``/``metrics`` CLI and CI.
+"""Reference workloads for the observability CLI and CI.
 
-Builds the standard KV-CSD testbed, installs the observability layer
-*before* any simulation activity, and drives a selftest-shaped workload —
-bulk load, device-side compaction (with its background job), point GETs,
-a batched multi-GET and a primary-index range query — so every span
-category (command, job, stage, queue, transport, cpu, flash, firmware)
-appears in the resulting trace.
+``run_traced_selftest`` builds the standard KV-CSD testbed, installs the
+observability layer *before* any simulation activity, and drives a
+selftest-shaped workload — bulk load, device-side compaction (with its
+background job), point GETs, a batched multi-GET and a primary-index range
+query — so every span category (command, job, stage, queue, transport,
+cpu, flash, firmware) appears in the resulting trace.
+
+``run_audited_workload`` drives the fuller lifecycle the invariant auditor
+exists for — keyspace create/open, bulk ingest, device-side compaction
+with an inline secondary index, then point / multi / range / secondary
+queries — with the event journal installed and the auditor attached, so
+every invariant has live structures to check at every flush and
+compaction-phase boundary.
 """
 
 from __future__ import annotations
 
-__all__ = ["run_traced_selftest"]
+__all__ = ["run_traced_selftest", "run_audited_workload"]
 
 
 def run_traced_selftest(seed: int = 0, n_pairs: int = 2000):
     """Run the traced selftest workload; returns ``(testbed, tracer, hub)``."""
     from repro.bench import build_kvcsd_testbed
+    from repro.units import MiB
     from repro.workloads import SyntheticSpec, generate_pairs, get_phase, load_phase
 
-    kv = build_kvcsd_testbed(seed=seed)
+    # A device block cache is part of the observed configuration so the
+    # cache's hit/miss/eviction series show up in the metrics export.
+    kv = build_kvcsd_testbed(seed=seed, block_cache_bytes=4 * MiB)
     tracer, hub = kv.enable_tracing()
 
     pairs = generate_pairs(SyntheticSpec(n_pairs=n_pairs, seed=seed))
@@ -39,3 +49,57 @@ def run_traced_selftest(seed: int = 0, n_pairs: int = 2000):
 
     kv.env.run(kv.env.process(batched_queries()))
     return kv, tracer, hub
+
+
+def run_audited_workload(
+    seed: int = 0,
+    n_pairs: int = 2000,
+    audit_level: str = "phase",
+    journal_capacity: int = 4096,
+):
+    """Ingest -> compact (+inline sidx) -> query, journaled and audited.
+
+    Returns ``(testbed, auditor, final_report)`` where ``final_report`` is
+    a one-shot audit taken after the workload drains — present even with
+    ``audit_level="off"`` (the on-demand ``repro audit`` mode).
+    """
+    from repro.bench import build_kvcsd_testbed
+    from repro.core.sidx import SidxConfig
+    from repro.obs.audit import InvariantAuditor
+    from repro.obs.journal import install_journal
+    from repro.units import MiB
+    from repro.workloads import SyntheticSpec, generate_pairs
+
+    kv = build_kvcsd_testbed(seed=seed, block_cache_bytes=4 * MiB)
+    install_journal(kv.env, capacity=journal_capacity)
+    auditor = InvariantAuditor(kv.device, level=audit_level)
+    kv.device.auditor = auditor
+
+    pairs = generate_pairs(SyntheticSpec(n_pairs=n_pairs, seed=seed))
+    keys = [k for k, _ in pairs[::50]]
+
+    def workload():
+        ctx = kv.thread_ctx(0)
+        yield from kv.client.create_keyspace("ks", ctx)
+        yield from kv.client.open_keyspace("ks", ctx)
+        yield from kv.client.bulk_put("ks", pairs, ctx)
+        # Values are random bytes; index their first 8 bytes as a u64.
+        yield from kv.client.compact(
+            "ks",
+            ctx,
+            secondary_indexes=[
+                SidxConfig(name="val64", value_offset=0, width=8, dtype="u64")
+            ],
+        )
+        yield from kv.client.wait_for_device("ks", ctx)
+        for key in keys[:32]:
+            yield from kv.client.get("ks", key, ctx)
+        yield from kv.client.multi_get("ks", keys[:16], ctx)
+        yield from kv.client.range_query("ks", min(keys), max(keys), ctx)
+        yield from kv.client.sidx_range_query(
+            "ks", "val64", b"\x00" * 8, b"\xff" * 8, ctx
+        )
+
+    kv.env.run(kv.env.process(workload()))
+    final_report = auditor.run("final")
+    return kv, auditor, final_report

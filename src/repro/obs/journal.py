@@ -1,0 +1,184 @@
+"""Structured event journal: a bounded ring of typed lifecycle events.
+
+Where span tracing (:mod:`repro.obs.trace`) records *how long* things took,
+the journal records *what happened to device state*: keyspace lifecycle
+transitions, zone-cluster allocation and release, membuf flushes, compaction
+phase boundaries, index-sketch builds, block-cache invalidations, metadata
+checkpoints and injected media faults.  Every event is stamped from the
+simulation's virtual clock and, when a tracer is installed, correlated to
+the span that was current when the event fired — so a journal line can be
+joined back to the exact command or background job in the trace timeline.
+
+The journal follows the same zero-cost contract as tracing:
+``Environment.journal`` defaults to ``None`` and every emission site goes
+through :func:`journal_event`, which is a single attribute check when
+disabled.  Recording creates **no simulation events** either way, so
+journaled runs are byte-identical to bare runs.
+
+The event ring is bounded (``capacity`` events); once full, the oldest
+events are dropped and counted, which keeps long soak runs at a fixed
+memory footprint while the tail — what the invariant auditor attaches to
+violations — stays fresh.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+__all__ = [
+    "EVENT_TYPES",
+    "JournalEvent",
+    "EventJournal",
+    "install_journal",
+    "journal_event",
+]
+
+#: The closed event taxonomy.  Emission of an unknown type raises — an event
+#: name typo should fail loudly in tests, not silently fork the vocabulary.
+EVENT_TYPES = frozenset(
+    {
+        # keyspace lifecycle (the paper's 4-state machine)
+        "keyspace.create",
+        "keyspace.open",
+        "keyspace.compaction_begin",
+        "keyspace.compaction_end",
+        "keyspace.delete",
+        "keyspace.recover",
+        # zone management
+        "cluster.allocate",
+        "cluster.release",
+        "cluster.reserve",
+        # write path
+        "membuf.flush",
+        "metadata.checkpoint",
+        # offloaded jobs
+        "compact.phase_begin",
+        "compact.phase_end",
+        "sidx.build_begin",
+        "sidx.build_end",
+        "sketch.build",
+        # caching / faults / auditing
+        "cache.invalidate",
+        "fault.trip",
+        "audit.run",
+    }
+)
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One recorded lifecycle event."""
+
+    seq: int  #: monotonically increasing, never reused (survives ring drops)
+    time: float  #: virtual-clock timestamp
+    type: str  #: member of :data:`EVENT_TYPES`
+    span_id: Optional[int]  #: current tracer span at emission, if any
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "seq": self.seq,
+            "time": self.time,
+            "type": self.type,
+        }
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.fields:
+            out["fields"] = self.fields
+        return out
+
+
+class EventJournal:
+    """Bounded ring of :class:`JournalEvent` stamped from one environment."""
+
+    def __init__(self, env: "Environment", capacity: int = 4096):
+        if capacity < 1:
+            raise SimulationError("journal capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.events: deque[JournalEvent] = deque(maxlen=capacity)
+        self.total_recorded = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def record(self, type_: str, **fields: Any) -> JournalEvent:
+        """Append one event, stamping virtual time and the current span."""
+        if type_ not in EVENT_TYPES:
+            raise SimulationError(f"unknown journal event type {type_!r}")
+        span_id: Optional[int] = None
+        tracer = self.env.tracer
+        if tracer is not None:
+            span = tracer.current()
+            if span is not None:
+                span_id = span.span_id
+        event = JournalEvent(
+            seq=self.total_recorded,
+            time=self.env.now,
+            type=type_,
+            span_id=span_id,
+            fields=fields,
+        )
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+        self.total_recorded += 1
+        return event
+
+    # -- queries -------------------------------------------------------------
+    def tail(self, n: int = 16) -> list[JournalEvent]:
+        """The most recent ``n`` events, oldest first."""
+        if n <= 0:
+            return []
+        return list(self.events)[-n:]
+
+    def of_type(self, type_: str) -> list[JournalEvent]:
+        """All retained events of one type, in order."""
+        return [e for e in self.events if e.type == type_]
+
+    # -- export --------------------------------------------------------------
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [e.as_dict() for e in self.events]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, oldest first (trailing newline)."""
+        lines = [json.dumps(e.as_dict(), sort_keys=True) for e in self.events]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def summary(self) -> dict[str, Any]:
+        """Counts per event type plus ring accounting, for snapshots."""
+        by_type: dict[str, int] = {}
+        for event in self.events:
+            by_type[event.type] = by_type.get(event.type, 0) + 1
+        return {
+            "capacity": self.capacity,
+            "retained": len(self.events),
+            "total_recorded": self.total_recorded,
+            "dropped": self.dropped,
+            "by_type": dict(sorted(by_type.items())),
+        }
+
+
+def install_journal(env: "Environment", capacity: int = 4096) -> EventJournal:
+    """Attach a fresh :class:`EventJournal` to ``env`` and return it."""
+    journal = EventJournal(env, capacity=capacity)
+    env.journal = journal
+    return journal
+
+
+def journal_event(env: "Environment", type_: str, **fields: Any) -> None:
+    """Record one event when a journal is installed; no-op (one attribute
+    check) otherwise.  Mirrors :func:`repro.obs.trace.trace_span`'s contract:
+    emission sites cost nothing in the default, journal-off configuration."""
+    journal = env.journal
+    if journal is not None:
+        journal.record(type_, **fields)

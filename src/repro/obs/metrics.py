@@ -47,6 +47,8 @@ class MetricsHub:
         self.registries: dict[str, StatsRegistry] = {}
         self.io_stats: dict[str, Any] = {}
         self.links: dict[str, Any] = {}
+        #: devices whose ``.faults`` attribute may hold a FaultPlan
+        self.fault_sources: dict[str, Any] = {}
         #: per-op-type latency histograms fed by Tracer.finish
         self.op_latency: dict[str, Histogram] = {}
 
@@ -62,6 +64,16 @@ class MetricsHub:
     def register_link(self, name: str, link: Any) -> None:
         """Expose a transport link's byte counters."""
         self.links[name] = link
+
+    def register_faults(self, name: str, holder: Any) -> None:
+        """Expose fault-injection trip counts for a device.
+
+        ``holder`` is the device whose ``faults`` attribute carries the
+        current :class:`~repro.ssd.faults.FaultPlan` (or ``None``).  Plans
+        are typically armed *after* observability install, so the hub reads
+        through the holder at render time rather than capturing the plan.
+        """
+        self.fault_sources[name] = holder
 
     # -- tracer feed ---------------------------------------------------------
     def observe_op(self, op: str, seconds: float) -> None:
@@ -103,7 +115,24 @@ class MetricsHub:
                 name: {"bytes_tx": link.bytes_tx, "bytes_rx": link.bytes_rx}
                 for name, link in sorted(self.links.items())
             }
+        if self.fault_sources:
+            out["faults"] = {
+                name: self._fault_state(holder)
+                for name, holder in sorted(self.fault_sources.items())
+            }
         return out
+
+    @staticmethod
+    def _fault_state(holder: Any) -> dict[str, Any]:
+        plan = getattr(holder, "faults", None)
+        if plan is None:
+            return {"armed": False, "trips_read": 0, "trips_write": 0}
+        return {
+            "armed": True,
+            "trips_read": plan.trips_read,
+            "trips_write": plan.trips_write,
+            "exhausted": plan.exhausted,
+        }
 
     def to_prometheus(self) -> str:
         """Render every registered source in Prometheus text format."""
@@ -149,6 +178,17 @@ class MetricsHub:
                 metric = f"{base}_{field}_total"
                 lines.append(f"# TYPE {metric} counter")
                 lines.append(f"{metric}{{{label}}} {_fmt(getattr(link, field))}")
+
+        for dev_name, holder in sorted(self.fault_sources.items()):
+            state = self._fault_state(holder)
+            label = f'device="{dev_name}"'
+            metric = f"{ns}_fault_trips_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f'{metric}{{{label},op="read"}} {_fmt(state["trips_read"])}')
+            lines.append(f'{metric}{{{label},op="write"}} {_fmt(state["trips_write"])}')
+            metric = f"{ns}_fault_plan_armed"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric}{{{label}}} {_fmt(1 if state['armed'] else 0)}")
 
         if self.op_latency:
             metric = f"{ns}_op_latency_seconds"

@@ -267,6 +267,10 @@ class Environment:
         #: means tracing is disabled and instrumentation costs one attribute
         #: check.  Installed via ``repro.obs.install_tracer``.
         self.tracer = None
+        #: optional :class:`repro.obs.journal.EventJournal`; same contract as
+        #: ``tracer`` — ``None`` means lifecycle-event emission sites cost one
+        #: attribute check.  Installed via ``repro.obs.install_journal``.
+        self.journal = None
 
     @property
     def now(self) -> float:

@@ -87,3 +87,16 @@ class SocBoard:
     def scale_cpu(self, host_seconds: float) -> float:
         """Convert host-core CPU seconds into SoC-core seconds."""
         return host_seconds * self.spec.arm_slowdown
+
+    def introspect(self) -> dict:
+        """Core/DRAM/queue state for device snapshots (no simulation events)."""
+        return {
+            "n_cores": self.spec.n_cores,
+            "arm_slowdown": self.spec.arm_slowdown,
+            "core_busy_seconds": list(self.cpu.busy_time),
+            "sort_budget_bytes": self.spec.sort_budget_bytes,
+            "block_cache_bytes": self.spec.block_cache_bytes,
+            "compaction_shards": self.spec.compaction_shards,
+            "dram": self.dram.introspect(),
+            "nvme_queue": self.qp.introspect(),
+        }

@@ -43,3 +43,11 @@ class DramBudget:
     def release(self, nbytes: int) -> Generator:
         """Return ``nbytes`` to the budget."""
         yield self._container.put(nbytes)
+
+    def introspect(self) -> dict:
+        """Budget occupancy for device snapshots (no simulation events)."""
+        return {
+            "capacity_bytes": self.capacity,
+            "available_bytes": self.available,
+            "reserved_bytes": self.capacity - self.available,
+        }

@@ -61,3 +61,25 @@ class FaultPlan:
     @property
     def exhausted(self) -> bool:
         return self.fail_reads == 0 and self.fail_writes == 0
+
+    @property
+    def trips_read(self) -> int:
+        """Read faults injected so far."""
+        return self.injected.count("read")
+
+    @property
+    def trips_write(self) -> int:
+        """Write faults injected so far."""
+        return self.injected.count("write")
+
+    def introspect(self) -> dict:
+        """Plan state + trip counts for device snapshots and metrics."""
+        return {
+            "fail_reads_remaining": self.fail_reads,
+            "fail_writes_remaining": self.fail_writes,
+            "after_reads": self.after_reads,
+            "after_writes": self.after_writes,
+            "trips_read": self.trips_read,
+            "trips_write": self.trips_write,
+            "exhausted": self.exhausted,
+        }

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Generator
 
 from repro.errors import StorageError
+from repro.obs.journal import journal_event
 from repro.obs.trace import trace_span
 from repro.sim.core import Environment
 from repro.sim.resources import Resource
@@ -88,7 +89,13 @@ class ZnsSsd:
         """
         zone = self.zone(zone_id)
         if self.faults is not None:
-            self.faults.check_write()
+            try:
+                self.faults.check_write()
+            except StorageError:
+                journal_event(
+                    self.env, "fault.trip", op="write", zone=zone_id
+                )
+                raise
         offset = zone.append(bytes(data))  # validates state/space, claims range
         yield from self._occupy_channel(
             zone.channel, self.latency.write_time(len(data)), "append", len(data)
@@ -100,7 +107,11 @@ class ZnsSsd:
         """Read ``length`` bytes at ``offset`` within a zone; returns bytes."""
         zone = self.zone(zone_id)
         if self.faults is not None:
-            self.faults.check_read()
+            try:
+                self.faults.check_read()
+            except StorageError:
+                journal_event(self.env, "fault.trip", op="read", zone=zone_id)
+                raise
         data = zone.read(offset, length)  # validates the range
         yield from self._occupy_channel(
             zone.channel, self.latency.read_time(length), "read", length
@@ -136,3 +147,47 @@ class ZnsSsd:
     def bytes_stored(self) -> int:
         """Total bytes currently held across all zones."""
         return sum(z.write_pointer for z in self.zones)
+
+    def introspect(self) -> dict:
+        """Zone table + I/O counters for device snapshots.
+
+        Pure state read (no channel time, no simulation events).  The
+        per-zone table lists only non-EMPTY zones — on a mostly-idle device
+        the interesting rows — while ``zones_by_state`` carries the full
+        population counts.
+        """
+        by_state = {state.value: 0 for state in ZoneState}
+        table = []
+        for zone in self.zones:
+            by_state[zone.state.value] += 1
+            if zone.state is not ZoneState.EMPTY:
+                table.append(
+                    {
+                        "zone_id": zone.zone_id,
+                        "state": zone.state.value,
+                        "write_pointer": zone.write_pointer,
+                        "capacity": zone.capacity,
+                        "channel": zone.channel,
+                    }
+                )
+        return {
+            "name": self.name,
+            "geometry": {
+                "n_channels": self.geometry.n_channels,
+                "n_zones": self.geometry.n_zones,
+                "zone_size": self.geometry.zone_size,
+            },
+            "zones_by_state": by_state,
+            "bytes_stored": self.bytes_stored(),
+            "open_or_full_zones": table,
+            "io": {
+                "bytes_read": self.stats.bytes_read,
+                "bytes_written": self.stats.bytes_written,
+                "read_ops": self.stats.read_ops,
+                "write_ops": self.stats.write_ops,
+                "erase_ops": self.stats.erase_ops,
+            },
+            "faults": (
+                self.faults.introspect() if self.faults is not None else None
+            ),
+        }

@@ -1,0 +1,132 @@
+"""Keyspace state-machine coverage + free-list rebuild round-trips.
+
+Section IV's 4-state lifecycle admits exactly three transitions
+(EMPTY -> WRITABLE -> COMPACTING -> COMPACTED, with WRITABLE idempotent);
+every other combination must be rejected by ``Keyspace.require`` with a
+:class:`KeyspaceStateError`.  The second half checks that
+``ZoneManager.rebuild_free_list`` is conservative: an allocate/release
+round-trip followed by a rebuild leaves the free pool exactly as it began.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.keyspace import Keyspace, KeyspaceState
+from repro.core.zone_manager import ZoneManager
+from repro.errors import KeyspaceStateError
+from repro.sim import Environment
+from repro.ssd import SsdGeometry, ZnsSsd
+from repro.units import KiB
+
+
+def ks_in(state: KeyspaceState) -> Keyspace:
+    return Keyspace(name="ks", state=state)
+
+
+# -- legal path ----------------------------------------------------------------
+def test_legal_lifecycle_path():
+    ks = ks_in(KeyspaceState.EMPTY)
+    ks.open_for_write()
+    assert ks.state is KeyspaceState.WRITABLE
+    ks.open_for_write()  # idempotent while WRITABLE
+    assert ks.state is KeyspaceState.WRITABLE
+    ks.begin_compaction()
+    assert ks.state is KeyspaceState.COMPACTING
+    ks.finish_compaction()
+    assert ks.state is KeyspaceState.COMPACTED
+
+
+# -- every illegal transition, one test per (op, state) ------------------------
+@pytest.mark.parametrize(
+    "state", [KeyspaceState.COMPACTING, KeyspaceState.COMPACTED]
+)
+def test_open_for_write_rejected(state):
+    ks = ks_in(state)
+    with pytest.raises(KeyspaceStateError):
+        ks.open_for_write()
+    assert ks.state is state  # failed transition leaves state untouched
+
+
+@pytest.mark.parametrize(
+    "state",
+    [KeyspaceState.EMPTY, KeyspaceState.COMPACTING, KeyspaceState.COMPACTED],
+)
+def test_begin_compaction_rejected(state):
+    ks = ks_in(state)
+    with pytest.raises(KeyspaceStateError):
+        ks.begin_compaction()
+    assert ks.state is state
+
+
+@pytest.mark.parametrize(
+    "state",
+    [KeyspaceState.EMPTY, KeyspaceState.WRITABLE, KeyspaceState.COMPACTED],
+)
+def test_finish_compaction_rejected(state):
+    ks = ks_in(state)
+    with pytest.raises(KeyspaceStateError):
+        ks.finish_compaction()
+    assert ks.state is state
+
+
+def test_require_error_names_keyspace_and_states():
+    ks = ks_in(KeyspaceState.EMPTY)
+    with pytest.raises(KeyspaceStateError, match="'ks'.*empty.*writable"):
+        ks.require(KeyspaceState.WRITABLE)
+
+
+def test_require_accepts_any_listed_state():
+    ks = ks_in(KeyspaceState.COMPACTING)
+    ks.require(KeyspaceState.WRITABLE, KeyspaceState.COMPACTING)  # no raise
+
+
+# -- free-list rebuild ---------------------------------------------------------
+def make_zm(env, **kw):
+    ssd = ZnsSsd(
+        env,
+        geometry=SsdGeometry(n_channels=4, n_zones=16, zone_size=256 * KiB),
+    )
+    return ZoneManager(ssd, np.random.default_rng(0), cluster_zones=4), ssd
+
+
+def test_rebuild_free_list_round_trip_preserves_count():
+    env = Environment()
+    zm, ssd = make_zm(env)
+    before = zm.free_zone_count
+    cluster = zm.allocate_cluster(4)
+
+    def proc():
+        yield from cluster.append_group(b"payload")
+        yield from zm.release_cluster(cluster)
+
+    env.run(env.process(proc()))
+    zm.rebuild_free_list()
+    assert zm.free_zone_count == before
+    assert sorted(zm.introspect()["free_zones"]) == list(range(16))
+
+
+def test_rebuild_free_list_drops_non_empty_zones():
+    env = Environment()
+    zm, ssd = make_zm(env)
+    # A zone that is in the free pool but (illegally) holds data — e.g. an
+    # orphan discovered during recovery — must be evicted by the rebuild.
+    dirty = zm._free[0]
+
+    def proc():
+        yield from ssd.append(dirty, b"orphan bytes")
+
+    env.run(env.process(proc()))
+    zm.rebuild_free_list()
+    assert dirty not in zm._free
+    assert zm.free_zone_count == 15
+
+
+def test_rebuild_free_list_keeps_marked_used_zones_excluded():
+    env = Environment()
+    zm, _ = make_zm(env)
+    zm.mark_used([3, 5])
+    zm.rebuild_free_list()
+    # rebuild intersects with the current pool: recovered-in-use zones stay
+    # out even though their SSD state is still EMPTY
+    assert 3 not in zm._free and 5 not in zm._free
+    assert zm.free_zone_count == 14

@@ -1,0 +1,30 @@
+"""Shared fixtures for the observability suite.
+
+``compacted_kv`` runs the reference audited workload fresh per test (it is
+cheap at 800 pairs) so corruption tests can mutate device state freely.
+``audited_testbed`` is the fixture ISSUE-style integration tests use: any
+test that drives it gets an automatic full invariant audit at teardown.
+"""
+
+import pytest
+
+from repro.obs.harness import run_audited_workload
+
+
+@pytest.fixture
+def compacted_kv():
+    """(testbed, auditor, final_report) after ingest -> compact -> query."""
+    return run_audited_workload(seed=0, n_pairs=800, audit_level="off")
+
+
+@pytest.fixture
+def audited_testbed():
+    """A journaled testbed whose teardown asserts every invariant holds."""
+    from repro.bench import build_kvcsd_testbed
+    from repro.units import MiB
+
+    kv = build_kvcsd_testbed(seed=0, block_cache_bytes=4 * MiB)
+    _journal, auditor = kv.enable_introspection(audit_level="phase")
+    yield kv
+    report = auditor.run("teardown")
+    assert report.ok, report.format()

@@ -1,0 +1,130 @@
+"""Event-journal semantics: taxonomy, ordering, ring bounds, span joins."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.journal import EVENT_TYPES, install_journal
+from repro.obs.trace import install_tracer, trace_span
+from repro.sim import Environment
+
+
+def test_unknown_event_type_raises():
+    env = Environment()
+    journal = install_journal(env)
+    with pytest.raises(SimulationError, match="unknown journal event type"):
+        journal.record("keyspace.typo")
+
+
+def test_sequence_numbers_strictly_increase(compacted_kv):
+    kv, _auditor, _report = compacted_kv
+    seqs = [e.seq for e in kv.env.journal.events]
+    assert len(seqs) > 10
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_timestamps_non_decreasing_and_virtual(compacted_kv):
+    kv, _auditor, _report = compacted_kv
+    times = [e.time for e in kv.env.journal.events]
+    assert times == sorted(times)
+    assert times[-1] <= kv.env.now
+
+
+def test_workload_emits_expected_lifecycle_events(compacted_kv):
+    kv, _auditor, _report = compacted_kv
+    types = {e.type for e in kv.env.journal.events}
+    assert types <= EVENT_TYPES
+    expected = {
+        "keyspace.create",
+        "keyspace.open",
+        "keyspace.compaction_begin",
+        "keyspace.compaction_end",
+        "cluster.allocate",
+        "cluster.release",
+        "membuf.flush",
+        "compact.phase_begin",
+        "compact.phase_end",
+        "sketch.build",
+        "sidx.build_begin",
+        "sidx.build_end",
+    }
+    assert expected <= types
+
+
+def test_compaction_phases_arrive_in_pipeline_order(compacted_kv):
+    kv, _auditor, _report = compacted_kv
+    begins = [
+        e.fields["phase"]
+        for e in kv.env.journal.of_type("compact.phase_begin")
+    ]
+    assert begins == [
+        "read_klog", "sort", "gather", "materialize", "cleanup", "sidx"
+    ]
+
+
+def test_ring_capacity_drops_oldest_and_accounts():
+    env = Environment()
+    journal = install_journal(env, capacity=4)
+    for i in range(6):
+        journal.record("keyspace.create", keyspace=f"ks{i}")
+    assert len(journal) == 4
+    assert journal.total_recorded == 6
+    assert journal.dropped == 2
+    assert [e.seq for e in journal.tail(10)] == [2, 3, 4, 5]
+    summary = journal.summary()
+    assert summary["retained"] == 4 and summary["dropped"] == 2
+
+
+def test_span_correlation_with_tracer_installed():
+    env = Environment()
+    tracer = install_tracer(env)
+    journal = install_journal(env)
+    with trace_span(env, "cmd", "command") as span:
+        journal.record("keyspace.create", keyspace="ks")
+    journal.record("keyspace.delete", keyspace="ks")
+    inside, outside = journal.events
+    assert inside.span_id == span.span_id
+    assert outside.span_id is None
+    assert tracer.spans  # the span itself was recorded
+
+
+def test_span_id_none_without_tracer():
+    env = Environment()
+    journal = install_journal(env)
+    event = journal.record("keyspace.create", keyspace="ks")
+    assert event.span_id is None
+
+
+def test_jsonl_export_round_trips(compacted_kv):
+    kv, _auditor, _report = compacted_kv
+    journal = kv.env.journal
+    text = journal.to_jsonl()
+    assert text.endswith("\n")
+    lines = text.strip().split("\n")
+    assert len(lines) == len(journal)
+    parsed = [json.loads(line) for line in lines]
+    assert [p["seq"] for p in parsed] == [e.seq for e in journal.events]
+    assert all(p["type"] in EVENT_TYPES for p in parsed)
+
+
+def test_empty_journal_exports_empty_jsonl():
+    env = Environment()
+    journal = install_journal(env)
+    assert journal.to_jsonl() == ""
+    assert journal.tail(5) == []
+
+
+def test_of_type_filters_in_order(compacted_kv):
+    kv, _auditor, _report = compacted_kv
+    flushes = kv.env.journal.of_type("membuf.flush")
+    assert flushes
+    assert all(e.type == "membuf.flush" for e in flushes)
+    assert all(e.fields["keyspace"] == "ks" for e in flushes)
+
+
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        install_journal(env, capacity=0)
