@@ -8,7 +8,10 @@ Checks the invariants chrome://tracing / Perfetto rely on:
   event also carries numeric ``ts``/``dur``/``tid`` with ``dur >= 0``;
 * complete events are sorted by ``(ts, tid)`` (monotonic timestamps);
 * at least one complete event exists (an empty trace means the tracer
-  was never installed).
+  was never installed);
+* every ``query.dispatch`` span (a query-scheduler worker executing one
+  admitted command) temporally contains at least one child event — a
+  dispatch with no work inside means the worker's span tree was severed.
 
 Usage: ``python scripts/validate_trace.py trace.json``
 """
@@ -54,6 +57,26 @@ def validate(path: str) -> list[str]:
     order = [(e.get("ts", 0), e.get("tid", 0)) for e in complete]
     if order != sorted(order):
         errors.append(f"{path}: complete events not sorted by (ts, tid)")
+    errors.extend(_check_dispatch_trees(path, complete))
+    return errors
+
+
+def _check_dispatch_trees(path: str, complete: list[dict]) -> list[str]:
+    """Every query.dispatch span must contain the work it dispatched."""
+    errors: list[str] = []
+    epsilon = 1e-6
+    for d in (e for e in complete if e.get("name") == "query.dispatch"):
+        t0, t1 = d["ts"] - epsilon, d["ts"] + d.get("dur", 0) + epsilon
+        if not any(
+            e is not d
+            and t0 <= e.get("ts", 0)
+            and e.get("ts", 0) + e.get("dur", 0) <= t1
+            for e in complete
+        ):
+            errors.append(
+                f"{path}: query.dispatch span at ts={d['ts']} contains no "
+                "child events (worker span tree severed)"
+            )
     return errors
 
 

@@ -146,12 +146,18 @@ class KvcsdTestbed:
         bulk_message_bytes: int = 128 * KiB,
         compaction_shards: int | None = None,
         block_cache_bytes: int | None = None,
+        query_workers: int | None = None,
+        bloom_bits_per_key: int | None = None,
     ):
         overrides = {}
         if compaction_shards is not None:
             overrides["compaction_shards"] = compaction_shards
         if block_cache_bytes is not None:
             overrides["block_cache_bytes"] = block_cache_bytes
+        if query_workers is not None:
+            overrides["query_workers"] = query_workers
+        if bloom_bits_per_key is not None:
+            overrides["bloom_bits_per_key"] = bloom_bits_per_key
         if overrides:
             soc = replace(soc, **overrides)
         self.env = Environment()

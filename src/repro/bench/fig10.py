@@ -43,6 +43,10 @@ class Fig10Config:
     #: cache data in host or device memory" configuration (and the shape
     #: check that depends on it)
     block_cache_bytes: int = 0
+    #: SoC query-worker cores; 0 keeps the serial reference engine
+    query_workers: int = 0
+    #: per-key bloom bits for PIDX/SIDX block filters; 0 disables them
+    bloom_bits_per_key: int = 0
 
 
 @dataclass
@@ -158,7 +162,10 @@ def run_fig10(config: Fig10Config = Fig10Config()) -> Fig10Result:
 
     # ---- load both stores once (the Figure 9 dataset)
     kv = build_kvcsd_testbed(
-        seed=config.seed, block_cache_bytes=config.block_cache_bytes
+        seed=config.seed,
+        block_cache_bytes=config.block_cache_bytes,
+        query_workers=config.query_workers,
+        bloom_bits_per_key=config.bloom_bits_per_key,
     )
     assignments = [
         (f"ks-{i}", per_ks_pairs[i], kv.thread_ctx(i % kv.host.n_cores))

@@ -52,6 +52,10 @@ class Fig11Config:
     n_particles: int = 262144  # paper: 256M (scaled ~1/1000)
     n_files: int = 16
     seed: int = 11
+    #: SoC query-worker cores for the (fig12) query phase; 0 = serial
+    query_workers: int = 0
+    #: per-key bloom bits for PIDX/SIDX block filters; 0 disables them
+    bloom_bits_per_key: int = 0
 
     def spec(self) -> VpicSpec:
         return VpicSpec(
@@ -142,7 +146,11 @@ class Fig11Result:
 
 def load_vpic_kvcsd(config: Fig11Config, dataset: VpicDataset):
     """Load the dump into 16 keyspaces; returns (testbed, timing dict)."""
-    kv = build_kvcsd_testbed(seed=config.seed)
+    kv = build_kvcsd_testbed(
+        seed=config.seed,
+        query_workers=config.query_workers,
+        bloom_bits_per_key=config.bloom_bits_per_key,
+    )
     n = config.n_files
     assignments = []
     for t in range(n):

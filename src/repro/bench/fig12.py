@@ -40,10 +40,18 @@ class Fig12Config:
     n_files: int = 16
     selectivities: tuple[float, ...] = (0.001, 0.005, 0.01, 0.05, 0.1, 0.2)
     seed: int = 11  # shares the Figure 11 dataset
+    #: SoC query-worker cores for the query phase; 0 = serial (paper config)
+    query_workers: int = 0
+    #: per-key bloom bits for PIDX/SIDX block filters; 0 disables them
+    bloom_bits_per_key: int = 0
 
     def fig11(self) -> Fig11Config:
         return Fig11Config(
-            n_particles=self.n_particles, n_files=self.n_files, seed=self.seed
+            n_particles=self.n_particles,
+            n_files=self.n_files,
+            seed=self.seed,
+            query_workers=self.query_workers,
+            bloom_bits_per_key=self.bloom_bits_per_key,
         )
 
 

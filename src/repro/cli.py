@@ -8,6 +8,8 @@ Commands:
 * ``selftest``             — a fast end-to-end sanity run of both stores;
 * ``compaction-bench``     — compaction pipeline + block cache ablation,
   with optional JSON export (``--out results/BENCH_compaction.json``);
+* ``query-bench``          — query-scheduler fan-out + PIDX bloom ablation,
+  with optional JSON export (``--out results/BENCH_query.json``);
 * ``trace``                — run a traced workload, dump a Chrome-trace
   timeline and print the per-command latency-attribution table;
 * ``metrics``              — run a traced workload and dump a
@@ -110,6 +112,28 @@ def _cmd_compaction_bench(args) -> int:
     if args.trace:
         config = replace(config, trace=True)
     result = run_compaction_bench(config)
+    print(result.table())
+    ok = True
+    for check in result.checks():
+        print(check)
+        ok = ok and check.passed
+    if args.out:
+        write_json(result, args.out)
+        print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+def _cmd_query_bench(args) -> int:
+    from dataclasses import replace
+
+    from repro.bench.query import QueryBenchConfig, run_query_bench, write_json
+
+    config = QueryBenchConfig.smoke() if args.smoke else QueryBenchConfig()
+    if args.workers is not None:
+        config = replace(config, workers=args.workers)
+    if args.bloom_bits is not None:
+        config = replace(config, bloom_bits_per_key=args.bloom_bits)
+    result = run_query_bench(config)
     print(result.table())
     ok = True
     for check in result.checks():
@@ -274,6 +298,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace the pipelined run and attach its latency attribution",
     )
     comp.set_defaults(func=_cmd_compaction_bench)
+    qb = sub.add_parser(
+        "query-bench",
+        help="query-scheduler fan-out + PIDX bloom ablation",
+    )
+    qb.add_argument(
+        "--smoke", action="store_true", help="reduced configuration for CI"
+    )
+    qb.add_argument(
+        "--workers", type=int, default=None, help="SoC query workers"
+    )
+    qb.add_argument(
+        "--bloom-bits", type=int, default=None, help="bloom bits per key"
+    )
+    qb.add_argument("--out", default=None, help="write JSON results to this path")
+    qb.set_defaults(func=_cmd_query_bench)
     trace = sub.add_parser(
         "trace",
         help="run a traced workload, export a Chrome-trace timeline",

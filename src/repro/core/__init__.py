@@ -13,6 +13,7 @@ from repro.core.keyspace import Keyspace, KeyspaceState
 from repro.core.membuf import MEMBUF_BYTES, MemBuffer
 from repro.core.pidx import PidxSketch
 from repro.core.query import QueryEngine
+from repro.core.scheduler import QueryScheduler
 from repro.core.sidx import SidxConfig, SidxSketch, encode_skey, decode_skey
 from repro.core.sort import ExternalSorter, plan_external_sort
 from repro.core.wire import BULK_MESSAGE_BYTES
@@ -35,6 +36,7 @@ __all__ = [
     "encode_skey",
     "decode_skey",
     "QueryEngine",
+    "QueryScheduler",
     "ExternalSorter",
     "plan_external_sort",
     "ZoneManager",

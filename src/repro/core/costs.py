@@ -9,6 +9,7 @@ slowdown < 1).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import CalibrationError
@@ -31,11 +32,23 @@ class CsdCostModel:
     sketch_search: float = nsec(300)  #: binary-search a sketch
     extract_per_record: float = nsec(50)  #: pull a secondary key from a value
     cache_lookup: float = nsec(150)  #: probe the SoC DRAM block cache
+    bloom_probe: float = nsec(90)  #: hash + test one key against a block bloom
+    bloom_build_per_key: float = nsec(110)  #: hash + set bits for one key
 
     def __post_init__(self) -> None:
         for field_name, value in self.__dict__.items():
             if value < 0:
                 raise CalibrationError(f"negative cost {field_name}")
+
+    def binary_search(self, n_entries: int) -> float:
+        """CPU cost of a binary search over ``n_entries`` sorted entries.
+
+        ceil(log2(n)) comparator calls — reflects the actual block fill so
+        block-size changes change the charged cost (unlike the old fixed
+        12-compare estimate, which assumed 4 KiB blocks of ~50-byte entries).
+        """
+        steps = max(1, math.ceil(math.log2(n_entries))) if n_entries > 1 else 1
+        return self.key_compare * steps
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,8 @@ receiving results, which is the paper's entire point.
 
 from __future__ import annotations
 
-from collections.abc import Generator
+from bisect import bisect_left
+from collections.abc import Callable, Generator
 from contextlib import contextmanager
 from typing import Optional
 
@@ -33,6 +34,7 @@ from repro.core.pidx import (
     read_block_entries,
 )
 from repro.core.query import QueryEngine
+from repro.core.scheduler import QueryScheduler
 from repro.core.sidx import (
     SidxConfig,
     SidxSketch,
@@ -53,6 +55,7 @@ from repro.errors import (
 )
 from repro.host.threads import ThreadCtx
 from repro.lsm.block import BlockBuilder
+from repro.lsm.bloom import BloomFilter
 from repro.obs.journal import journal_event
 from repro.obs.trace import trace_span, trace_wait
 from repro.sim.core import Environment, Event
@@ -113,10 +116,38 @@ class KvCsdDevice:
             if board.spec.block_cache_bytes
             else None
         )
-        self.query_engine = QueryEngine(
-            self.ssd, self.costs, board.scale_cpu, block_cache=self.block_cache
-        )
         self.stats = StatsRegistry("kvcsd")
+        #: query-scheduler worker pool size, bounded by the SoC's cores
+        #: (0 = queries execute inline on the caller's context, the serial
+        #: reference path)
+        self.query_workers = max(0, min(board.spec.query_workers, board.spec.n_cores))
+        #: bits per key for per-index-block bloom filters (0 = no blooms)
+        self.bloom_bits_per_key = board.spec.bloom_bits_per_key
+        self.query_engine = QueryEngine(
+            self.ssd,
+            self.costs,
+            board.scale_cpu,
+            block_cache=self.block_cache,
+            stats=self.stats,
+            fanout=self.query_workers if self.query_workers > 1 else 1,
+            make_ctx=(
+                (lambda: board.firmware_ctx()) if self.query_workers > 1 else None
+            ),
+        )
+        self.query_scheduler = (
+            QueryScheduler(
+                self.env,
+                board,
+                self.query_workers,
+                queue_depth=board.spec.query_queue_depth,
+                stats=self.stats,
+            )
+            if self.query_workers > 0
+            else None
+        )
+        #: per-keyspace DRAM bytes reserved for index-block bloom filters,
+        #: released when the keyspace is deleted
+        self._bloom_dram: dict[str, int] = {}
         #: durations of the latest offloaded jobs, for Figure 11's breakdown
         self.job_durations: dict[tuple[str, str], float] = {}
         #: optional :class:`repro.obs.audit.InvariantAuditor`; ``None`` (the
@@ -297,6 +328,9 @@ class KvCsdDevice:
             yield job
         for cluster in ks.all_clusters():
             yield from self._release_cluster(cluster)
+        bloom_bytes = self._bloom_dram.pop(name, 0)
+        if bloom_bytes:
+            yield from self.board.dram.release(bloom_bytes)
         del self.keyspaces[name]
         self._membufs.pop(name, None)
         self._write_locks.pop(name, None)
@@ -415,6 +449,9 @@ class KvCsdDevice:
             "soc_busy_seconds": self.board.cpu.total_busy_time(),
             "soc_core_busy_seconds": list(self.board.cpu.busy_time),
             "compaction_shards": self.compaction_shards,
+            "query_workers": self.query_workers,
+            "bloom_bits_per_key": self.bloom_bits_per_key,
+            "bloom_dram_bytes": sum(self._bloom_dram.values()),
             "block_cache": (
                 self.block_cache.report() if self.block_cache is not None else None
             ),
@@ -475,6 +512,15 @@ class KvCsdDevice:
             },
             "counters": self.stats.counter_values(),
             "compaction_shards": self.compaction_shards,
+            "query_workers": self.query_workers,
+            "query_scheduler": (
+                self.query_scheduler.introspect()
+                if self.query_scheduler is not None
+                else None
+            ),
+            "bloom_dram_bytes": {
+                name: self._bloom_dram[name] for name in sorted(self._bloom_dram)
+            },
         }
 
     # ------------------------------------------------------------------ insertion
@@ -849,6 +895,22 @@ class KvCsdDevice:
                     )
             ks.pidx_sketch = sketch
             ks.n_pairs = len(live)
+            if self.bloom_bits_per_key and len(sketch):
+                # Reconstruct each block's key membership from the sorted key
+                # list and the sketch pivots (blocks partition the key order),
+                # avoiding a decode of the just-written PIDX blobs.
+                keys = [key for key, _ptr in live]
+                bounds = [bisect_left(keys, pivot) for pivot in sketch.pivots]
+                bounds.append(len(keys))
+                yield from self._attach_blooms(
+                    ks,
+                    sketch,
+                    [
+                        keys[bounds[i] : bounds[i + 1]]
+                        for i in range(len(sketch))
+                    ],
+                    ctx,
+                )
             journal_event(
                 self.env,
                 "sketch.build",
@@ -914,6 +976,64 @@ class KvCsdDevice:
                 tracer.finish(job_span)
             self._jobs[ks.name].remove(done)
             done.succeed()
+
+    def _attach_blooms(
+        self,
+        ks: Keyspace,
+        sketch,
+        keys_per_block: list[list[bytes]],
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """Build one bloom filter per index block and charge DRAM for them.
+
+        Works for PIDX sketches (member = primary key) and SIDX sketches
+        (member = encoded secondary key) alike.  The filter bytes are
+        reserved against the SoC DRAM budget and tracked per keyspace so
+        deletion returns them; blooms are DRAM-only (not persisted), so a
+        recovered device simply runs without them.
+        """
+        bits = self.bloom_bits_per_key
+        if not bits or not keys_per_block:
+            return
+        total_keys = 0
+        total_bytes = 0
+        with trace_span(
+            self.env, "compact.build_blooms", "stage", blocks=len(keys_per_block)
+        ):
+            for idx, members in enumerate(keys_per_block):
+                bloom = BloomFilter(len(members), bits_per_key=bits)
+                bloom.add_many(members)
+                sketch.attach_bloom(idx, bloom)
+                total_keys += len(members)
+                total_bytes += bloom.size_bytes
+            yield from self._exec(ctx, self.costs.bloom_build_per_key * total_keys)
+            yield from self.board.dram.reserve(total_bytes)
+        self._bloom_dram[ks.name] = self._bloom_dram.get(ks.name, 0) + total_bytes
+        self.stats.counter("bloom_filters_built").add(len(keys_per_block))
+        self.stats.counter("bloom_filter_bytes").add(total_bytes)
+
+    def _attach_sidx_blooms(
+        self,
+        ks: Keyspace,
+        sketch: SidxSketch,
+        sorted_pairs: list[tuple[bytes, bytes]],
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """Per-SIDX-block blooms over each block's *encoded secondary keys*."""
+        if not self.bloom_bits_per_key or not len(sketch):
+            return
+        composites = [skey + pkey for skey, pkey in sorted_pairs]
+        bounds = [bisect_left(composites, pivot) for pivot in sketch.pivots]
+        bounds.append(len(composites))
+        yield from self._attach_blooms(
+            ks,
+            sketch,
+            [
+                [skey for skey, _pkey in sorted_pairs[bounds[i] : bounds[i + 1]]]
+                for i in range(len(sketch))
+            ],
+            ctx,
+        )
 
     def _materialize_pipelined(
         self,
@@ -1057,6 +1177,7 @@ class KvCsdDevice:
             sketch = SidxSketch(skey_width=config.width)
             for (pivot, _blob), pointer in zip(blocks, block_ptrs):
                 sketch.add_block(pivot, pointer)
+            yield from self._attach_sidx_blooms(ks, sketch, sorted_pairs, ctx)
             ks.sidx[config.name] = (config, sketch)
             yield from self._metadata_update(ctx, ks)
         self.stats.counter("sidx_builds_inline").add()
@@ -1163,6 +1284,7 @@ class KvCsdDevice:
             sketch = SidxSketch(skey_width=config.width)
             for (pivot, _blob), pointer in zip(blocks, block_ptrs):
                 sketch.add_block(pivot, pointer)
+            yield from self._attach_sidx_blooms(ks, sketch, sorted_pairs, ctx)
             ks.sidx[config.name] = (config, sketch)
             yield from self._metadata_update(ctx, ks)
             self.stats.counter("sidx_builds").add()
@@ -1183,13 +1305,37 @@ class KvCsdDevice:
             done.succeed()
 
     # ------------------------------------------------------------------ queries
+    def _run_query(
+        self,
+        op: str,
+        fn: Callable[[ThreadCtx], Generator],
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """Execute one query thunk inline or via the scheduler.
+
+        With ``query_workers=0`` the thunk runs on the caller's context —
+        the serial reference path, byte-identical to pre-scheduler builds.
+        Otherwise the command is admitted into the scheduler's bounded
+        queue and a worker runs it on its own SoC firmware context, so
+        concurrent host queries overlap instead of serializing.
+        """
+        if self.query_scheduler is None:
+            result = yield from fn(ctx)
+        else:
+            result = yield from self.query_scheduler.submit(op, fn)
+        return result
+
     def point_query(self, name: str, key: bytes, ctx: ThreadCtx) -> Generator:
         """GET over the primary index; returns the value or raises."""
         with self._inflight.request() as slot:
             yield from trace_wait(self.env, slot, "dev.inflight_wait")
             yield from self._exec(ctx, self.costs.request_overhead)
             ks = self._keyspace(name)
-            value = yield from self.query_engine.point_query(ks, key, ctx)
+            value = yield from self._run_query(
+                "point_query",
+                lambda qctx: self.query_engine.point_query(ks, key, qctx),
+                ctx,
+            )
             self.stats.counter("point_queries").add()
             return value
 
@@ -1201,7 +1347,11 @@ class KvCsdDevice:
             yield from trace_wait(self.env, slot, "dev.inflight_wait")
             yield from self._exec(ctx, self.costs.request_overhead)
             ks = self._keyspace(name)
-            result = yield from self.query_engine.multi_point_query(ks, keys, ctx)
+            result = yield from self._run_query(
+                "multi_point_query",
+                lambda qctx: self.query_engine.multi_point_query(ks, keys, qctx),
+                ctx,
+            )
             self.stats.counter("multi_point_queries").add()
             return result
 
@@ -1213,7 +1363,11 @@ class KvCsdDevice:
             yield from trace_wait(self.env, slot, "dev.inflight_wait")
             yield from self._exec(ctx, self.costs.request_overhead)
             ks = self._keyspace(name)
-            result = yield from self.query_engine.range_query(ks, lo, hi, ctx)
+            result = yield from self._run_query(
+                "range_query",
+                lambda qctx: self.query_engine.range_query(ks, lo, hi, qctx),
+                ctx,
+            )
             self.stats.counter("range_queries").add()
             return result
 
@@ -1225,8 +1379,12 @@ class KvCsdDevice:
             yield from trace_wait(self.env, slot, "dev.inflight_wait")
             yield from self._exec(ctx, self.costs.request_overhead)
             ks = self._keyspace(name)
-            result = yield from self.query_engine.sidx_range_query(
-                ks, index_name, lo_raw, hi_raw, ctx
+            result = yield from self._run_query(
+                "sidx_range_query",
+                lambda qctx: self.query_engine.sidx_range_query(
+                    ks, index_name, lo_raw, hi_raw, qctx
+                ),
+                ctx,
             )
             self.stats.counter("sidx_queries").add()
             return result
@@ -1239,8 +1397,12 @@ class KvCsdDevice:
             yield from trace_wait(self.env, slot, "dev.inflight_wait")
             yield from self._exec(ctx, self.costs.request_overhead)
             ks = self._keyspace(name)
-            result = yield from self.query_engine.sidx_point_query(
-                ks, index_name, skey_raw, ctx
+            result = yield from self._run_query(
+                "sidx_point_query",
+                lambda qctx: self.query_engine.sidx_point_query(
+                    ks, index_name, skey_raw, qctx
+                ),
+                ctx,
             )
             self.stats.counter("sidx_queries").add()
             return result

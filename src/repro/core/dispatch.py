@@ -28,8 +28,10 @@ from repro.nvme.kv_commands import (
     KvDeleteCmd,
     KvExistCmd,
     KvGetCmd,
+    KvMultiGetCmd,
     KvPutCmd,
     ListKeyspacesCmd,
+    MultiPointQueryCmd,
     OpenKeyspaceCmd,
     PointQueryCmd,
     RangeQueryCmd,
@@ -110,6 +112,12 @@ class KvCommandDispatcher:
             return (yield from device.build_sidx(command.keyspace, config, ctx))
         if isinstance(command, (KvGetCmd, PointQueryCmd)):
             return (yield from device.point_query(command.keyspace, command.key, ctx))
+        if isinstance(command, (KvMultiGetCmd, MultiPointQueryCmd)):
+            return (
+                yield from device.multi_point_query(
+                    command.keyspace, list(command.keys), ctx
+                )
+            )
         if isinstance(command, KvExistCmd):
             from repro.errors import KeyNotFoundError
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.errors import DbError
 from repro.core.zone_manager import ZonePointer
 from repro.lsm.block import BlockBuilder, BlockReader
+from repro.lsm.bloom import BloomFilter
 
 __all__ = ["PidxSketch", "build_pidx_blocks", "pack_value_pointer", "unpack_value_pointer"]
 
@@ -59,16 +60,39 @@ def build_pidx_blocks(
 
 @dataclass
 class PidxSketch:
-    """Pivot key + block pointer per PIDX block; the query starting point."""
+    """Pivot key + block pointer per PIDX block; the query starting point.
+
+    ``blooms`` optionally holds one per-block :class:`BloomFilter` keyed by
+    block index, built during compaction when ``SocSpec.bloom_bits_per_key``
+    is set.  Blooms are *not* persisted with keyspace metadata — a sketch
+    rebuilt by recovery has no blooms, and an absent bloom always answers
+    "may contain" (no false negatives either way).
+    """
 
     pivots: list[bytes] = field(default_factory=list)
     block_pointers: list[ZonePointer] = field(default_factory=list)
+    blooms: dict[int, BloomFilter] = field(default_factory=dict)
 
     def add_block(self, pivot: bytes, pointer: ZonePointer) -> None:
         if self.pivots and pivot <= self.pivots[-1]:
             raise DbError("sketch pivots must be strictly increasing")
         self.pivots.append(pivot)
         self.block_pointers.append(pointer)
+
+    def attach_bloom(self, idx: int, bloom: BloomFilter) -> None:
+        if not 0 <= idx < len(self.pivots):
+            raise DbError(f"no PIDX block {idx} to attach a bloom to")
+        self.blooms[idx] = bloom
+
+    def may_contain(self, idx: int, key: bytes) -> bool:
+        """Bloom answer for ``key`` in block ``idx``; True when no bloom."""
+        bloom = self.blooms.get(idx)
+        return True if bloom is None else bloom.may_contain(key)
+
+    @property
+    def bloom_bytes(self) -> int:
+        """In-DRAM footprint of all attached block blooms."""
+        return sum(b.size_bytes for b in self.blooms.values())
 
     def __len__(self) -> int:
         return len(self.pivots)
@@ -95,8 +119,12 @@ class PidxSketch:
 
     @property
     def size_bytes(self) -> int:
-        """Approximate in-DRAM footprint of the sketch."""
-        return sum(len(p) for p in self.pivots) + 16 * len(self.block_pointers)
+        """Approximate in-DRAM footprint of the sketch (incl. blooms)."""
+        return (
+            sum(len(p) for p in self.pivots)
+            + 16 * len(self.block_pointers)
+            + self.bloom_bytes
+        )
 
     def introspect(self) -> dict:
         """Sketch shape for device snapshots (no simulation events)."""
@@ -106,6 +134,8 @@ class PidxSketch:
             "first_pivot": self.pivots[0].hex() if self.pivots else None,
             "last_pivot": self.pivots[-1].hex() if self.pivots else None,
             "zones": sorted({p[0] for p in self.block_pointers}),
+            "n_blooms": len(self.blooms),
+            "bloom_bytes": self.bloom_bytes,
         }
 
 

@@ -14,21 +14,35 @@ carries a DRAM block cache (:class:`repro.core.block_cache.BlockCache`),
 every extent read — PIDX block, SIDX block or coalesced value extent —
 is served from DRAM on a hit and inserted on a miss, so repeated and
 skewed query workloads stop re-paying device-read latency.
+
+Two read-path accelerations are layered on top, both result-transparent:
+
+* **Bloom skips** — when sketches carry per-block bloom filters (built with
+  ``SocSpec.bloom_bits_per_key``), negative point lookups and the absent
+  fraction of a multi-get skip the PIDX/SIDX block read entirely; a bloom
+  false positive merely costs the block read it would have cost anyway.
+* **Sharded scans** — when ``fanout > 1`` a large ``range_query`` /
+  ``sidx_range_query`` block span splits into contiguous slices scanned by
+  parallel producer processes on their own SoC firmware contexts, while the
+  caller consumes slices *in slice order* and fetches values for slice *i*
+  as slice *i+1* is still decoding.  Slice-order concatenation keeps the
+  result byte-identical to the serial scan.
 """
 
 from __future__ import annotations
 
-from collections.abc import Generator
+from collections.abc import Callable, Generator
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.costs import CsdCostModel
 from repro.core.keyspace import Keyspace, KeyspaceState
-from repro.core.pidx import read_block_entries
+from repro.core.pidx import PidxSketch, read_block_entries
 from repro.core.sidx import SidxConfig, SidxSketch, encode_skey, read_sidx_block
 from repro.core.zone_manager import ZonePointer
 from repro.errors import KeyNotFoundError, SecondaryIndexError
 from repro.host.threads import ThreadCtx
 from repro.obs.trace import trace_span
+from repro.sim.stats import StatsRegistry
 from repro.sim.sync import AllOf
 from repro.ssd.zns import ZnsSsd
 
@@ -47,14 +61,26 @@ class QueryEngine:
         costs: CsdCostModel,
         scale_cpu,
         block_cache: "BlockCache | None" = None,
+        stats: Optional[StatsRegistry] = None,
+        fanout: int = 1,
+        make_ctx: Optional[Callable[[], ThreadCtx]] = None,
     ):
         self.ssd = ssd
         self.costs = costs
         self._scale = scale_cpu  # host-seconds -> SoC-seconds
         self.block_cache = block_cache
+        self.stats = stats
+        #: parallel scan producers per large range query (1 = serial scans)
+        self.fanout = fanout
+        #: fresh firmware ThreadCtx factory for scan producers (device-set)
+        self.make_ctx = make_ctx
 
     def _exec(self, ctx: ThreadCtx, host_seconds: float) -> Generator:
         yield from ctx.execute(self._scale(host_seconds))
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.stats is not None:
+            self.stats.counter(name).add(amount)
 
     # -- shared plumbing ----------------------------------------------------------
     def _read_blocks(
@@ -166,6 +192,25 @@ class QueryEngine:
             yield from self._exec(ctx, self.costs.gather_per_record * len(pointers))
         return values  # type: ignore[return-value]
 
+    # -- sharded scans ------------------------------------------------------------
+    def _plan_shards(self, n_blocks: int) -> int:
+        """Scan producers for an ``n_blocks``-wide span (1 = stay serial)."""
+        if self.fanout <= 1 or self.make_ctx is None or n_blocks < 2:
+            return 1
+        return min(self.fanout, n_blocks)
+
+    @staticmethod
+    def _split_ids(ids: list[int], n: int) -> list[list[int]]:
+        """Split ``ids`` into ``n`` contiguous, near-equal slices."""
+        base, extra = divmod(len(ids), n)
+        out: list[list[int]] = []
+        pos = 0
+        for i in range(n):
+            size = base + (1 if i < extra else 0)
+            out.append(ids[pos : pos + size])
+            pos += size
+        return out
+
     # -- primary index ---------------------------------------------------------------
     def point_query(self, ks: Keyspace, key: bytes, ctx: ThreadCtx) -> Generator:
         """GET over the primary index; returns the value."""
@@ -174,9 +219,17 @@ class QueryEngine:
         sketch = ks.pidx_sketch
         if sketch is None or (idx := sketch.find_block(key)) is None:
             raise KeyNotFoundError(key)
+        bloom = sketch.blooms.get(idx)
+        if bloom is not None:
+            yield from self._exec(ctx, self.costs.bloom_probe)
+            self._count("bloom_probes")
+            if not bloom.may_contain(key):
+                self._count("bloom_skips")
+                raise KeyNotFoundError(key)
+        self._count("pidx_block_reads")
         blobs = yield from self._read_blocks([sketch.block_pointers[idx]], ctx)
         entries = read_block_entries(blobs[0])
-        yield from self._exec(ctx, self.costs.key_compare * 12)
+        yield from self._exec(ctx, self.costs.binary_search(len(entries)))
         lo, hi = 0, len(entries)
         while lo < hi:
             mid = (lo + hi) // 2
@@ -197,7 +250,7 @@ class QueryEngine:
 
         Returns ``{key: value}`` for the keys that exist (absent keys are
         simply missing from the result — the batched analogue of raising
-        per key).
+        per key).  Keys that a block bloom rejects never cost a block read.
         """
         ks.require(KeyspaceState.COMPACTED)
         yield from self._exec(ctx, self.costs.sketch_search)
@@ -205,23 +258,44 @@ class QueryEngine:
         if sketch is None or not keys:
             return {}
         needed_blocks: dict[int, list[bytes]] = {}
+        bloom_probes = 0
+        bloom_skips = 0
         for key in keys:
             idx = sketch.find_block(key)
-            if idx is not None:
-                needed_blocks.setdefault(idx, []).append(key)
+            if idx is None:
+                continue
+            bloom = sketch.blooms.get(idx)
+            if bloom is not None:
+                bloom_probes += 1
+                if not bloom.may_contain(key):
+                    bloom_skips += 1
+                    continue
+            needed_blocks.setdefault(idx, []).append(key)
+        if bloom_probes:
+            yield from self._exec(ctx, self.costs.bloom_probe * bloom_probes)
+            self._count("bloom_probes", bloom_probes)
+            self._count("bloom_skips", bloom_skips)
         block_ids = sorted(needed_blocks)
+        if not block_ids:
+            return {}
+        self._count("pidx_block_reads", len(block_ids))
         blobs = yield from self._read_blocks(
             [sketch.block_pointers[i] for i in block_ids], ctx
         )
         found_keys: list[bytes] = []
         pointers: list[ZonePointer] = []
+        search_cost = 0.0
         for idx, blob in zip(block_ids, blobs):
+            entries = read_block_entries(blob)
             wanted = set(needed_blocks[idx])
-            for key, pointer in read_block_entries(blob):
+            search_cost += self.costs.binary_search(len(entries)) * len(
+                needed_blocks[idx]
+            )
+            for key, pointer in entries:
                 if key in wanted:
                     found_keys.append(key)
                     pointers.append(pointer)
-        yield from self._exec(ctx, self.costs.key_compare * 12 * len(keys))
+        yield from self._exec(ctx, search_cost)
         if not found_keys:
             return {}
         values = yield from self._fetch_values(pointers, ctx)
@@ -236,11 +310,18 @@ class QueryEngine:
         sketch = ks.pidx_sketch
         if sketch is None:
             return []
-        block_range = sketch.blocks_for_range(lo, hi)
-        if not block_range:
+        block_ids = list(sketch.blocks_for_range(lo, hi))
+        if not block_ids:
             return []
+        self._count("pidx_block_reads", len(block_ids))
+        n_shards = self._plan_shards(len(block_ids))
+        if n_shards > 1:
+            result = yield from self._sharded_range(
+                sketch, block_ids, lo, hi, ctx, n_shards
+            )
+            return result
         blobs = yield from self._read_blocks(
-            [sketch.block_pointers[i] for i in block_range], ctx
+            [sketch.block_pointers[i] for i in block_ids], ctx
         )
         keys: list[bytes] = []
         pointers: list[ZonePointer] = []
@@ -257,6 +338,58 @@ class QueryEngine:
         values = yield from self._fetch_values(pointers, ctx)
         return list(zip(keys, values))
 
+    def _sharded_range(
+        self,
+        sketch: PidxSketch,
+        block_ids: list[int],
+        lo: bytes,
+        hi: bytes,
+        ctx: ThreadCtx,
+        n_shards: int,
+    ) -> Generator:
+        """Parallel range scan: per-slice read+decode producers, pipelined
+        with slice-order value fetches in the caller.
+
+        Block slices are contiguous and consumed in slice order, so the
+        concatenated result is byte-identical to the serial scan.
+        """
+        env = self.ssd.env
+
+        def produce(shard: int, ids: list[int]) -> Generator:
+            pctx = self.make_ctx()
+            with trace_span(
+                env, "query.scan_shard", "stage", shard=shard, blocks=len(ids)
+            ):
+                blobs = yield from self._read_blocks(
+                    [sketch.block_pointers[i] for i in ids], pctx
+                )
+                keys: list[bytes] = []
+                pointers: list[ZonePointer] = []
+                for blob in blobs:
+                    for key, pointer in read_block_entries(blob):
+                        if lo <= key < hi:
+                            keys.append(key)
+                            pointers.append(pointer)
+                yield from self._exec(
+                    pctx, self.costs.key_compare * sum(len(b) for b in blobs) / 64
+                )
+            return keys, pointers
+
+        procs = []
+        for shard, ids in enumerate(self._split_ids(block_ids, n_shards)):
+            proc = env.process(produce(shard, ids), name=f"range-shard-{shard}")
+            # A shard failing before the caller awaits it must not crash the
+            # simulation; the failure re-raises below when its turn comes.
+            proc.defuse()
+            procs.append(proc)
+        out: list[tuple[bytes, bytes]] = []
+        for proc in procs:
+            keys, pointers = yield proc
+            if keys:
+                values = yield from self._fetch_values(pointers, ctx)
+                out.extend(zip(keys, values))
+        return out
+
     # -- secondary index ----------------------------------------------------------------
     def _sidx_pairs_in_range(
         self,
@@ -265,14 +398,34 @@ class QueryEngine:
         lo_enc: bytes,
         hi_enc: bytes,
         ctx: ThreadCtx,
+        point_enc: Optional[bytes] = None,
     ) -> Generator:
-        """(encoded_skey, primary_key) pairs with lo <= skey < hi."""
+        """(encoded_skey, primary_key) pairs with lo <= skey < hi.
+
+        ``point_enc`` marks an equality lookup: candidate blocks whose bloom
+        rejects the encoded key are skipped without a read.
+        """
         yield from self._exec(ctx, self.costs.sketch_search)
-        block_range = sketch.blocks_for_range(lo_enc, hi_enc)
-        if not block_range:
+        block_ids = list(sketch.blocks_for_range(lo_enc, hi_enc))
+        if point_enc is not None and block_ids:
+            probes = sum(1 for i in block_ids if i in sketch.blooms)
+            if probes:
+                survivors = [i for i in block_ids if sketch.may_contain(i, point_enc)]
+                yield from self._exec(ctx, self.costs.bloom_probe * probes)
+                self._count("bloom_probes", probes)
+                self._count("bloom_skips", len(block_ids) - len(survivors))
+                block_ids = survivors
+        if not block_ids:
             return []
+        self._count("sidx_block_reads", len(block_ids))
+        n_shards = self._plan_shards(len(block_ids))
+        if n_shards > 1:
+            pairs = yield from self._sharded_sidx_scan(
+                sketch, block_ids, lo_enc, hi_enc, n_shards
+            )
+            return pairs
         blobs = yield from self._read_blocks(
-            [sketch.block_pointers[i] for i in block_range], ctx
+            [sketch.block_pointers[i] for i in block_ids], ctx
         )
         pairs: list[tuple[bytes, bytes]] = []
         for blob in blobs:
@@ -282,6 +435,47 @@ class QueryEngine:
         yield from self._exec(
             ctx, self.costs.key_compare * sum(len(b) for b in blobs) / 64
         )
+        return pairs
+
+    def _sharded_sidx_scan(
+        self,
+        sketch: SidxSketch,
+        block_ids: list[int],
+        lo_enc: bytes,
+        hi_enc: bytes,
+        n_shards: int,
+    ) -> Generator:
+        """Parallel SIDX block scan; slice-order concatenation (a barrier —
+        the PIDX resolution that follows needs the full pair set)."""
+        env = self.ssd.env
+
+        def produce(shard: int, ids: list[int]) -> Generator:
+            pctx = self.make_ctx()
+            with trace_span(
+                env, "query.scan_shard", "stage", shard=shard, blocks=len(ids)
+            ):
+                blobs = yield from self._read_blocks(
+                    [sketch.block_pointers[i] for i in ids], pctx
+                )
+                found: list[tuple[bytes, bytes]] = []
+                for blob in blobs:
+                    for skey_enc, pkey in read_sidx_block(blob, sketch.skey_width):
+                        if lo_enc <= skey_enc < hi_enc:
+                            found.append((skey_enc, pkey))
+                yield from self._exec(
+                    pctx, self.costs.key_compare * sum(len(b) for b in blobs) / 64
+                )
+            return found
+
+        procs = []
+        for shard, ids in enumerate(self._split_ids(block_ids, n_shards)):
+            proc = env.process(produce(shard, ids), name=f"sidx-shard-{shard}")
+            proc.defuse()
+            procs.append(proc)
+        pairs: list[tuple[bytes, bytes]] = []
+        for proc in procs:
+            found = yield proc
+            pairs.extend(found)
         return pairs
 
     def sidx_range_query(
@@ -320,18 +514,24 @@ class QueryEngine:
             if idx is not None:
                 needed_blocks.setdefault(idx, []).append(pkey)
         block_ids = sorted(needed_blocks)
+        self._count("pidx_block_reads", len(block_ids))
         blobs = yield from self._read_blocks(
             [sketch_p.block_pointers[i] for i in block_ids], ctx
         )
         found_keys: list[bytes] = []
         pointers: list[ZonePointer] = []
+        search_cost = 0.0
         for idx, blob in zip(block_ids, blobs):
+            entries = read_block_entries(blob)
             wanted = set(needed_blocks[idx])
-            for key, pointer in read_block_entries(blob):
+            search_cost += self.costs.binary_search(len(entries)) * len(
+                needed_blocks[idx]
+            )
+            for key, pointer in entries:
                 if key in wanted:
                     found_keys.append(key)
                     pointers.append(pointer)
-        yield from self._exec(ctx, self.costs.key_compare * 12 * len(pkeys))
+        yield from self._exec(ctx, search_cost)
         values = yield from self._fetch_values(pointers, ctx)
         return list(zip(found_keys, values))
 
@@ -339,18 +539,20 @@ class QueryEngine:
         self, ks: Keyspace, index_name: str, skey_raw: bytes, ctx: ThreadCtx
     ) -> Generator:
         """All records whose secondary key equals ``skey_raw``."""
+        ks.require(KeyspaceState.COMPACTED)
         entry = ks.sidx.get(index_name)
         if entry is None:
             raise SecondaryIndexError(
                 f"keyspace {ks.name!r} has no secondary index {index_name!r}"
             )
-        config, _ = entry
+        config, sketch = entry
         lo_enc = encode_skey(skey_raw, config.dtype)
         hi_enc = lo_enc + b"\x00"  # smallest strictly-greater encoded bound
-        # Reuse the range machinery with an exclusive upper bound just above.
-        ks.require(KeyspaceState.COMPACTED)
-        _, sketch = entry
-        pairs = yield from self._sidx_pairs_in_range(config, sketch, lo_enc, hi_enc, ctx)
+        # Reuse the range machinery with an exclusive upper bound just above;
+        # the equality key lets block blooms veto candidate blocks.
+        pairs = yield from self._sidx_pairs_in_range(
+            config, sketch, lo_enc, hi_enc, ctx, point_enc=lo_enc
+        )
         exact = [(s, p) for s, p in pairs if s == lo_enc]
         if not exact:
             return []

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import DbError, SecondaryIndexError
 from repro.lsm.block import BlockBuilder, BlockReader
+from repro.lsm.bloom import BloomFilter
 
 __all__ = [
     "SidxConfig",
@@ -207,17 +208,39 @@ def read_sidx_block(blob: bytes, skey_width: int) -> list[tuple[bytes, bytes]]:
 
 @dataclass
 class SidxSketch:
-    """Pivot composite key + block pointer per SIDX block."""
+    """Pivot composite key + block pointer per SIDX block.
+
+    ``blooms`` optionally holds one per-block :class:`BloomFilter` over the
+    block's *encoded secondary keys*, built during the index build when
+    ``SocSpec.bloom_bits_per_key`` is set; an absent bloom answers "may
+    contain".  Like the PIDX blooms, these are DRAM-only and not persisted.
+    """
 
     skey_width: int
     pivots: list[bytes] = field(default_factory=list)
     block_pointers: list[tuple[int, int, int]] = field(default_factory=list)
+    blooms: dict[int, BloomFilter] = field(default_factory=dict)
 
     def add_block(self, pivot: bytes, pointer: tuple[int, int, int]) -> None:
         if self.pivots and pivot <= self.pivots[-1]:
             raise DbError("sketch pivots must be strictly increasing")
         self.pivots.append(pivot)
         self.block_pointers.append(pointer)
+
+    def attach_bloom(self, idx: int, bloom: BloomFilter) -> None:
+        if not 0 <= idx < len(self.pivots):
+            raise DbError(f"no SIDX block {idx} to attach a bloom to")
+        self.blooms[idx] = bloom
+
+    def may_contain(self, idx: int, skey_enc: bytes) -> bool:
+        """Bloom answer for an encoded skey in block ``idx``; True if no bloom."""
+        bloom = self.blooms.get(idx)
+        return True if bloom is None else bloom.may_contain(skey_enc)
+
+    @property
+    def bloom_bytes(self) -> int:
+        """In-DRAM footprint of all attached block blooms."""
+        return sum(b.size_bytes for b in self.blooms.values())
 
     def __len__(self) -> int:
         return len(self.pivots)
@@ -240,4 +263,6 @@ class SidxSketch:
             "first_pivot": self.pivots[0].hex() if self.pivots else None,
             "last_pivot": self.pivots[-1].hex() if self.pivots else None,
             "zones": sorted({p[0] for p in self.block_pointers}),
+            "n_blooms": len(self.blooms),
+            "bloom_bytes": self.bloom_bytes,
         }

@@ -21,12 +21,14 @@ __all__ = [
     "KvPutCmd",
     "KvBulkPutCmd",
     "KvGetCmd",
+    "KvMultiGetCmd",
     "KvDeleteCmd",
     "KvExistCmd",
     "CompactCmd",
     "WaitCompactionCmd",
     "BuildSidxCmd",
     "PointQueryCmd",
+    "MultiPointQueryCmd",
     "RangeQueryCmd",
     "SidxPointQueryCmd",
     "SidxRangeQueryCmd",
@@ -98,6 +100,14 @@ class KvGetCmd(KvCommand):
 
 
 @dataclass(frozen=True)
+class KvMultiGetCmd(KvCommand):
+    """Fetch many keys in one message; block reads are shared device-side."""
+
+    keyspace: str
+    keys: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
 class KvDeleteCmd(KvCommand):
     keyspace: str
     key: bytes
@@ -145,6 +155,14 @@ class PointQueryCmd(KvCommand):
 
     keyspace: str
     key: bytes
+
+
+@dataclass(frozen=True)
+class MultiPointQueryCmd(KvCommand):
+    """Batched primary-index point queries (COMPACTED keyspaces only)."""
+
+    keyspace: str
+    keys: tuple[bytes, ...]
 
 
 @dataclass(frozen=True)

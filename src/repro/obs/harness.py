@@ -26,9 +26,14 @@ def run_traced_selftest(seed: int = 0, n_pairs: int = 2000):
     from repro.units import MiB
     from repro.workloads import SyntheticSpec, generate_pairs, get_phase, load_phase
 
-    # A device block cache is part of the observed configuration so the
-    # cache's hit/miss/eviction series show up in the metrics export.
-    kv = build_kvcsd_testbed(seed=seed, block_cache_bytes=4 * MiB)
+    # A device block cache, query workers, and blooms are part of the
+    # observed configuration so the cache's hit/miss/eviction series and the
+    # scheduler/bloom counters show up in the metrics export, and the trace
+    # carries query-worker dispatch spans.
+    kv = build_kvcsd_testbed(
+        seed=seed, block_cache_bytes=4 * MiB, query_workers=2,
+        bloom_bits_per_key=10,
+    )
     tracer, hub = kv.enable_tracing()
 
     pairs = generate_pairs(SyntheticSpec(n_pairs=n_pairs, seed=seed))

@@ -65,6 +65,9 @@ EVENT_TYPES = frozenset(
         "sidx.build_begin",
         "sidx.build_end",
         "sketch.build",
+        # query offload
+        "query.admit",
+        "query.dispatch",
         # caching / faults / auditing
         "cache.invalidate",
         "fault.trip",

@@ -49,6 +49,14 @@ class SocSpec:
     #: SoC DRAM carved out for the device-side LRU block cache; 0 disables
     #: caching (the paper's "no device cache" configuration).
     block_cache_bytes: int = 0
+    #: worker processes the query scheduler fans commands out to (clamped to
+    #: ``n_cores`` at use); 0 = the serial in-caller query path.
+    query_workers: int = 0
+    #: bits per key for per-PIDX/SIDX-block bloom filters built during
+    #: compaction and index builds; 0 disables blooms entirely.
+    bloom_bits_per_key: int = 0
+    #: admission-queue depth of the query scheduler (backpressure bound).
+    query_queue_depth: int = 64
 
     def __post_init__(self) -> None:
         if self.n_cores < 1:
@@ -63,6 +71,12 @@ class SocSpec:
             raise SimulationError("block cache size cannot be negative")
         if self.sort_budget_bytes + self.block_cache_bytes > self.dram_bytes:
             raise SimulationError("sort budget + block cache must fit in DRAM")
+        if self.query_workers < 0:
+            raise SimulationError("query worker count cannot be negative")
+        if self.bloom_bits_per_key < 0:
+            raise SimulationError("bloom bits per key cannot be negative")
+        if self.query_queue_depth < 1:
+            raise SimulationError("query queue depth must be positive")
 
 
 class SocBoard:
@@ -97,6 +111,8 @@ class SocBoard:
             "sort_budget_bytes": self.spec.sort_budget_bytes,
             "block_cache_bytes": self.spec.block_cache_bytes,
             "compaction_shards": self.spec.compaction_shards,
+            "query_workers": self.spec.query_workers,
+            "bloom_bits_per_key": self.spec.bloom_bits_per_key,
             "dram": self.dram.introspect(),
             "nvme_queue": self.qp.introspect(),
         }

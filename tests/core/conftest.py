@@ -26,6 +26,8 @@ class CsdTestbed:
         host_cores=4,
         compaction_shards=1,
         block_cache_bytes=0,
+        query_workers=0,
+        bloom_bits_per_key=0,
     ):
         self.env = Environment()
         self.ssd = ZnsSsd(
@@ -41,6 +43,8 @@ class CsdTestbed:
                 sort_budget_bytes=sort_budget,
                 compaction_shards=compaction_shards,
                 block_cache_bytes=block_cache_bytes,
+                query_workers=query_workers,
+                bloom_bits_per_key=bloom_bits_per_key,
             ),
         )
         self.device = KvCsdDevice(

@@ -13,8 +13,10 @@ from repro.nvme.kv_commands import (
     KvDeleteCmd,
     KvExistCmd,
     KvGetCmd,
+    KvMultiGetCmd,
     KvPutCmd,
     ListKeyspacesCmd,
+    MultiPointQueryCmd,
     OpenKeyspaceCmd,
     RangeQueryCmd,
     SidxRangeQueryCmd,
@@ -77,6 +79,29 @@ def test_single_put_and_exist(dispatch_tb):
     submit(tb, dispatcher, WaitCompactionCmd(keyspace="ks"))
     assert submit(tb, dispatcher, KvExistCmd(keyspace="ks", key=b"a")).value is True
     assert submit(tb, dispatcher, KvExistCmd(keyspace="ks", key=b"b")).value is False
+
+
+def test_multi_get_commands(dispatch_tb):
+    tb, dispatcher = dispatch_tb
+    submit(tb, dispatcher, CreateKeyspaceCmd(name="ks"))
+    submit(tb, dispatcher, OpenKeyspaceCmd(name="ks"))
+    pairs = [(f"m{i:04d}".encode(), bytes([i % 256]) * 8) for i in range(200)]
+    put = KvBulkPutCmd(
+        keyspace="ks",
+        keys=tuple(k for k, _ in pairs),
+        values=tuple(v for _, v in pairs),
+    )
+    submit(tb, dispatcher, put)
+    submit(tb, dispatcher, CompactCmd(keyspace="ks"))
+    submit(tb, dispatcher, WaitCompactionCmd(keyspace="ks"))
+
+    wanted = (b"m0003", b"m0150", b"absent!")
+    expected = {b"m0003": pairs[3][1], b"m0150": pairs[150][1]}
+    got = submit(tb, dispatcher, KvMultiGetCmd(keyspace="ks", keys=wanted))
+    assert got.ok and got.value == expected
+    # the vendor-extension spelling routes to the same batched device op
+    got = submit(tb, dispatcher, MultiPointQueryCmd(keyspace="ks", keys=wanted))
+    assert got.ok and got.value == expected
 
 
 def test_delete_command_masks_key(dispatch_tb):

@@ -115,3 +115,19 @@ def test_fetch_values_fewer_reads_than_records_when_clustered():
 
     n_reads = env.run(env.process(proc()))
     assert n_reads <= 2  # 64 x 32B = 2KB -> one or two page reads, not 64
+
+
+# ------------------------------------------------------------------ cost model
+@pytest.mark.parametrize(
+    "entries,steps", [(0, 1), (1, 1), (2, 1), (3, 2), (128, 7), (129, 8)]
+)
+def test_binary_search_cost_scales_with_log_entries(entries, steps):
+    costs = CsdCostModel()
+    assert costs.binary_search(entries) == pytest.approx(costs.key_compare * steps)
+
+
+def test_shard_split_contiguous_and_complete():
+    ids = list(range(11))
+    slices = QueryEngine._split_ids(ids, 4)
+    assert [x for s in slices for x in s] == ids  # slice order == serial order
+    assert max(len(s) for s in slices) - min(len(s) for s in slices) <= 1

@@ -23,6 +23,9 @@ DEVICE_KEYS = {
     "jobs",
     "counters",
     "compaction_shards",
+    "query_workers",
+    "query_scheduler",
+    "bloom_dram_bytes",
 }
 
 
