@@ -11,7 +11,10 @@ Checks the invariants chrome://tracing / Perfetto rely on:
   was never installed);
 * every ``query.dispatch`` span (a query-scheduler worker executing one
   admitted command) temporally contains at least one child event — a
-  dispatch with no work inside means the worker's span tree was severed.
+  dispatch with no work inside means the worker's span tree was severed;
+* every ``cq.reap`` marker pairs with a prior ``sq.post`` carrying the
+  same command id — a reap without a post means the queue pair's
+  submission/completion bookkeeping desynchronised.
 
 Usage: ``python scripts/validate_trace.py trace.json``
 """
@@ -58,6 +61,7 @@ def validate(path: str) -> list[str]:
     if order != sorted(order):
         errors.append(f"{path}: complete events not sorted by (ts, tid)")
     errors.extend(_check_dispatch_trees(path, complete))
+    errors.extend(_check_sq_cq_pairing(path, complete))
     return errors
 
 
@@ -76,6 +80,32 @@ def _check_dispatch_trees(path: str, complete: list[dict]) -> list[str]:
             errors.append(
                 f"{path}: query.dispatch span at ts={d['ts']} contains no "
                 "child events (worker span tree severed)"
+            )
+    return errors
+
+
+def _check_sq_cq_pairing(path: str, complete: list[dict]) -> list[str]:
+    """Every cq.reap marker must follow an sq.post with the same cid."""
+    errors: list[str] = []
+    posts: dict[object, float] = {}
+    for e in complete:
+        if e.get("name") == "sq.post":
+            cid = e.get("args", {}).get("cid")
+            if cid is not None and cid not in posts:
+                posts[cid] = e.get("ts", 0)
+    for e in complete:
+        if e.get("name") != "cq.reap":
+            continue
+        cid = e.get("args", {}).get("cid")
+        if cid is None:
+            errors.append(f"{path}: cq.reap at ts={e.get('ts')} has no cid arg")
+        elif cid not in posts:
+            errors.append(
+                f"{path}: cq.reap for cid={cid} has no matching sq.post"
+            )
+        elif e.get("ts", 0) < posts[cid]:
+            errors.append(
+                f"{path}: cq.reap for cid={cid} precedes its sq.post"
             )
     return errors
 

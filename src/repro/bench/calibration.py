@@ -148,6 +148,7 @@ class KvcsdTestbed:
         block_cache_bytes: int | None = None,
         query_workers: int | None = None,
         bloom_bits_per_key: int | None = None,
+        queue_depth: int = 32,
     ):
         overrides = {}
         if compaction_shards is not None:
@@ -177,6 +178,7 @@ class KvcsdTestbed:
             self.link,
             costs=client_costs,
             bulk_message_bytes=bulk_message_bytes,
+            queue_depth=queue_depth,
         )
         self.cpu = CpuPool(self.env, host.n_cores, timeslice=host.timeslice, name="host")
         self.adapter = KvCsdAdapter(self.client)

@@ -175,7 +175,7 @@ def _load_and_compact(config: CompactionBenchConfig, pairs, shards, cache_bytes,
     load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
 
     def wait():
-        yield from kv.device.wait_for_jobs("ks")
+        yield from kv.client.wait_for_device("ks", kv.thread_ctx(0))
 
     kv.env.run(kv.env.process(wait()))
     seconds = kv.device.job_durations[("ks", "compaction")]

@@ -164,8 +164,9 @@ def load_vpic_kvcsd(config: Fig11Config, dataset: VpicDataset):
     t0 = kv.env.now
 
     def wait_compaction():
+        ctx = kv.thread_ctx(0)
         for t in range(n):
-            yield from kv.device.wait_for_jobs(f"vpic-{t}")
+            yield from kv.client.wait_for_device(f"vpic-{t}", ctx)
 
     kv.env.run(kv.env.process(wait_compaction()))
     compact_s = kv.env.now - t0

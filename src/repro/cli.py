@@ -10,6 +10,8 @@ Commands:
   with optional JSON export (``--out results/BENCH_compaction.json``);
 * ``query-bench``          — query-scheduler fan-out + PIDX bloom ablation,
   with optional JSON export (``--out results/BENCH_query.json``);
+* ``qd-bench``             — single-thread queue-depth sweep over the async
+  SQ/CQ path (``--out results/BENCH_qd.json``);
 * ``trace``                — run a traced workload, dump a Chrome-trace
   timeline and print the per-command latency-attribution table;
 * ``metrics``              — run a traced workload and dump a
@@ -134,6 +136,28 @@ def _cmd_query_bench(args) -> int:
     if args.bloom_bits is not None:
         config = replace(config, bloom_bits_per_key=args.bloom_bits)
     result = run_query_bench(config)
+    print(result.table())
+    ok = True
+    for check in result.checks():
+        print(check)
+        ok = ok and check.passed
+    if args.out:
+        write_json(result, args.out)
+        print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+def _cmd_qd_bench(args) -> int:
+    from dataclasses import replace
+
+    from repro.bench.qd import QdBenchConfig, run_qd_bench, write_json
+
+    config = QdBenchConfig.smoke() if args.smoke else QdBenchConfig()
+    if args.workers is not None:
+        config = replace(config, query_workers=args.workers)
+    if args.depths:
+        config = replace(config, depths=tuple(args.depths))
+    result = run_qd_bench(config)
     print(result.table())
     ok = True
     for check in result.checks():
@@ -313,6 +337,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     qb.add_argument("--out", default=None, help="write JSON results to this path")
     qb.set_defaults(func=_cmd_query_bench)
+    qd = sub.add_parser(
+        "qd-bench",
+        help="single-thread queue-depth sweep over the async I/O path",
+    )
+    qd.add_argument(
+        "--smoke", action="store_true", help="reduced configuration for CI"
+    )
+    qd.add_argument(
+        "--workers", type=int, default=None, help="SoC query workers"
+    )
+    qd.add_argument(
+        "--depths", type=int, nargs="+", default=None,
+        help="queue depths to sweep (default: 1 4 16 32)",
+    )
+    qd.add_argument("--out", default=None, help="write JSON results to this path")
+    qd.set_defaults(func=_cmd_qd_bench)
     trace = sub.add_parser(
         "trace",
         help="run a traced workload, export a Chrome-trace timeline",

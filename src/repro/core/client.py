@@ -2,10 +2,20 @@
 
 "User applications communicate with KV-CSD through a lightweight client
 library that exposes a key-value interface similar to that of a software
-key-value store" (Section I).  The client packs operations into messages,
-moves them over the PCIe link with DMA, and lets the device do all storage
-processing; only commands go down and only results come back up — the
+key-value store" (Section I).  Every public method builds a declarative
+:class:`~repro.nvme.kv_commands.KvCommand` and routes it through the
+client's :class:`~repro.nvme.queues.KvQueuePair`: the command capsule is
+packed on the calling thread, DMA'd over the PCIe link, and executed by the
+:class:`~repro.core.dispatch.KvCommandDispatcher` in its own device-side
+process; only commands go down and only results come back up — the
 data-movement asymmetry the evaluation leans on.
+
+The queue pair is genuinely asynchronous.  Synchronous methods are
+``post()`` + ``wait()`` with one command in flight (virtual-time identical
+to the pre-async client); the ``*_async`` variants and :meth:`submit_many`
+return/reap :class:`~repro.nvme.queues.CommandTicket` futures so a single
+host thread can keep up to ``queue_depth`` commands in flight and actually
+see the device's internal parallelism.
 
 Every method is a simulation generator taking the calling thread's
 :class:`~repro.host.threads.ThreadCtx`, so client-side packing costs land on
@@ -14,21 +24,112 @@ the right host core.
 
 from __future__ import annotations
 
-from collections.abc import Generator
+from collections.abc import Generator, Iterable
 from typing import Sequence
 
 from repro.core.costs import ClientCostModel
 from repro.core.device import KvCsdDevice
+from repro.core.dispatch import KvCommandDispatcher
 from repro.core.sidx import SidxConfig
 from repro.core.wire import BULK_MESSAGE_BYTES, pair_wire_size, split_into_messages
 from repro.host.threads import ThreadCtx
+from repro.nvme.commands import Completion
+from repro.nvme.kv_commands import (
+    COMMAND_WIRE_BYTES,
+    BuildSidxCmd,
+    CompactCmd,
+    CreateKeyspaceCmd,
+    DeleteKeyspaceCmd,
+    KeyspaceStatCmd,
+    KvBulkDeleteCmd,
+    KvBulkPutCmd,
+    KvCommand,
+    KvDeleteCmd,
+    KvExistCmd,
+    KvFsyncCmd,
+    KvGetCmd,
+    KvMultiGetCmd,
+    KvPutCmd,
+    ListKeyspacesCmd,
+    MultiPointQueryCmd,
+    OpenKeyspaceCmd,
+    PointQueryCmd,
+    RangeQueryCmd,
+    SidxPointQueryCmd,
+    SidxRangeQueryCmd,
+    WaitCompactionCmd,
+)
+from repro.nvme.queues import CommandTicket, KvQueuePair
 from repro.nvme.transport import PcieLink
-from repro.obs.trace import trace_span
 
-__all__ = ["KvCsdClient"]
+__all__ = [
+    "KvCsdClient",
+    "COMMAND_WIRE_BYTES",
+    "command_payload_bytes",
+    "command_result_bytes",
+]
 
-#: Small fixed wire size of a command without payload.
-COMMAND_WIRE_BYTES = 64
+
+def command_payload_bytes(command: KvCommand) -> int:
+    """Wire payload of one command capsule, beyond the fixed 64-byte frame.
+
+    This is the host->device half of the wire-accounting contract: command
+    capsules carry names/keys/framing, never values (values only travel in
+    bulk-PUT messages).
+    """
+    if isinstance(command, (CreateKeyspaceCmd, OpenKeyspaceCmd, DeleteKeyspaceCmd,
+                            KeyspaceStatCmd)):
+        return len(command.name)
+    if isinstance(command, ListKeyspacesCmd):
+        return 0
+    if isinstance(command, KvBulkPutCmd):
+        return command.message_bytes or (
+            4 + sum(pair_wire_size(k, v) for k, v in zip(command.keys, command.values))
+        )
+    if isinstance(command, KvPutCmd):
+        return 4 + pair_wire_size(command.key, command.value)
+    if isinstance(command, KvBulkDeleteCmd):
+        return sum(len(k) + 2 for k in command.keys)
+    if isinstance(command, KvDeleteCmd):
+        return len(command.key) + 2
+    if isinstance(command, KvFsyncCmd):
+        return len(command.keyspace)
+    if isinstance(command, CompactCmd):
+        return len(command.keyspace) + 24 * len(command.sidx)
+    if isinstance(command, BuildSidxCmd):
+        return len(command.keyspace) + len(command.index_name) + 16
+    if isinstance(command, WaitCompactionCmd):
+        return len(command.keyspace)
+    if isinstance(command, (KvGetCmd, PointQueryCmd, KvExistCmd)):
+        return len(command.key)
+    if isinstance(command, (KvMultiGetCmd, MultiPointQueryCmd)):
+        return sum(len(k) + 2 for k in command.keys)
+    if isinstance(command, RangeQueryCmd):
+        return len(command.lo) + len(command.hi)
+    if isinstance(command, SidxRangeQueryCmd):
+        return len(command.lo) + len(command.hi) + len(command.index_name)
+    if isinstance(command, SidxPointQueryCmd):
+        return len(command.skey) + len(command.index_name)
+    return 0
+
+
+def command_result_bytes(command: KvCommand, value: object) -> int:
+    """Wire size of one command's result, the device->host half.
+
+    GET results are the bare value (the 64-byte CQE frame is not modelled
+    for the value path, matching the pre-refactor accounting); batched and
+    range results carry keys+values plus the frame; everything else returns
+    a bare CQE-sized acknowledgement.
+    """
+    if isinstance(command, (KvGetCmd, PointQueryCmd)):
+        return len(value)
+    if isinstance(command, ListKeyspacesCmd):
+        return sum(len(n) for n in value) + 16
+    if isinstance(command, (KvMultiGetCmd, MultiPointQueryCmd)):
+        return sum(len(k) + len(v) for k, v in value.items()) + COMMAND_WIRE_BYTES
+    if isinstance(command, (RangeQueryCmd, SidxRangeQueryCmd, SidxPointQueryCmd)):
+        return sum(len(k) + len(v) for k, v in value) + COMMAND_WIRE_BYTES
+    return COMMAND_WIRE_BYTES
 
 
 class KvCsdClient:
@@ -40,72 +141,136 @@ class KvCsdClient:
         link: PcieLink,
         costs: ClientCostModel | None = None,
         bulk_message_bytes: int = BULK_MESSAGE_BYTES,
+        queue_depth: int = 32,
     ):
         self.device = device
         self.link = link
         self.costs = costs or ClientCostModel()
         self.bulk_message_bytes = bulk_message_bytes
         self.env = device.env
-
-    # ------------------------------------------------------------------ plumbing
-    def _cmd(self, op: str, **args):
-        """A top-level span covering one client-visible command."""
-        return trace_span(self.env, f"cmd.{op}", "command", **args)
-
-    def _send_command(self, payload_bytes: int, ctx: ThreadCtx) -> Generator:
-        """Client-side cost + host->device transfer of one command."""
-        yield from ctx.execute(
-            self.costs.per_command + self.costs.pack_per_byte * payload_bytes
+        self.dispatcher = KvCommandDispatcher(device)
+        self.qp = KvQueuePair(
+            self.env,
+            self.dispatcher,
+            link,
+            costs=self.costs,
+            capsule_bytes=command_payload_bytes,
+            result_bytes=command_result_bytes,
+            depth=queue_depth,
         )
-        yield from self.link.send(COMMAND_WIRE_BYTES + payload_bytes)
+        device.register_host_qp(self.qp)
 
-    def _receive_result(self, result_bytes: int, ctx: ThreadCtx) -> Generator:
-        """Device->host transfer + client-side decode of a result."""
-        yield from self.link.receive(result_bytes)
-        yield from ctx.execute(self.costs.unpack_per_byte * result_bytes)
+    # ------------------------------------------------------------------ async API
+    def submit_async(
+        self,
+        command: KvCommand,
+        ctx: ThreadCtx,
+        op: str | None = None,
+        **span_args,
+    ) -> Generator:
+        """Post one command; returns a :class:`CommandTicket` future.
+
+        Blocks only while the submission queue is at full ``queue_depth``.
+        Reap with :meth:`wait` (or drain everything ready via
+        ``client.qp.poll()``).
+        """
+        return (
+            yield from self.qp.post(command, ctx, op=op, span_args=span_args or None)
+        )
+
+    def wait(self, ticket: CommandTicket, ctx: ThreadCtx) -> Generator:
+        """Reap one ticket; returns its :class:`Completion`.
+
+        Re-raises the device's original exception for error completions,
+        exactly as the synchronous method would have.
+        """
+        return (yield from self.qp.wait(ticket, ctx))
+
+    def submit_many(
+        self, commands: Iterable[KvCommand], ctx: ThreadCtx
+    ) -> Generator:
+        """Post a batch, then reap every completion; returns them in order.
+
+        The batched QD>1 driver: all commands are posted back-to-back (the
+        queue pair pipelines them up to ``queue_depth``), then reaped.
+        Error completions are *returned*, not raised — one failing command
+        never poisons the batch; check ``completion.ok`` per entry.
+        """
+        tickets = []
+        for command in commands:
+            ticket = yield from self.qp.post(command, ctx)
+            tickets.append(ticket)
+        completions: list[Completion] = []
+        for ticket in tickets:
+            completion = yield from self.qp.wait(ticket, ctx, raise_on_error=False)
+            completions.append(completion)
+        return completions
+
+    def _call(self, command: KvCommand, ctx: ThreadCtx, op: str, **span_args):
+        """Synchronous path: ``post()`` + ``wait()``, one command in flight."""
+        ticket = yield from self.qp.post(command, ctx, op=op, span_args=span_args)
+        completion = yield from self.qp.wait(ticket, ctx)
+        return completion.value
 
     # ------------------------------------------------------------------ keyspaces
     def create_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
         """Create a new (EMPTY) keyspace on the device."""
-        with self._cmd("create_keyspace", keyspace=name):
-            yield from self._send_command(len(name), ctx)
-            yield from self.device.create_keyspace(name, ctx)
-            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        yield from self._call(
+            CreateKeyspaceCmd(name=name), ctx, "create_keyspace", keyspace=name
+        )
 
     def open_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
         """Open a keyspace for insertion (EMPTY -> WRITABLE)."""
-        with self._cmd("open_keyspace", keyspace=name):
-            yield from self._send_command(len(name), ctx)
-            yield from self.device.open_keyspace(name, ctx)
-            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        yield from self._call(
+            OpenKeyspaceCmd(name=name), ctx, "open_keyspace", keyspace=name
+        )
 
     def delete_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
         """Delete a keyspace and reclaim its zones."""
-        with self._cmd("delete_keyspace", keyspace=name):
-            yield from self._send_command(len(name), ctx)
-            yield from self.device.delete_keyspace(name, ctx)
-            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        yield from self._call(
+            DeleteKeyspaceCmd(name=name), ctx, "delete_keyspace", keyspace=name
+        )
 
     def list_keyspaces(self, ctx: ThreadCtx) -> Generator:
         """Names of all live keyspaces."""
-        with self._cmd("list_keyspaces"):
-            yield from self._send_command(0, ctx)
-            names = self.device.list_keyspaces()
-            yield from self._receive_result(sum(len(n) for n in names) + 16, ctx)
-        return names
+        return (yield from self._call(ListKeyspacesCmd(), ctx, "list_keyspaces"))
 
     def keyspace_stat(self, name: str, ctx: ThreadCtx) -> Generator:
         """State + metadata of one keyspace."""
-        with self._cmd("keyspace_stat", keyspace=name):
-            yield from self._send_command(len(name), ctx)
-            stat = self.device.keyspace_stat(name)
-            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
-        return stat
+        return (
+            yield from self._call(
+                KeyspaceStatCmd(name=name), ctx, "keyspace_stat", keyspace=name
+            )
+        )
 
     # ------------------------------------------------------------------ writes
+    def _bulk_put_cmd(
+        self, keyspace: str, message: Sequence[tuple[bytes, bytes]]
+    ) -> KvBulkPutCmd:
+        return KvBulkPutCmd(
+            keyspace=keyspace,
+            keys=tuple(k for k, _ in message),
+            values=tuple(v for _, v in message),
+            message_bytes=4 + sum(pair_wire_size(k, v) for k, v in message),
+        )
+
     def put(self, keyspace: str, key: bytes, value: bytes, ctx: ThreadCtx) -> Generator:
         """Store one pair (a degenerate one-pair bulk message)."""
         yield from self.bulk_put(keyspace, [(key, value)], ctx)
+
+    def put_async(
+        self, keyspace: str, key: bytes, value: bytes, ctx: ThreadCtx
+    ) -> Generator:
+        """Post one PUT; returns a ticket to :meth:`wait` on."""
+        return (
+            yield from self.submit_async(
+                self._bulk_put_cmd(keyspace, [(key, value)]),
+                ctx,
+                op="bulk_put",
+                keyspace=keyspace,
+                pairs=1,
+            )
+        )
 
     def bulk_put(
         self,
@@ -118,29 +283,51 @@ class KvCsdClient:
         Pairs are chunked into messages; each message is packed on the host,
         DMA'd to the device, and ingested into the keyspace's write buffer.
         """
-        with self._cmd("bulk_put", keyspace=keyspace, pairs=len(pairs)):
-            for message in split_into_messages(list(pairs), self.bulk_message_bytes):
-                message_bytes = 4 + sum(pair_wire_size(k, v) for k, v in message)
-                yield from self._send_command(message_bytes, ctx)
-                yield from self.device.bulk_put(keyspace, message, message_bytes, ctx)
-                yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        for message in split_into_messages(list(pairs), self.bulk_message_bytes):
+            yield from self._call(
+                self._bulk_put_cmd(keyspace, message),
+                ctx,
+                "bulk_put",
+                keyspace=keyspace,
+                pairs=len(message),
+            )
+
+    def bulk_put_async(
+        self,
+        keyspace: str,
+        pairs: Sequence[tuple[bytes, bytes]],
+        ctx: ThreadCtx,
+    ) -> Generator:
+        """Post every bulk-PUT message without waiting; returns the tickets."""
+        tickets = []
+        for message in split_into_messages(list(pairs), self.bulk_message_bytes):
+            ticket = yield from self.submit_async(
+                self._bulk_put_cmd(keyspace, message),
+                ctx,
+                op="bulk_put",
+                keyspace=keyspace,
+                pairs=len(message),
+            )
+            tickets.append(ticket)
+        return tickets
 
     def bulk_delete(
         self, keyspace: str, keys: Sequence[bytes], ctx: ThreadCtx
     ) -> Generator:
         """Delete keys (tombstones resolved by compaction)."""
-        with self._cmd("bulk_delete", keyspace=keyspace, keys=len(keys)):
-            payload = sum(len(k) + 2 for k in keys)
-            yield from self._send_command(payload, ctx)
-            yield from self.device.bulk_delete(keyspace, list(keys), ctx)
-            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        yield from self._call(
+            KvBulkDeleteCmd(keyspace=keyspace, keys=tuple(keys)),
+            ctx,
+            "bulk_delete",
+            keyspace=keyspace,
+            keys=len(keys),
+        )
 
     def fsync(self, keyspace: str, ctx: ThreadCtx) -> Generator:
         """Force buffered writes to the device's zones (durability point)."""
-        with self._cmd("fsync", keyspace=keyspace):
-            yield from self._send_command(len(keyspace), ctx)
-            yield from self.device.fsync(keyspace, ctx)
-            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        yield from self._call(
+            KvFsyncCmd(keyspace=keyspace), ctx, "fsync", keyspace=keyspace
+        )
 
     # ------------------------------------------------------------------ offloaded ops
     def compact(
@@ -159,14 +346,15 @@ class KvCsdClient:
         still in SoC DRAM, instead of rescanning the keyspace per index
         (the consolidation Section V anticipates as future work).
         """
-        with self._cmd("compact", keyspace=keyspace, sidx=len(secondary_indexes)):
-            yield from self._send_command(
-                len(keyspace) + 24 * len(secondary_indexes), ctx
-            )
-            yield from self.device.compact(
-                keyspace, ctx, sidx_configs=tuple(secondary_indexes)
-            )
-            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        command = CompactCmd(
+            keyspace=keyspace,
+            sidx=tuple(
+                (c.name, c.value_offset, c.width, c.dtype) for c in secondary_indexes
+            ),
+        )
+        yield from self._call(
+            command, ctx, "compact", keyspace=keyspace, sidx=len(secondary_indexes)
+        )
 
     def build_secondary_index(
         self,
@@ -178,30 +366,46 @@ class KvCsdClient:
         ctx: ThreadCtx = None,
     ) -> Generator:
         """Configure + kick off asynchronous secondary-index construction."""
-        config = SidxConfig(
-            name=index_name, value_offset=value_offset, width=width, dtype=dtype
+        command = BuildSidxCmd(
+            keyspace=keyspace,
+            index_name=index_name,
+            value_offset=value_offset,
+            width=width,
+            dtype=dtype,
         )
-        with self._cmd("build_sidx", keyspace=keyspace, index=index_name):
-            yield from self._send_command(len(keyspace) + len(index_name) + 16, ctx)
-            yield from self.device.build_sidx(keyspace, config, ctx)
-            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        yield from self._call(
+            command, ctx, "build_sidx", keyspace=keyspace, index=index_name
+        )
 
     def wait_for_device(self, keyspace: str, ctx: ThreadCtx) -> Generator:
         """Block until the keyspace's offloaded jobs (compaction, index
         builds) are complete.  Applications use this before querying."""
-        with self._cmd("wait_for_device", keyspace=keyspace):
-            yield from self._send_command(len(keyspace), ctx)
-            yield from self.device.wait_for_jobs(keyspace)
-            yield from self._receive_result(COMMAND_WIRE_BYTES, ctx)
+        yield from self._call(
+            WaitCompactionCmd(keyspace=keyspace),
+            ctx,
+            "wait_for_device",
+            keyspace=keyspace,
+        )
 
     # ------------------------------------------------------------------ queries
     def get(self, keyspace: str, key: bytes, ctx: ThreadCtx) -> Generator:
         """Primary-index point query; raises KeyNotFoundError when absent."""
-        with self._cmd("get", keyspace=keyspace):
-            yield from self._send_command(len(key), ctx)
-            value = yield from self.device.point_query(keyspace, key, ctx)
-            yield from self._receive_result(len(value), ctx)
-        return value
+        return (
+            yield from self._call(
+                KvGetCmd(keyspace=keyspace, key=key), ctx, "get", keyspace=keyspace
+            )
+        )
+
+    def get_async(self, keyspace: str, key: bytes, ctx: ThreadCtx) -> Generator:
+        """Post one GET; returns a ticket whose completion carries the value."""
+        return (
+            yield from self.submit_async(
+                KvGetCmd(keyspace=keyspace, key=key),
+                ctx,
+                op="get",
+                keyspace=keyspace,
+            )
+        )
 
     def multi_get(
         self, keyspace: str, keys: Sequence[bytes], ctx: ThreadCtx
@@ -212,24 +416,55 @@ class KvCsdClient:
         across the batch — many GETs for the price of few media reads.
         Missing keys are absent from the result dict.
         """
-        with self._cmd("multi_get", keyspace=keyspace, keys=len(keys)):
-            payload = sum(len(k) + 2 for k in keys)
-            yield from self._send_command(payload, ctx)
-            result = yield from self.device.multi_point_query(keyspace, list(keys), ctx)
-            result_bytes = sum(len(k) + len(v) for k, v in result.items())
-            yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
-        return result
+        return (
+            yield from self._call(
+                KvMultiGetCmd(keyspace=keyspace, keys=tuple(keys)),
+                ctx,
+                "multi_get",
+                keyspace=keyspace,
+                keys=len(keys),
+            )
+        )
+
+    def multi_get_async(
+        self, keyspace: str, keys: Sequence[bytes], ctx: ThreadCtx
+    ) -> Generator:
+        """Post one batched GET; returns a ticket."""
+        return (
+            yield from self.submit_async(
+                KvMultiGetCmd(keyspace=keyspace, keys=tuple(keys)),
+                ctx,
+                op="multi_get",
+                keyspace=keyspace,
+                keys=len(keys),
+            )
+        )
 
     def range_query(
         self, keyspace: str, lo: bytes, hi: bytes, ctx: ThreadCtx
     ) -> Generator:
         """Primary-index range query over [lo, hi); returns (key, value) pairs."""
-        with self._cmd("range_query", keyspace=keyspace):
-            yield from self._send_command(len(lo) + len(hi), ctx)
-            result = yield from self.device.range_query(keyspace, lo, hi, ctx)
-            result_bytes = sum(len(k) + len(v) for k, v in result)
-            yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
-        return result
+        return (
+            yield from self._call(
+                RangeQueryCmd(keyspace=keyspace, lo=lo, hi=hi),
+                ctx,
+                "range_query",
+                keyspace=keyspace,
+            )
+        )
+
+    def range_query_async(
+        self, keyspace: str, lo: bytes, hi: bytes, ctx: ThreadCtx
+    ) -> Generator:
+        """Post one range query; returns a ticket."""
+        return (
+            yield from self.submit_async(
+                RangeQueryCmd(keyspace=keyspace, lo=lo, hi=hi),
+                ctx,
+                op="range_query",
+                keyspace=keyspace,
+            )
+        )
 
     def sidx_range_query(
         self,
@@ -241,26 +476,30 @@ class KvCsdClient:
     ) -> Generator:
         """Secondary-index range query; returns full (primary key, value)
         records whose secondary key lies in [lo, hi)."""
-        with self._cmd("sidx_range_query", keyspace=keyspace, index=index_name):
-            yield from self._send_command(
-                len(lo_raw) + len(hi_raw) + len(index_name), ctx
+        return (
+            yield from self._call(
+                SidxRangeQueryCmd(
+                    keyspace=keyspace, index_name=index_name, lo=lo_raw, hi=hi_raw
+                ),
+                ctx,
+                "sidx_range_query",
+                keyspace=keyspace,
+                index=index_name,
             )
-            result = yield from self.device.sidx_range_query(
-                keyspace, index_name, lo_raw, hi_raw, ctx
-            )
-            result_bytes = sum(len(k) + len(v) for k, v in result)
-            yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
-        return result
+        )
 
     def sidx_point_query(
         self, keyspace: str, index_name: str, skey_raw: bytes, ctx: ThreadCtx
     ) -> Generator:
         """All records whose secondary key equals ``skey_raw``."""
-        with self._cmd("sidx_point_query", keyspace=keyspace, index=index_name):
-            yield from self._send_command(len(skey_raw) + len(index_name), ctx)
-            result = yield from self.device.sidx_point_query(
-                keyspace, index_name, skey_raw, ctx
+        return (
+            yield from self._call(
+                SidxPointQueryCmd(
+                    keyspace=keyspace, index_name=index_name, skey=skey_raw
+                ),
+                ctx,
+                "sidx_point_query",
+                keyspace=keyspace,
+                index=index_name,
             )
-            result_bytes = sum(len(k) + len(v) for k, v in result)
-            yield from self._receive_result(result_bytes + COMMAND_WIRE_BYTES, ctx)
-        return result
+        )

@@ -154,11 +154,23 @@ class KvCsdDevice:
         #: default) means the boundary hooks cost one attribute check, same
         #: contract as tracing/journaling.
         self.auditor = None
+        #: host-side KV queue pairs registered by clients, so the auditor's
+        #: queue-accounting invariant covers the host in-flight set too
+        self.host_qps: list = []
         #: the keyspace table's backing store is a fixed, well-known zone so
         #: a remounted device finds it after a power cycle
         self._metadata_cluster = self.zone_manager.reserve_zone(METADATA_ZONE_ID)
 
     # ------------------------------------------------------------------ plumbing
+    def register_host_qp(self, qp) -> None:
+        """Attach a client's KV queue pair for auditing/introspection."""
+        self.host_qps.append(qp)
+
+    @property
+    def inflight_commands(self) -> int:
+        """Device operations currently holding an inflight slot."""
+        return self._inflight.count
+
     def _ctx(self, priority: int = 0) -> ThreadCtx:
         return self.board.firmware_ctx(priority=priority)
 

@@ -1,11 +1,14 @@
 """Command-set dispatcher: NVMe-KV commands -> device operations.
 
-The client library calls :class:`~repro.core.device.KvCsdDevice` methods
-directly (they model the post-decode fast path), but the device also speaks
-the declarative command set of :mod:`repro.nvme.kv_commands` — what an
-NVMe-oF target or an alternative client implementation would submit.  This
-module is that decode ring: it executes any :class:`KvCommand` and returns
-an NVMe :class:`~repro.nvme.commands.Completion`.
+The single decode path between the host and the device firmware: every
+command the client library posts — and anything an NVMe-oF target or an
+alternative client implementation would submit — arrives here as a
+declarative :class:`~repro.nvme.kv_commands.KvCommand`, is decoded, and
+executed against :class:`~repro.core.device.KvCsdDevice`.  The result is
+always an NVMe :class:`~repro.nvme.commands.Completion`; library errors
+become error completions (status = the exception's class name, mirroring
+NVMe status codes) carrying the original exception so the client's reap
+path can re-raise it with full type information.
 """
 
 from __future__ import annotations
@@ -23,10 +26,12 @@ from repro.nvme.kv_commands import (
     CreateKeyspaceCmd,
     DeleteKeyspaceCmd,
     KeyspaceStatCmd,
+    KvBulkDeleteCmd,
     KvBulkPutCmd,
     KvCommand,
     KvDeleteCmd,
     KvExistCmd,
+    KvFsyncCmd,
     KvGetCmd,
     KvMultiGetCmd,
     KvPutCmd,
@@ -58,7 +63,7 @@ class KvCommandDispatcher:
         try:
             value = yield from self._dispatch(command, ctx)
         except ReproError as exc:
-            return Completion(status=type(exc).__name__, value=str(exc))
+            return Completion(status=type(exc).__name__, value=str(exc), error=exc)
         return Completion(status="OK", value=value)
 
     def _dispatch(self, command: KvCommand, ctx: ThreadCtx) -> Generator:
@@ -98,8 +103,20 @@ class KvCommandDispatcher:
             return (
                 yield from device.bulk_delete(command.keyspace, [command.key], ctx)
             )
+        if isinstance(command, KvBulkDeleteCmd):
+            return (
+                yield from device.bulk_delete(command.keyspace, list(command.keys), ctx)
+            )
+        if isinstance(command, KvFsyncCmd):
+            return (yield from device.fsync(command.keyspace, ctx))
         if isinstance(command, CompactCmd):
-            return (yield from device.compact(command.keyspace, ctx))
+            configs = tuple(
+                SidxConfig(name=n, value_offset=o, width=w, dtype=d)
+                for (n, o, w, d) in command.sidx
+            )
+            return (
+                yield from device.compact(command.keyspace, ctx, sidx_configs=configs)
+            )
         if isinstance(command, WaitCompactionCmd):
             return (yield from device.wait_for_jobs(command.keyspace))
         if isinstance(command, BuildSidxCmd):

@@ -86,6 +86,7 @@ class QueryScheduler:
         self.queue = BoundedQueue(env, queue_depth)
         self.stats = stats
         self._admitted = 0
+        self._busy = 0
         self._workers = [
             env.process(self._worker(i), name=f"query-worker-{i}")
             for i in range(n_workers)
@@ -142,12 +143,20 @@ class QueryScheduler:
 
     def _run(self, item: _QueuedQuery, ctx: Any) -> Generator:
         """Execute one query, routing result/exception to the submitter."""
+        self._busy += 1
         try:
             result = yield from item.fn(ctx)
         except Exception as exc:  # noqa: BLE001 - re-raised at the submitter
             item.done.fail(exc)
         else:
             item.done.succeed(result)
+        finally:
+            self._busy -= 1
+
+    @property
+    def busy_workers(self) -> int:
+        """Workers currently executing a query (in-flight depth gauge)."""
+        return self._busy
 
     def introspect(self) -> dict:
         """Scheduler state for device snapshots (no simulation events)."""
@@ -156,4 +165,5 @@ class QueryScheduler:
             "queue_capacity": self.queue.capacity,
             "queue_depth": len(self.queue),
             "admitted": self._admitted,
+            "busy_workers": self._busy,
         }

@@ -49,6 +49,18 @@ class ThreadCtx:
             priority=self.priority,
         )
 
+    def where(self) -> str:
+        """Compact placement descriptor ("core3", "cores0-2", "any").
+
+        Used by queue-pair journal events to attribute submissions to the
+        posting thread without holding a reference to it.
+        """
+        if self.core is not None:
+            return f"core{self.core}"
+        if self.cores is not None:
+            return f"cores{min(self.cores)}-{max(self.cores)}"
+        return "any"
+
     def pinned(self, core: int) -> "ThreadCtx":
         """A copy of this context pinned to ``core``."""
         return ThreadCtx(cpu=self.cpu, core=core, cores=None, priority=self.priority)

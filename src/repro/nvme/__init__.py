@@ -12,10 +12,12 @@ from repro.nvme.commands import (
     ZoneResetCmd,
 )
 from repro.nvme.controller import NvmeController
-from repro.nvme.queues import QueuePair
+from repro.nvme.queues import CommandTicket, KvQueuePair, QueuePair
 from repro.nvme.transport import PcieLink
 
 __all__ = [
+    "CommandTicket",
+    "KvQueuePair",
     "NvmeCommand",
     "Completion",
     "ReadCmd",

@@ -88,6 +88,9 @@ class Completion:
 
     status: str  # "OK" or an error tag
     value: object = None  # command-specific payload (bytes read, offset, ...)
+    #: the original exception behind an error status, so reapers can re-raise
+    #: with full type information instead of reconstructing from the tag
+    error: object = None
 
     @property
     def ok(self) -> bool:

@@ -49,17 +49,30 @@ class NvmeController:
         self.ssd = ssd
         self.firmware_overhead = firmware_overhead
         self.commands_executed = 0
+        #: commands currently inside :meth:`execute` — with async queue
+        #: pairs many run concurrently, bounded by the pair's depth
+        self.inflight = 0
+        self.max_inflight = 0
 
     def execute(self, command: NvmeCommand) -> Generator:
-        """Run one command to completion; returns a :class:`Completion`."""
-        with trace_span(self.env, "nvme.firmware", "firmware"):
-            yield self.env.timeout(self.firmware_overhead)
-        self.commands_executed += 1
+        """Run one command to completion; returns a :class:`Completion`.
+
+        Re-entrant: an async queue pair spawns one execution process per
+        posted command, so up to queue-depth invocations overlap here.
+        """
+        self.inflight += 1
+        self.max_inflight = max(self.max_inflight, self.inflight)
         try:
-            value = yield from self._dispatch(command)
-        except StorageError as exc:
-            return Completion(status=type(exc).__name__, value=str(exc))
-        return Completion(status="OK", value=value)
+            with trace_span(self.env, "nvme.firmware", "firmware"):
+                yield self.env.timeout(self.firmware_overhead)
+            self.commands_executed += 1
+            try:
+                value = yield from self._dispatch(command)
+            except StorageError as exc:
+                return Completion(status=type(exc).__name__, value=str(exc), error=exc)
+            return Completion(status="OK", value=value)
+        finally:
+            self.inflight -= 1
 
     def _dispatch(self, command: NvmeCommand) -> Generator:
         ssd = self.ssd

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.nvme.commands import NvmeCommand
 
 __all__ = [
+    "COMMAND_WIRE_BYTES",
     "KvCommand",
     "CreateKeyspaceCmd",
     "DeleteKeyspaceCmd",
@@ -23,7 +24,9 @@ __all__ = [
     "KvGetCmd",
     "KvMultiGetCmd",
     "KvDeleteCmd",
+    "KvBulkDeleteCmd",
     "KvExistCmd",
+    "KvFsyncCmd",
     "CompactCmd",
     "WaitCompactionCmd",
     "BuildSidxCmd",
@@ -35,6 +38,9 @@ __all__ = [
     "ListKeyspacesCmd",
     "KeyspaceStatCmd",
 ]
+
+#: Small fixed wire size of a command capsule without payload.
+COMMAND_WIRE_BYTES = 64
 
 
 @dataclass(frozen=True)
@@ -114,17 +120,38 @@ class KvDeleteCmd(KvCommand):
 
 
 @dataclass(frozen=True)
+class KvBulkDeleteCmd(KvCommand):
+    """Delete many keys in one message (tombstones resolved by compaction)."""
+
+    keyspace: str
+    keys: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
 class KvExistCmd(KvCommand):
     keyspace: str
     key: bytes
 
 
+@dataclass(frozen=True)
+class KvFsyncCmd(KvCommand):
+    """Force a keyspace's buffered writes to its zones (durability point)."""
+
+    keyspace: str
+
+
 # -- offloaded operations (KV-CSD extensions) --------------------------------------
 @dataclass(frozen=True)
 class CompactCmd(KvCommand):
-    """Kick off asynchronous device-side compaction of a keyspace."""
+    """Kick off asynchronous device-side compaction of a keyspace.
+
+    ``sidx`` optionally requests single-pass secondary-index construction
+    during the compaction; each entry is ``(name, value_offset, width,
+    dtype)``, the wire shape of one :class:`~repro.core.sidx.SidxConfig`.
+    """
 
     keyspace: str
+    sidx: tuple[tuple[str, int, int, str], ...] = ()
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,11 @@ class PcieLink:
         #: cumulative bytes moved each way, for data-movement reporting
         self.bytes_tx = 0
         self.bytes_rx = 0
+        #: transfer counts each way (command capsules down, results up) —
+        #: with async queue pairs, ops_tx - ops_rx approximates commands
+        #: posted but not yet answered
+        self.ops_tx = 0
+        self.ops_rx = 0
 
     def _move(self, direction: Resource, nbytes: int, op: str) -> Generator:
         seconds = self.latency + nbytes / self.bandwidth
@@ -74,6 +79,7 @@ class PcieLink:
             raise SimulationError("cannot transfer negative bytes")
         yield from self._move(self._tx, nbytes, "tx")
         self.bytes_tx += nbytes
+        self.ops_tx += 1
 
     def receive(self, nbytes: int) -> Generator:
         """Device-to-host transfer of ``nbytes`` (e.g. query results)."""
@@ -81,6 +87,7 @@ class PcieLink:
             raise SimulationError("cannot transfer negative bytes")
         yield from self._move(self._rx, nbytes, "rx")
         self.bytes_rx += nbytes
+        self.ops_rx += 1
 
     @property
     def total_bytes(self) -> int:

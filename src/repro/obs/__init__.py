@@ -109,9 +109,11 @@ def install_observability(
     """Wire a tracer + hub onto one testbed's components.
 
     Registers the device's stats registry (and its block cache's, when
-    present), the SSD's :class:`IoStats` and fault-trip counters, and the
-    host link's byte counters, then installs a tracer feeding per-op latency
-    histograms into the hub.
+    present), the SSD's :class:`IoStats` and fault-trip counters, the host
+    link's byte counters, and the NVMe queue pairs (the SoC's block queue
+    and any host KV queue pairs registered on the device) for in-flight
+    depth gauges, then installs a tracer feeding per-op latency histograms
+    into the hub.
     """
     hub = MetricsHub()
     if device is not None:
@@ -119,6 +121,11 @@ def install_observability(
         cache = getattr(device, "block_cache", None)
         if cache is not None:
             hub.register_registry("block_cache", cache.stats)
+        board = getattr(device, "board", None)
+        if board is not None:
+            hub.register_queue_pair("soc-ssd", board.qp)
+        for i, qp in enumerate(getattr(device, "host_qps", [])):
+            hub.register_queue_pair("host-kv" if i == 0 else f"host-kv-{i}", qp)
     if ssd is not None:
         ssd_name = getattr(ssd, "name", "ssd")
         hub.register_io(ssd_name, ssd.stats)

@@ -398,9 +398,28 @@ def check_dram_budget_accounting(device: "KvCsdDevice") -> list[str]:
 
 
 def check_nvme_queue_sanity(device: "KvCsdDevice") -> list[str]:
-    """Queue-pair counters are consistent with the queue depth."""
+    """Queue-pair accounting is consistent with the queue depth.
+
+    Covers the SoC's block queue pair and every host KV queue pair
+    registered on the device.  With async post/reap the in-flight set is
+    first-class state, so beyond the counter ordering this checks the
+    identity ``submitted - completed == inflight`` (slots are acquired and
+    released atomically with the counters) and that unreaped completions
+    reconcile with the reap counters.
+    """
     problems: list[str] = []
-    qp = device.board.qp
+    pairs = [("soc-ssd", device.board.qp)]
+    pairs += [
+        (f"host-kv-{i}", qp) for i, qp in enumerate(getattr(device, "host_qps", []))
+    ]
+    for label, qp in pairs:
+        problems += [f"{label}: {p}" for p in check_queue_pair_accounting(qp)]
+    return problems
+
+
+def check_queue_pair_accounting(qp) -> list[str]:
+    """Accounting invariants shared by block and KV queue pairs."""
+    problems: list[str] = []
     if qp.completed > qp.submitted:
         problems.append(
             f"queue pair completed {qp.completed} > submitted {qp.submitted}"
@@ -408,6 +427,21 @@ def check_nvme_queue_sanity(device: "KvCsdDevice") -> list[str]:
     if not 0 <= qp.inflight <= qp.depth:
         problems.append(
             f"queue pair inflight {qp.inflight} outside [0, {qp.depth}]"
+        )
+    if qp.submitted - qp.completed != qp.inflight:
+        problems.append(
+            f"queue pair submitted {qp.submitted} - completed {qp.completed} "
+            f"!= inflight {qp.inflight}"
+        )
+    if qp.reaped > qp.completed:
+        problems.append(
+            f"queue pair reaped {qp.reaped} > completed {qp.completed}"
+        )
+    if qp.unreaped != qp.completed - qp.reaped - qp.errors:
+        problems.append(
+            f"queue pair holds {qp.unreaped} unreaped completions but "
+            f"completed {qp.completed} - reaped {qp.reaped} - errors "
+            f"{qp.errors} = {qp.completed - qp.reaped - qp.errors}"
         )
     return problems
 

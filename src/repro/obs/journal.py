@@ -68,6 +68,9 @@ EVENT_TYPES = frozenset(
         # query offload
         "query.admit",
         "query.dispatch",
+        # host I/O path (KV queue pair submission/reap)
+        "sq.post",
+        "cq.reap",
         # caching / faults / auditing
         "cache.invalidate",
         "fault.trip",

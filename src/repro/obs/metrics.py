@@ -51,6 +51,8 @@ class MetricsHub:
         self.fault_sources: dict[str, Any] = {}
         #: per-op-type latency histograms fed by Tracer.finish
         self.op_latency: dict[str, Histogram] = {}
+        #: NVMe queue pairs (host KV + SoC block), for in-flight depth gauges
+        self.queue_pairs: dict[str, Any] = {}
 
     # -- registration --------------------------------------------------------
     def register_registry(self, name: str, registry: StatsRegistry) -> None:
@@ -64,6 +66,10 @@ class MetricsHub:
     def register_link(self, name: str, link: Any) -> None:
         """Expose a transport link's byte counters."""
         self.links[name] = link
+
+    def register_queue_pair(self, name: str, qp: Any) -> None:
+        """Expose a queue pair's depth/in-flight/submitted/completed gauges."""
+        self.queue_pairs[name] = qp
 
     def register_faults(self, name: str, holder: Any) -> None:
         """Expose fault-injection trip counts for a device.
@@ -119,6 +125,11 @@ class MetricsHub:
             out["faults"] = {
                 name: self._fault_state(holder)
                 for name, holder in sorted(self.fault_sources.items())
+            }
+        if self.queue_pairs:
+            out["queues"] = {
+                name: qp.introspect()
+                for name, qp in sorted(self.queue_pairs.items())
             }
         return out
 
@@ -189,6 +200,18 @@ class MetricsHub:
             metric = f"{ns}_fault_plan_armed"
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric}{{{label}}} {_fmt(1 if state['armed'] else 0)}")
+
+        for qp_name, qp in sorted(self.queue_pairs.items()):
+            state = qp.introspect()
+            label = f'qp="{qp_name}"'
+            for field in ("submitted", "completed"):
+                metric = f"{ns}_qp_{field}_total"
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric}{{{label}}} {_fmt(state[field])}")
+            for field in ("depth", "inflight"):
+                metric = f"{ns}_qp_{field}"
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric}{{{label}}} {_fmt(state[field])}")
 
         if self.op_latency:
             metric = f"{ns}_op_latency_seconds"

@@ -270,6 +270,17 @@ class Tracer:
         if span is not None:
             self._inherited[process] = span
 
+    def set_current(self, span: Optional[Span]) -> None:
+        """Explicitly set the active process's current span.
+
+        Split-phase operations need this: ``post()`` opens a command span,
+        hands it to a ticket, spawns the device-side process (which inherits
+        the span), and then restores the poster's *previous* span before
+        returning — so back-to-back posts become siblings instead of nesting
+        under each other's still-open spans.
+        """
+        self._current[self.env.active_process] = span
+
     # -- span lifecycle ------------------------------------------------------
     def start(
         self,

@@ -120,6 +120,149 @@ def test_queue_depth_limits_inflight():
     assert all(v <= qp.depth for v in max_seen)
 
 
+def test_post_pipelines_up_to_depth_from_one_process():
+    env = Environment()
+    _, _, qp = zns_setup(env)
+
+    def proc():
+        tickets = []
+        for i in range(8):
+            t = yield from qp.post(ZoneAppendCmd(zone_id=i % 4, data=b"x" * 4096))
+            tickets.append(t)
+        results = []
+        for t in tickets:
+            completion = yield from qp.wait(t)
+            results.append(completion.ok)
+        return results
+
+    assert run(env, proc()) == [True] * 8
+    assert qp.submitted == qp.completed == qp.reaped == 8
+    assert qp.inflight == 0 and qp.unreaped == 0
+
+
+def test_post_overlaps_device_time():
+    """Two appends to different zones posted back to back finish sooner
+    than two synchronous submits (channel parallelism becomes visible)."""
+
+    def elapsed(pipelined):
+        env = Environment()
+        _, _, qp = zns_setup(env)
+
+        def sync():
+            yield from qp.submit(ZoneAppendCmd(zone_id=0, data=b"x" * 4096))
+            yield from qp.submit(ZoneAppendCmd(zone_id=1, data=b"x" * 4096))
+
+        def async_():
+            t0 = yield from qp.post(ZoneAppendCmd(zone_id=0, data=b"x" * 4096))
+            t1 = yield from qp.post(ZoneAppendCmd(zone_id=1, data=b"x" * 4096))
+            yield from qp.wait(t0)
+            yield from qp.wait(t1)
+
+        run(env, async_() if pipelined else sync())
+        return env.now
+
+    assert elapsed(pipelined=True) < elapsed(pipelined=False)
+
+
+def test_error_completion_does_not_poison_other_tickets():
+    env = Environment()
+    _, _, qp = zns_setup(env)
+
+    def proc():
+        good = yield from qp.post(ZoneAppendCmd(zone_id=0, data=b"ok"))
+        # read beyond the write pointer of an empty zone -> error CQE
+        bad = yield from qp.post(ZoneReadCmd(zone_id=1, offset=0, length=10))
+        late = yield from qp.post(ZoneAppendCmd(zone_id=2, data=b"ok"))
+        c_good = yield from qp.wait(good)
+        with pytest.raises(NvmeError, match="InvalidAddressError"):
+            yield from qp.wait(bad)
+        c_late = yield from qp.wait(late)
+        return c_good.ok, bad.completion.status, c_late.ok
+
+    ok1, bad_status, ok2 = run(env, proc())
+    assert ok1 and ok2
+    assert bad_status == "InvalidAddressError"
+    assert qp.submitted == qp.completed == 3
+    assert qp.inflight == 0
+
+
+def test_try_post_would_block_at_full_depth():
+    env = Environment()
+    _, _, qp = zns_setup(env)  # depth=4
+
+    def proc():
+        tickets = []
+        for i in range(4):
+            t = yield from qp.try_post(ZoneAppendCmd(zone_id=i, data=b"x" * 4096))
+            assert t is not None
+            tickets.append(t)
+        blocked = yield from qp.try_post(ZoneAppendCmd(zone_id=0, data=b"y"))
+        assert blocked is None
+        for t in tickets:
+            yield from qp.wait(t)
+        retry = yield from qp.try_post(ZoneAppendCmd(zone_id=0, data=b"y"))
+        assert retry is not None
+        yield from qp.wait(retry)
+
+    run(env, proc())
+    assert qp.submitted == 5
+
+
+def test_poll_drains_completions_exactly_once():
+    env = Environment()
+    _, _, qp = zns_setup(env)
+
+    def proc():
+        tickets = []
+        for i in range(3):
+            tickets.append(
+                (yield from qp.post(ZoneAppendCmd(zone_id=i, data=b"x" * 4096)))
+            )
+        assert qp.poll() == []  # nothing completed at the instant of posting
+        for t in tickets:
+            yield t.event
+        drained = qp.poll()
+        assert len(drained) == 3
+        assert qp.poll() == []  # exactly once
+        return drained
+
+    run(env, proc())
+    assert qp.reaped == 3 and qp.unreaped == 0
+
+
+def test_sync_submit_timing_unchanged_by_async_rewrite():
+    """post()+wait() with one command in flight must land on the same
+    virtual instants as the pre-async blocking path."""
+    env = Environment()
+    ssd, ctrl, qp = zns_setup(env)
+
+    def proc():
+        yield from qp.submit(ZoneAppendCmd(zone_id=0, data=b"x" * 4096))
+
+    env.process(proc())
+    env.run()
+    expected = ctrl.firmware_overhead + ssd.latency.write_time(4096)
+    assert env.now == pytest.approx(expected)
+
+
+def test_controller_tracks_concurrent_inflight():
+    env = Environment()
+    _, ctrl, qp = zns_setup(env)
+
+    def proc():
+        tickets = []
+        for i in range(4):
+            tickets.append(
+                (yield from qp.post(ZoneAppendCmd(zone_id=i, data=b"x" * 4096)))
+            )
+        for t in tickets:
+            yield from qp.wait(t)
+
+    run(env, proc())
+    assert ctrl.inflight == 0
+    assert ctrl.max_inflight > 1  # commands genuinely overlapped
+
+
 def test_queue_depth_validation():
     env = Environment()
     _, ctrl, _ = zns_setup(env)

@@ -20,6 +20,31 @@ def test_readme_quickstart_snippet():
     assert env.now > 0
 
 
+def test_readme_async_snippet():
+    from repro.bench import build_kvcsd_testbed
+
+    tb = build_kvcsd_testbed(seed=1, query_workers=4, queue_depth=16)
+    client, env, ctx = tb.client, tb.env, tb.thread_ctx(core=0)
+
+    def app():
+        yield from client.create_keyspace("ks", ctx)
+        yield from client.open_keyspace("ks", ctx)
+        tickets = []
+        for i in range(64):
+            t = yield from client.put_async("ks", b"k%03d" % i, b"v" * 32, ctx)
+            tickets.append(t)
+        for t in tickets:
+            yield from client.wait(t, ctx)
+        yield from client.compact("ks", ctx)
+        yield from client.wait_for_device("ks", ctx)
+        t = yield from client.get_async("ks", b"k007", ctx)
+        completion = yield from client.wait(t, ctx)
+        assert completion.value == b"v" * 32
+
+    env.run(env.process(app()))
+    assert client.qp.submitted == client.qp.completed == client.qp.reaped
+
+
 def test_readme_performance_knobs_snippet():
     from repro.bench import build_kvcsd_testbed
 
