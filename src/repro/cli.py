@@ -12,6 +12,8 @@ Commands:
   with optional JSON export (``--out results/BENCH_query.json``);
 * ``qd-bench``             — single-thread queue-depth sweep over the async
   SQ/CQ path (``--out results/BENCH_qd.json``);
+* ``scale-bench``          — 1M-key multi-keyspace YCSB-style load +
+  read/update run (``--out results/BENCH_scale.json``);
 * ``trace``                — run a traced workload, dump a Chrome-trace
   timeline and print the per-command latency-attribution table;
 * ``metrics``              — run a traced workload and dump a
@@ -158,6 +160,28 @@ def _cmd_qd_bench(args) -> int:
     if args.depths:
         config = replace(config, depths=tuple(args.depths))
     result = run_qd_bench(config)
+    print(result.table())
+    ok = True
+    for check in result.checks():
+        print(check)
+        ok = ok and check.passed
+    if args.out:
+        write_json(result, args.out)
+        print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+def _cmd_scale_bench(args) -> int:
+    from dataclasses import replace
+
+    from repro.bench.scale import ScaleBenchConfig, run_scale_bench, write_json
+
+    config = ScaleBenchConfig.smoke() if args.smoke else ScaleBenchConfig()
+    if args.pairs is not None:
+        config = replace(config, n_pairs=args.pairs)
+    if args.ops is not None:
+        config = replace(config, ops=args.ops)
+    result = run_scale_bench(config)
     print(result.table())
     ok = True
     for check in result.checks():
@@ -353,6 +377,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     qd.add_argument("--out", default=None, help="write JSON results to this path")
     qd.set_defaults(func=_cmd_qd_bench)
+    scale = sub.add_parser(
+        "scale-bench",
+        help="1M-key multi-keyspace YCSB-style load + read/update run",
+    )
+    scale.add_argument(
+        "--smoke", action="store_true", help="reduced configuration for CI"
+    )
+    scale.add_argument(
+        "--pairs", type=int, default=None, help="total pairs to load"
+    )
+    scale.add_argument(
+        "--ops", type=int, default=None, help="total read/update operations"
+    )
+    scale.add_argument(
+        "--out", default=None, help="write JSON results to this path"
+    )
+    scale.set_defaults(func=_cmd_scale_bench)
     trace = sub.add_parser(
         "trace",
         help="run a traced workload, export a Chrome-trace timeline",

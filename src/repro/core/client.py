@@ -208,8 +208,7 @@ class KvCsdClient:
 
     def _call(self, command: KvCommand, ctx: ThreadCtx, op: str, **span_args):
         """Synchronous path: ``post()`` + ``wait()``, one command in flight."""
-        ticket = yield from self.qp.post(command, ctx, op=op, span_args=span_args)
-        completion = yield from self.qp.wait(ticket, ctx)
+        completion = yield from self.qp.submit(command, ctx, op=op, span_args=span_args)
         return completion.value
 
     # ------------------------------------------------------------------ keyspaces
@@ -251,7 +250,9 @@ class KvCsdClient:
             keyspace=keyspace,
             keys=tuple(k for k, _ in message),
             values=tuple(v for _, v in message),
-            message_bytes=4 + sum(pair_wire_size(k, v) for k, v in message),
+            # == 4 + sum(pair_wire_size(k, v)): 6 framing bytes per pair
+            message_bytes=4 + 6 * len(message)
+            + sum(len(k) + len(v) for k, v in message),
         )
 
     def put(self, keyspace: str, key: bytes, value: bytes, ctx: ThreadCtx) -> Generator:

@@ -11,9 +11,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import CalibrationError
 from repro.units import nsec, usec
+
+try:  # batch cost math fast path; the model never requires numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 __all__ = ["CsdCostModel", "ClientCostModel"]
 
@@ -39,6 +45,9 @@ class CsdCostModel:
         for field_name, value in self.__dict__.items():
             if value < 0:
                 raise CalibrationError(f"negative cost {field_name}")
+        # per-entry-count memo for binary_search(): blocks come in a handful
+        # of fill levels, so queries hit the same counts over and over
+        object.__setattr__(self, "_bsearch_cache", {})
 
     def binary_search(self, n_entries: int) -> float:
         """CPU cost of a binary search over ``n_entries`` sorted entries.
@@ -47,8 +56,35 @@ class CsdCostModel:
         block-size changes change the charged cost (unlike the old fixed
         12-compare estimate, which assumed 4 KiB blocks of ~50-byte entries).
         """
-        steps = max(1, math.ceil(math.log2(n_entries))) if n_entries > 1 else 1
-        return self.key_compare * steps
+        cache = self._bsearch_cache
+        cost = cache.get(n_entries)
+        if cost is None:
+            steps = max(1, math.ceil(math.log2(n_entries))) if n_entries > 1 else 1
+            cost = self.key_compare * steps
+            cache[n_entries] = cost
+        return cost
+
+    def binary_search_total(
+        self, entry_counts: Sequence[int], lookups: Sequence[int]
+    ) -> float:
+        """Total cost of ``lookups[i]`` searches over ``entry_counts[i]`` entries.
+
+        Exactly ``sum(binary_search(n) * m)`` accumulated left to right — the
+        per-term products are computed vectorized (IEEE-identical to the
+        scalar expressions), and the sequential Python sum preserves the
+        rounding order of the accumulation it replaces.
+        """
+        if _np is not None and len(entry_counts) >= 16:
+            counts = _np.asarray(entry_counts, dtype=_np.float64)
+            steps = _np.ceil(_np.log2(_np.maximum(counts, 2.0)))
+            terms = (
+                (self.key_compare * steps)
+                * _np.asarray(lookups, dtype=_np.float64)
+            ).tolist()
+            return sum(terms)
+        return sum(
+            self.binary_search(n) * m for n, m in zip(entry_counts, lookups)
+        )
 
 
 @dataclass(frozen=True)

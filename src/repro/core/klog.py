@@ -25,6 +25,11 @@ from typing import Optional
 from repro.core.zone_manager import ZonePointer
 from repro.errors import DbError
 
+try:  # codec fast path; the format itself never requires numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 __all__ = [
     "KlogRecord",
     "TOMBSTONE_LEN",
@@ -42,14 +47,76 @@ TOMBSTONE_LEN = 0xFFFFFFFF
 #: (key, seq, value_pointer-or-None) — None pointer means tombstone.
 KlogRecord = tuple[bytes, int, Optional[ZonePointer]]
 
+#: below this many records the plain-python codec beats numpy dispatch
+_VECTOR_MIN_RECORDS = 8
+
+#: packed record dtypes memoized per key width
+_DTYPES: dict[int, "object"] = {}
+
+
+def _record_dtype(key_len: int):
+    dtype = _DTYPES.get(key_len)
+    if dtype is None:
+        dtype = _np.dtype(
+            [
+                ("klen", "<u2"),
+                ("key", f"S{key_len}"),
+                ("seq", "<u8"),
+                ("zone", "<u4"),
+                ("off", "<u8"),
+                ("vlen", "<u4"),
+            ]
+        )
+        _DTYPES[key_len] = dtype
+    return dtype
+
 
 def klog_record_size(key: bytes) -> int:
     """Serialized size of one KLOG record."""
     return _KLEN.size + len(key) + _BODY.size
 
 
+def _pack_vectorized(records: list[KlogRecord], key_len: int) -> Optional[bytes]:
+    """Numpy encode for uniform-width keys; None if the widths vary."""
+    seqs: list[int] = []
+    zones: list[int] = []
+    offs: list[int] = []
+    vlens: list[int] = []
+    keys: list[bytes] = []
+    for key, seq, pointer in records:
+        if len(key) != key_len:
+            return None
+        keys.append(key)
+        seqs.append(seq)
+        if pointer is None:
+            zones.append(0)
+            offs.append(0)
+            vlens.append(TOMBSTONE_LEN)
+        else:
+            zone_id, offset, length = pointer
+            if length == TOMBSTONE_LEN:
+                raise DbError("value length collides with the tombstone sentinel")
+            zones.append(zone_id)
+            offs.append(offset)
+            vlens.append(length)
+    arr = _np.empty(len(records), dtype=_record_dtype(key_len))
+    arr["klen"] = key_len
+    arr["key"] = _np.frombuffer(b"".join(keys), dtype=f"S{key_len}")
+    arr["seq"] = seqs
+    arr["zone"] = zones
+    arr["off"] = offs
+    arr["vlen"] = vlens
+    return arr.tobytes()
+
+
 def pack_klog_records(records: list[KlogRecord]) -> bytes:
     """Serialize (key, seq, pointer|None) records."""
+    if _np is not None and len(records) >= _VECTOR_MIN_RECORDS:
+        key_len = len(records[0][0])
+        if 0 < key_len <= 0xFFFF:
+            blob = _pack_vectorized(records, key_len)
+            if blob is not None:
+                return blob
     parts = []
     for key, seq, pointer in records:
         if len(key) > 0xFFFF:
@@ -68,6 +135,31 @@ def pack_klog_records(records: list[KlogRecord]) -> bytes:
 
 def unpack_klog_records(blob: bytes) -> list[KlogRecord]:
     """Parse a KLOG extent back into (key, seq, pointer|None) records."""
+    n = len(blob)
+    if _np is not None and n >= _VECTOR_MIN_RECORDS * (_KLEN.size + _BODY.size + 1):
+        (key_len,) = _KLEN.unpack_from(blob, 0)
+        rec_size = _KLEN.size + key_len + _BODY.size
+        if key_len and n % rec_size == 0:
+            # If every klen field at stride positions reads as key_len, the
+            # stride interpretation is self-consistent (the first header is
+            # real, so by induction every boundary is a real header) and the
+            # extent is uniform-width: decode it in bulk.
+            arr = _np.frombuffer(blob, dtype=_record_dtype(key_len))
+            if bool((arr["klen"] == key_len).all()):
+                seqs = arr["seq"].tolist()
+                zones = arr["zone"].tolist()
+                offs = arr["off"].tolist()
+                vlens = arr["vlen"].tolist()
+                # Slice keys out of the blob directly: converting the numpy
+                # "S" field would strip trailing NULs.
+                keys = [blob[i : i + key_len] for i in range(2, n, rec_size)]
+                tomb = TOMBSTONE_LEN
+                return [
+                    (key, seq, None if vlen == tomb else (zone, off, vlen))
+                    for key, seq, zone, off, vlen in zip(
+                        keys, seqs, zones, offs, vlens
+                    )
+                ]
     out: list[KlogRecord] = []
     pos = 0
     n = len(blob)

@@ -44,6 +44,13 @@ class MemBuffer:
         self._pairs.append((key, value, seq))
         self._bytes += len(key) + len(value)
 
+    def add_many(self, pairs: list[tuple[bytes, bytes]], first_seq: int) -> None:
+        """Append pairs with consecutive seqs ``first_seq, first_seq+1, ...``."""
+        self._pairs.extend(
+            (key, value, first_seq + i) for i, (key, value) in enumerate(pairs)
+        )
+        self._bytes += sum(len(key) + len(value) for key, value in pairs)
+
     def drain(self) -> list[tuple[bytes, bytes, int]]:
         """Remove and return all buffered (key, value, seq) triples."""
         pairs, self._pairs = self._pairs, []

@@ -16,6 +16,7 @@ paper credits LSM-style sorting for (Section III, "LSM-Trees").
 
 from __future__ import annotations
 
+import heapq
 import math
 from bisect import bisect_right
 from collections.abc import Generator
@@ -27,6 +28,11 @@ from repro.host.threads import ThreadCtx
 from repro.obs.trace import trace_span
 from repro.sim.sync import AllOf
 from repro.units import KiB
+
+try:  # stable-sort fast path; the sorter never requires numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 __all__ = [
     "ExternalSorter",
@@ -113,6 +119,7 @@ class ExternalSorter:
         pack: Callable[[list[Record]], bytes],
         unpack: Callable[[bytes], list[Record]],
         sort_key: Callable[[Record], Any] | None = None,
+        key_kind: str | None = None,
     ):
         if budget_bytes <= 0:
             raise SimulationError("sort budget must be positive")
@@ -121,9 +128,48 @@ class ExternalSorter:
         self.compare_cost = compare_cost
         self.pack = pack
         self.unpack = unpack
+        #: default key (the record's leading bytes field) enables the
+        #: vectorized sort below; a custom key takes the generic path unless
+        #: the caller declares its shape via ``key_kind`` —
+        #: ``"key_seq_desc"`` means records are ``(key, (seq, ...))`` ordered
+        #: by (key ascending, integer seq descending), the compaction order.
+        self._key_is_default = sort_key is None
+        self._key_kind = key_kind
         self.sort_key = sort_key or (lambda record: record[0])
         #: filled in by the latest sort() call, for reporting/ablation
         self.last_plan: SortPlan | None = None
+
+    def _sorted(self, records: list[Record]) -> list[Record]:
+        """Stable sort by key; numpy argsort when keys are uniform bytes.
+
+        Fixed-width numpy "S" comparison equals bytes comparison for
+        equal-length keys (trailing-NUL stripping can only merge *ties*,
+        which the stable order resolves identically), so the permutation is
+        exactly ``sorted()``'s.  The declared ``key_seq_desc`` shape sorts
+        via a stable lexsort with bit-inverted sequence numbers as the
+        secondary key (``~a < ~b`` iff ``a > b`` for unsigned ints, so the
+        order matches ``(key, -seq)`` exactly).  Variable widths, oversized
+        sequence numbers, or undeclared custom keys fall back.
+        """
+        vectorizable = self._key_is_default or self._key_kind == "key_seq_desc"
+        if vectorizable and _np is not None and len(records) >= 64:
+            klen = len(records[0][0])
+            keys = [record[0] for record in records]
+            if klen and all(len(key) == klen for key in keys):
+                arr = _np.frombuffer(b"".join(keys), dtype=f"S{klen}")
+                if self._key_is_default:
+                    order = arr.argsort(kind="stable").tolist()
+                    return [records[i] for i in order]
+                try:
+                    seqs = _np.array(
+                        [record[1][0] for record in records], dtype=_np.uint64
+                    )
+                except (OverflowError, ValueError, TypeError):
+                    pass
+                else:
+                    order = _np.lexsort((~seqs, arr)).tolist()
+                    return [records[i] for i in order]
+        return sorted(records, key=self.sort_key)
 
     # -- temp storage -------------------------------------------------------------
     def _write_run(
@@ -185,7 +231,7 @@ class ExternalSorter:
                 yield from ctx.execute(
                     self.compare_cost * n * max(1, int(math.log2(n)))
                 )
-            return sorted(records, key=self.sort_key)
+            return self._sorted(records)
         with trace_span(
             self.zm.ssd.env,
             "sort.external",
@@ -207,7 +253,7 @@ class ExternalSorter:
         per_run = max(1, math.ceil(n / plan.n_runs))
         runs: list[list[ZonePointer]] = []
         for start in range(0, n, per_run):
-            chunk = sorted(records[start : start + per_run], key=self.sort_key)
+            chunk = self._sorted(records[start : start + per_run])
             yield from ctx.execute(
                 self.compare_cost * len(chunk) * max(1, int(math.log2(len(chunk))))
             )
@@ -244,8 +290,6 @@ class ExternalSorter:
 
     @staticmethod
     def _merge(sorted_lists: list[list[Record]], sort_key) -> list[Record]:
-        import heapq
-
         return list(heapq.merge(*sorted_lists, key=sort_key))
 
 
@@ -280,6 +324,7 @@ class ParallelSortCoordinator:
         unpack: Callable[[bytes], list[Record]],
         sort_key: Callable[[Record], Any] | None = None,
         make_ctx: Callable[[], ThreadCtx] | None = None,
+        key_kind: str | None = None,
     ):
         if shards < 1:
             raise SimulationError("shard count must be >= 1")
@@ -292,6 +337,7 @@ class ParallelSortCoordinator:
         self.pack = pack
         self.unpack = unpack
         self.sort_key = sort_key or (lambda record: record[0])
+        self.key_kind = key_kind if sort_key is not None else None
         self.make_ctx = make_ctx
         #: one :class:`SortPlan` per shard actually run, for reporting
         self.last_plans: list[SortPlan] = []
@@ -328,6 +374,7 @@ class ParallelSortCoordinator:
                 pack=self.pack,
                 unpack=self.unpack,
                 sort_key=self.sort_key,
+                key_kind=self.key_kind,
             )
             result = yield from sorter.sort(records, total_bytes, ctx)
             self.last_plans = [sorter.last_plan] if sorter.last_plan else []
@@ -371,6 +418,7 @@ class ParallelSortCoordinator:
                 pack=self.pack,
                 unpack=self.unpack,
                 sort_key=self.sort_key,
+                key_kind=self.key_kind,
             )
             shard_ctx = self.make_ctx() if self.make_ctx is not None else ctx
             with trace_span(

@@ -82,6 +82,15 @@ def split_into_messages(
     """
     if message_bytes <= 0:
         raise DbError("message size must be positive")
+    if len(pairs) >= 8:
+        klen, vlen = len(pairs[0][0]), len(pairs[0][1])
+        if all(len(k) == klen and len(v) == vlen for k, v in pairs):
+            # Uniform pairs (the YCSB-style norm): every message holds the
+            # same pair count, so the greedy scan collapses to slicing.  A
+            # pair that alone exceeds the budget still gets its own message.
+            need = _KLEN.size + klen + _VLEN.size + vlen
+            per = max(1, (message_bytes - _HEADER.size) // need)
+            return [pairs[i : i + per] for i in range(0, len(pairs), per)]
     messages: list[list[tuple[bytes, bytes]]] = []
     current: list[tuple[bytes, bytes]] = []
     used = _HEADER.size

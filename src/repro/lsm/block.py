@@ -19,9 +19,17 @@ import struct
 
 from repro.errors import DbError
 
+try:  # decode fast path; the format itself never requires numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 __all__ = ["BlockBuilder", "BlockReader"]
 
 _U32 = struct.Struct("<I")
+
+#: below this many entries the plain-python decode beats numpy dispatch
+_VECTOR_MIN_ENTRIES = 8
 
 
 class BlockBuilder:
@@ -84,10 +92,15 @@ class BlockReader:
             raise DbError("corrupt block trailer")
         self._blob = blob
         trailer_start = len(blob) - trailer_size
-        self._offsets = [
-            _U32.unpack_from(blob, trailer_start + 4 * i)[0]
-            for i in range(self.n_entries)
-        ]
+        if _np is not None and self.n_entries >= _VECTOR_MIN_ENTRIES:
+            self._offsets = _np.frombuffer(
+                blob, dtype="<u4", count=self.n_entries, offset=trailer_start
+            ).tolist()
+        else:
+            self._offsets = [
+                _U32.unpack_from(blob, trailer_start + 4 * i)[0]
+                for i in range(self.n_entries)
+            ]
         self._data_end = trailer_start
 
     def _entry_at(self, idx: int) -> tuple[bytes, bytes]:
@@ -120,7 +133,34 @@ class BlockReader:
 
     def entries(self) -> list[tuple[bytes, bytes]]:
         """All (key, value) pairs, in order."""
-        return [self._entry_at(i) for i in range(self.n_entries)]
+        n = self.n_entries
+        if _np is None or n < _VECTOR_MIN_ENTRIES:
+            return [self._entry_at(i) for i in range(n)]
+        # Vectorized decode: gather every entry's length fields in four
+        # numpy passes, then slice the (unchanged) bytes per entry.
+        blob = self._blob
+        buf = _np.frombuffer(blob, dtype=_np.uint8)
+        off = _np.asarray(self._offsets, dtype=_np.int64)
+        key_len = (
+            buf[off].astype(_np.int64)
+            | (buf[off + 1].astype(_np.int64) << 8)
+            | (buf[off + 2].astype(_np.int64) << 16)
+            | (buf[off + 3].astype(_np.int64) << 24)
+        )
+        vl_off = off + 4 + key_len
+        val_len = (
+            buf[vl_off].astype(_np.int64)
+            | (buf[vl_off + 1].astype(_np.int64) << 8)
+            | (buf[vl_off + 2].astype(_np.int64) << 16)
+            | (buf[vl_off + 3].astype(_np.int64) << 24)
+        )
+        key_start = (off + 4).tolist()
+        key_end = vl_off.tolist()
+        val_end = (vl_off + 4 + val_len).tolist()
+        return [
+            (blob[ks:ke], blob[ke + 4 : ve])
+            for ks, ke, ve in zip(key_start, key_end, val_end)
+        ]
 
     def entries_from(self, key: bytes) -> list[tuple[bytes, bytes]]:
         """Entries with ``entry.key >= key``, in order."""

@@ -362,6 +362,70 @@ class KvQueuePair:
         self._done.append(ticket)
         ticket.event.succeed(completion)
 
+    def submit(
+        self,
+        command: NvmeCommand,
+        ctx: Any,
+        op: Optional[str] = None,
+        span_args: Optional[dict[str, Any]] = None,
+    ) -> Generator:
+        """``post()`` + ``wait()`` for one command; returns its Completion.
+
+        When tracing and journalling are both disabled the device side runs
+        inline in the calling process instead of a spawned one: with exactly
+        one command in flight the caller would only sit blocked on the
+        completion event anyway, so the slot hold, link transfers, CPU
+        charges and completion bookkeeping happen at identical virtual
+        times — minus the spawn/complete event round trip.
+        """
+        env = self.env
+        if env.tracer is not None or env.journal is not None:
+            ticket = yield from self.post(command, ctx, op=op, span_args=span_args)
+            completion = yield from self.wait(ticket, ctx)
+            return completion
+        payload = self.capsule_bytes(command)
+        self._next_cid += 1
+        ticket = CommandTicket(
+            self._next_cid, command, op or type(command).__name__,
+            Event(env), None, env.now,
+        )
+        req = self._slots.request()
+        yield req
+        ticket._slot = req
+        yield from ctx.execute(
+            self.costs.per_command + self.costs.pack_per_byte * payload
+        )
+        yield from self.link.send(COMMAND_WIRE_BYTES + payload)
+        ticket.submitted_at = env.now
+        self.submitted += 1
+        try:
+            completion = yield from self.executor.execute(command, ctx)
+            if completion.ok:
+                nbytes = self.result_bytes(command, completion.value)
+                yield from self.link.receive(nbytes)
+                ticket.result_bytes = nbytes
+        except BaseException:
+            # Mirrors the spawned path: slot freed and counters bumped, the
+            # original exception surfaces at the caller, no reap happens.
+            self.completed += 1
+            self.errors += 1
+            ticket.completed_at = env.now
+            self._slots.release(req)
+            raise
+        ticket.completion = completion
+        ticket.completed_at = env.now
+        self.completed += 1
+        self._slots.release(req)
+        ticket._reaped = True
+        self.reaped += 1
+        if completion.ok and ticket.result_bytes:
+            yield from ctx.execute(self.costs.unpack_per_byte * ticket.result_bytes)
+        if not completion.ok:
+            if completion.error is not None:
+                raise completion.error
+            raise NvmeError(completion.status, f"{ticket.op} failed")
+        return completion
+
     # -- completion reaping --------------------------------------------------
     def wait(
         self, ticket: CommandTicket, ctx: Any, raise_on_error: bool = True

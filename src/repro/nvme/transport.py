@@ -56,8 +56,11 @@ class PcieLink:
         seconds = self.latency + nbytes / self.bandwidth
         tracer = self.env.tracer
         if tracer is None:
-            with direction.request() as req:
-                yield req
+            # Untraced fast path: no span objects, but acquisition still
+            # passes through the queue so the occupancy timeout keeps the
+            # seed's event-counter position.
+            with direction.request() as queued:
+                yield queued
                 yield self.env.timeout(seconds)
             return
         with tracer.span(

@@ -18,12 +18,28 @@ to SimPy users):
 
 Determinism: ties in the event queue are broken by insertion order, so a
 simulation with seeded RNG streams is bit-reproducible.
+
+Fast path
+---------
+
+The vast majority of schedules are *immediate*: ``succeed()``/``fail()``
+and process completions fire at the current time with default priority.
+Those bypass the heap entirely and land on an "immediate deque" whose
+entries are totally ordered by their schedule counter.  ``step()`` merges
+the two structures by comparing full ``(time, priority, counter)`` keys,
+so the firing order is bit-identical to the single-heap formulation —
+``tests/sim/test_golden_clock.py`` holds that contract.  One-shot
+:class:`Timeout` objects with a single waiter are recycled through a small
+free list instead of being re-allocated (guarded by a refcount check so a
+timeout anyone still holds a reference to is never reused).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Generator
+from sys import getrefcount
 from typing import Any, Callable, Optional
 
 from repro.errors import InterruptError, SimulationError
@@ -42,6 +58,11 @@ __all__ = [
 PENDING = 0  #: not yet triggered
 TRIGGERED = 1  #: scheduled on the event queue, value decided
 PROCESSED = 2  #: callbacks have run
+
+# Condition classes, resolved lazily (sync imports this module) but cached —
+# Environment.all_of/any_of are hot paths and must not pay an import per call.
+_AllOf = None
+_AnyOf = None
 
 
 class Event:
@@ -92,7 +113,11 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        # Inline of env._schedule(self): immediate, default priority.
+        env = self.env
+        self._state = TRIGGERED
+        env._counter += 1
+        env._imm.append((env._counter, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -108,7 +133,10 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self)
+        env = self.env
+        self._state = TRIGGERED
+        env._counter += 1
+        env._imm.append((env._counter, self))
         return self
 
     def defuse(self) -> None:
@@ -261,7 +289,14 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now: float = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: immediate events: scheduled at the current time with default
+        #: priority.  Entries are ``(counter, event)`` in counter order; the
+        #: clock cannot advance while any are pending, so every entry's fire
+        #: time is exactly ``self._now``.
+        self._imm: deque[tuple[int, Event]] = deque()
         self._counter: int = 0
+        #: recycled one-shot Timeout objects (see ``step()``)
+        self._timeout_pool: list[Timeout] = []
         self._active_process: Optional[Process] = None
         #: optional :class:`repro.obs.trace.Tracer`; ``None`` (the default)
         #: means tracing is disabled and instrumentation costs one attribute
@@ -289,6 +324,17 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` seconds from now."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            t = pool.pop()
+            t.delay = delay
+            t._ok = True
+            t._value = value
+            t._defused = False
+            self._schedule(t, delay=delay)
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -303,37 +349,98 @@ class Environment:
 
     def all_of(self, events: list[Event]) -> Event:
         """Event that fires when all of ``events`` have succeeded."""
-        from repro.sim.sync import AllOf
+        # repro.sim.sync imports this module, so the reference is resolved
+        # lazily — but only once, not on every call (this is a hot path).
+        global _AllOf
+        if _AllOf is None:
+            from repro.sim.sync import AllOf as _allof
 
-        return AllOf(self, events)
+            _AllOf = _allof
+        return _AllOf(self, events)
 
     def any_of(self, events: list[Event]) -> Event:
         """Event that fires when any of ``events`` has succeeded."""
-        from repro.sim.sync import AnyOf
+        global _AnyOf
+        if _AnyOf is None:
+            from repro.sim.sync import AnyOf as _anyof
 
-        return AnyOf(self, events)
+            _AnyOf = _anyof
+        return _AnyOf(self, events)
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         event._state = TRIGGERED
         self._counter += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._counter, event))
+        if delay == 0.0 and priority == 1:
+            # Immediate, default-priority: the common case (succeed/fail,
+            # process completion, zero timeouts).  The deque keeps these in
+            # counter order without heap churn.
+            self._imm.append((self._counter, event))
+        else:
+            heapq.heappush(
+                self._queue, (self._now + delay, priority, self._counter, event)
+            )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._imm:
+            return self._now  # immediate events always fire at the current time
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the next scheduled event."""
-        try:
-            when, _prio, _cnt, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, []  # type: ignore[assignment]
+        """Process the next scheduled event.
+
+        The next event is the minimum of the heap's ``(time, priority,
+        counter)`` key and the immediate deque's front ``(self._now, 1,
+        counter)`` key — exactly the order a single heap would produce.
+        """
+        imm = self._imm
+        queue = self._queue
+        if imm:
+            take_heap = False
+            if queue:
+                head = queue[0]
+                # Heap times are always >= self._now, so the heap wins only
+                # on a same-time, lower-(priority, counter) key.
+                if head[0] == self._now and (
+                    head[1] < 1 or (head[1] == 1 and head[2] < imm[0][0])
+                ):
+                    take_heap = True
+            if take_heap:
+                when, _prio, _cnt, event = heapq.heappop(queue)
+            else:
+                _cnt, event = imm.popleft()
+        else:
+            try:
+                when, _prio, _cnt, event = heapq.heappop(queue)
+            except IndexError:
+                raise EmptySchedule() from None
+            self._now = when
+        callbacks = event.callbacks
         event._state = PROCESSED
-        for callback in callbacks:
+        if len(callbacks) == 1:
+            # Single waiter (the overwhelmingly common case): run it off the
+            # existing list instead of allocating a replacement.
+            callback = callbacks[0]
+            callbacks.clear()
             callback(event)
+            if event._ok:
+                # One-shot timeouts nobody else references are recycled.
+                # refcount == 2 means only our local + the getrefcount
+                # argument see the object, so reuse cannot be observed.
+                if (
+                    type(event) is Timeout
+                    and getrefcount(event) == 2
+                    and len(self._timeout_pool) < 128
+                ):
+                    event._value = None
+                    self._timeout_pool.append(event)
+                return
+        else:
+            if callbacks:
+                event.callbacks = []
+                for callback in callbacks:
+                    callback(event)
         if not event._ok and not event._defused:
             # A failed event that nobody handled: crash the simulation,
             # mirroring an unhandled exception in a thread.
@@ -367,11 +474,11 @@ class Environment:
             horizon = float(until)
             if horizon < self._now:
                 raise SimulationError("cannot run() into the past")
-            while self._queue and self._queue[0][0] <= horizon:
+            while self._imm or (self._queue and self._queue[0][0] <= horizon):
                 self.step()
             self._now = horizon
             return None
 
-        while self._queue:
+        while self._imm or self._queue:
             self.step()
         return None

@@ -62,24 +62,44 @@ class CpuPool:
         self._cores = [Resource(env, capacity=1) for _ in range(n_cores)]
         #: cumulative busy seconds per core, for utilization reporting
         self.busy_time = [0.0] * n_cores
+        self._all_cores = list(range(n_cores))
+        #: memoized sorted core lists per distinct ``cores=`` argument —
+        #: thread contexts pass the same pinned set on every execute()
+        self._allowed_cache: dict[tuple, list[int]] = {}
 
     # -- acquisition ----------------------------------------------------------
     def _acquire(
         self, allowed: Sequence[int], priority: int
     ) -> Generator:
         """Acquire exactly one core out of ``allowed``; yields (index, request)."""
+        cores = self._cores
         if len(allowed) == 1:
             idx = allowed[0]
-            req = self._cores[idx].request(priority)
+            req = cores[idx].request(priority)
             yield req
             return idx, req
-        requests = {idx: self._cores[idx].request(priority) for idx in allowed}
+        if all(not cores[idx]._users for idx in allowed):
+            # Every allowed core is idle, so the AnyOf fan-out below would
+            # grant all requests and keep the lowest allowed index.  Replay
+            # that outcome with identical event-counter timing: the requests
+            # grant in creation order, and the wake-up event is scheduled
+            # while the first grant is being processed — exactly when the
+            # original AnyOf would have fired.
+            requests = [cores[idx].request(priority) for idx in allowed]
+            woke = self.env.event()
+            requests[0].callbacks.append(lambda _evt: woke.succeed())
+            yield woke
+            keep = allowed[0]
+            for idx, req in zip(allowed[1:], requests[1:]):
+                cores[idx].release(req)
+            return keep, requests[0]
+        requests = {idx: cores[idx].request(priority) for idx in allowed}
         yield AnyOf(self.env, list(requests.values()))
         granted = [idx for idx, req in requests.items() if req.processed and req.ok]
         keep = min(granted)
         for idx, req in requests.items():
             if idx != keep:
-                self._cores[idx].release(req)
+                cores[idx].release(req)
         return keep, requests[keep]
 
     def _check_allowed(self, core: Optional[int], cores: Optional[Sequence[int]]):
@@ -90,14 +110,19 @@ class CpuPool:
                 raise SimulationError(f"core index {core} out of range")
             return [core]
         if cores is not None:
+            key = tuple(cores)
+            cached = self._allowed_cache.get(key)
+            if cached is not None:
+                return cached
             allowed = sorted(set(cores))
             if not allowed:
                 raise SimulationError("cores= must not be empty")
             for idx in allowed:
                 if not 0 <= idx < self.n_cores:
                     raise SimulationError(f"core index {idx} out of range")
+            self._allowed_cache[key] = allowed
             return allowed
-        return list(range(self.n_cores))
+        return self._all_cores
 
     # -- work ------------------------------------------------------------------
     def execute(
@@ -121,6 +146,29 @@ class CpuPool:
             raise SimulationError("cannot execute negative CPU time")
         allowed = self._check_allowed(core, cores)
         tracer = self.env.tracer
+        if tracer is None:
+            # Untraced fast path: skip all span bookkeeping.  Acquisition
+            # still goes through the queue — a synchronous take would hand
+            # the following timeout an earlier event counter than the seed's,
+            # reordering same-instant wakeups under contention.
+            env = self.env
+            cores_ = self._cores
+            remaining = float(seconds)
+            if remaining == 0.0:
+                idx, req = yield from self._acquire(allowed, priority)
+                cores_[idx].release(req)
+                return
+            timeslice = self.timeslice
+            while remaining > 0:
+                idx, req = yield from self._acquire(allowed, priority)
+                slice_len = remaining if remaining < timeslice else timeslice
+                try:
+                    yield env.timeout(slice_len)
+                finally:
+                    self.busy_time[idx] += slice_len
+                    cores_[idx].release(req)
+                remaining -= slice_len
+            return
         span = None
         wait = 0.0
         if tracer is not None:

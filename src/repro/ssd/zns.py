@@ -63,6 +63,15 @@ class ZnsSsd:
         self, channel: int, seconds: float, op: str = "io", nbytes: int = 0
     ) -> Generator:
         res = self._channels[channel]
+        if self.env.tracer is None:
+            # Untraced fast path: no span objects, but the channel is still
+            # acquired through the queue — a synchronous take would reorder
+            # same-instant completions under channel contention.
+            with res.request() as queued:
+                yield queued
+                yield self.env.timeout(seconds)
+            self.stats.record_channel_busy(channel, seconds)
+            return
         with trace_span(
             self.env,
             f"nand.{op}",

@@ -254,3 +254,64 @@ def test_sidx_sketch_range():
     assert list(sketch.blocks_for_range(lo, hi)) == [0, 1]
     assert list(sketch.blocks_for_range(struct.pack(">I", 31), struct.pack(">I", 99))) == [2]
     assert list(sketch.blocks_for_range(hi, lo)) == []
+
+
+# ------------------------------------------------- pidx bulk-packing fast path
+def _reference_pidx_blocks(entries, block_bytes):
+    """The per-entry BlockBuilder loop the vectorized packer must match."""
+    from repro.lsm.block import BlockBuilder
+
+    blocks = []
+    builder = BlockBuilder(block_bytes)
+    for key, pointer in entries:
+        builder.add(key, pack_value_pointer(pointer))
+        if builder.full:
+            blocks.append((builder.first_key, builder.finish()))
+            builder = BlockBuilder(block_bytes)
+    if not builder.empty:
+        blocks.append((builder.first_key, builder.finish()))
+    return blocks
+
+
+@pytest.mark.parametrize(
+    "n,klen,block_bytes",
+    [
+        (300, 16, 4096),   # vectorized path, partial tail block
+        (412, 9, 4096),    # odd key width
+        (300, 16, 64),     # minimum block size -> one entry per block
+        (320, 16, 40 * 8), # block boundary exactly at a full block
+        (256, 16, 4096),   # exactly the vectorization threshold
+        (255, 16, 4096),   # one below the threshold (builder loop)
+    ],
+)
+def test_pidx_blocks_vectorized_matches_builder(n, klen, block_bytes):
+    rng = np.random.default_rng(7)
+    raw = sorted({bytes(rng.integers(0, 256, size=klen, dtype=np.uint8)) for _ in range(n)})
+    entries = [(key, (i % 8, i * 128, 64 + (i % 3))) for i, key in enumerate(raw)]
+    assert build_pidx_blocks(entries, block_bytes) == _reference_pidx_blocks(
+        entries, block_bytes
+    )
+
+
+def test_pidx_blocks_vectorized_handles_nul_bytes_and_duplicates():
+    # Trailing/embedded NULs exercise numpy's "S" comparison semantics;
+    # adjacent duplicate keys are legal for BlockBuilder and must stay legal.
+    base = [bytes([i]) + b"\x00" * 6 + bytes([255 - i]) for i in range(200)]
+    keys = sorted(base * 2)
+    entries = [(key, (0, i * 64, 64)) for i, key in enumerate(keys)]
+    assert build_pidx_blocks(entries, 1024) == _reference_pidx_blocks(entries, 1024)
+
+
+def test_pidx_blocks_variable_width_keys_fall_back():
+    entries = sorted(
+        ((f"k-{i:04d}".encode() * (1 + i % 3), (0, i * 64, 64)) for i in range(400)),
+        key=lambda e: e[0],
+    )
+    assert build_pidx_blocks(entries, 2048) == _reference_pidx_blocks(entries, 2048)
+
+
+def test_pidx_blocks_unsorted_input_still_raises():
+    entries = [(f"k{i:05d}".encode(), (0, i, 8)) for i in range(300)]
+    entries[150], entries[10] = entries[10], entries[150]
+    with pytest.raises(DbError):
+        build_pidx_blocks(entries, 4096)

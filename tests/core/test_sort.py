@@ -318,3 +318,56 @@ def test_parallel_sort_rejects_bad_shard_count():
             pack=sorter.pack,
             unpack=sorter.unpack,
         )
+
+
+# ------------------------------------------------ declared-key vectorized sort
+def _compaction_records(n, seed=1, klen=8, dup_every=5):
+    """(key, (seq, payload)) records with duplicate keys across seqs."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 2**32, size=n)
+    records = []
+    for i, k in enumerate(base):
+        key = int(k).to_bytes(klen, "big")
+        records.append((key, (i, f"p{i}".encode())))
+        if i % dup_every == 0:
+            records.append((key, (n + i, f"q{i}".encode())))
+    return records
+
+
+@pytest.mark.parametrize("n", [10, 500])
+def test_key_seq_desc_sort_matches_python_sorted(n):
+    env = Environment()
+    sorter, _ssd, _zm = make_sorter(env, budget_bytes=1 * MiB)
+    sorter.sort_key = lambda rec: (rec[0], -rec[1][0])
+    sorter._key_is_default = False
+    sorter._key_kind = "key_seq_desc"
+    records = _compaction_records(n)
+    expected = sorted(records, key=lambda rec: (rec[0], -rec[1][0]))
+    assert sorter._sorted(list(records)) == expected
+
+
+def test_key_seq_desc_variable_width_keys_fall_back():
+    env = Environment()
+    sorter, _ssd, _zm = make_sorter(env, budget_bytes=1 * MiB)
+    sorter.sort_key = lambda rec: (rec[0], -rec[1][0])
+    sorter._key_is_default = False
+    sorter._key_kind = "key_seq_desc"
+    records = [(b"k" * (1 + i % 3), (i, b"")) for i in range(200)]
+    expected = sorted(records, key=lambda rec: (rec[0], -rec[1][0]))
+    assert sorter._sorted(list(records)) == expected
+
+
+def test_coordinator_forwards_key_kind_only_with_custom_key():
+    env = Environment()
+    _sorter, _ssd, zm = make_sorter(env, budget_bytes=1 * MiB)
+    coord = ParallelSortCoordinator(
+        zm,
+        budget_bytes=1 * MiB,
+        shards=2,
+        compare_cost=25e-9,
+        pack=lambda recs: b"",
+        unpack=lambda blob: [],
+        key_kind="key_seq_desc",
+    )
+    # key_kind without a matching sort_key must not engage the lexsort path
+    assert coord.key_kind is None

@@ -200,3 +200,102 @@ def test_simulation_error_when_run_until_event_of_dead_simulation():
     env.process(nothing())
     with pytest.raises(SimulationError):
         env.run(until=ev)
+
+
+# ------------------------------------------------------- kernel contract edges
+def test_run_until_past_raises():
+    env = Environment()
+    env.process(_tick(env, 5.0))
+    env.run(until=5.0)
+    assert env.now == 5.0
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def _tick(env, delay):
+    yield env.timeout(delay)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.process(_tick(env, 3.5))
+    # the process-start event is immediate, so peek is "now" first
+    assert env.peek() == 0.0
+    env.step()
+    assert env.peek() == 3.5
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_event_double_trigger_rejected():
+    from repro.sim.core import Event
+
+    env = Environment()
+    ev = Event(env)
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("late"))
+    ev2 = Event(env)
+    ev2.fail(RuntimeError("boom"))
+    ev2.defuse()
+    with pytest.raises(SimulationError):
+        ev2.succeed(3)
+    env.run()
+
+
+def test_failed_event_without_handler_crashes_unless_defused():
+    from repro.sim.core import Event
+
+    env = Environment()
+    Event(env).fail(ValueError("unhandled"))
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+    env = Environment()
+    ev = Event(env)
+    ev.fail(ValueError("handled"))
+    ev.defuse()
+    env.run()  # defused: no crash
+    assert not ev.ok
+
+
+def test_same_time_events_fire_in_insertion_order():
+    import random
+
+    rng = random.Random(11)
+    for _trial in range(20):
+        env = Environment()
+        fired = []
+        n = rng.randrange(2, 40)
+        at = rng.choice([0.0, 0.25, 1.0])
+
+        def waiter(idx, delay):
+            yield env.timeout(delay)
+            fired.append(idx)
+
+        for i in range(n):
+            env.process(waiter(i, at))
+        env.run()
+        assert fired == list(range(n))
+
+
+def test_same_time_priority_orders_before_insertion():
+    from repro.sim.core import Event
+
+    env = Environment()
+    fired = []
+
+    def arm(tag, priority):
+        ev = Event(env)
+        ev._ok = True
+        env._schedule(ev, delay=1.0, priority=priority)
+        ev.callbacks.append(lambda _evt, tag=tag: fired.append(tag))
+
+    arm("low-a", 5)
+    arm("high", 0)
+    arm("low-b", 5)
+    env.run()
+    assert fired == ["high", "low-a", "low-b"]

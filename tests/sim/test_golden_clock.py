@@ -1,0 +1,70 @@
+"""Golden-clock equivalence: the fast-path kernel may not move the clock.
+
+``golden_clock.json`` holds fingerprints (exact ``float.hex()`` clock
+checkpoints, I/O counters, result digests) captured from the reference
+kernel *before* the fast-path work landed.  Event coalescing, object
+pooling, resource fast paths, and vectorized cost math all have to
+reproduce these bit-for-bit — any drift means an optimisation reordered
+events or changed charged latency, which breaks the determinism contract
+every equivalence test in this repo leans on.
+
+If a change is *supposed* to move the virtual clock (a new cost model, a
+changed latency), regenerate with::
+
+    PYTHONPATH=src python -m repro.bench.golden > tests/sim/golden_clock.json
+
+and say so in the commit message.  Never regenerate to absorb accidental
+drift from a performance change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.golden import GOLDEN_WORKLOADS
+
+GOLDEN_PATH = Path(__file__).with_name("golden_clock.json")
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def _flatten(prefix: str, obj, out: dict) -> dict:
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            _flatten(f"{prefix}.{key}", value, out)
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            _flatten(f"{prefix}[{i}]", value, out)
+    else:
+        out[prefix] = obj
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_WORKLOADS))
+def test_fingerprint_matches_golden(name: str, golden: dict):
+    assert name in golden, (
+        f"no golden record for workload {name!r} — regenerate "
+        "tests/sim/golden_clock.json (see module docstring)"
+    )
+    fresh = _flatten(name, GOLDEN_WORKLOADS[name](), {})
+    recorded = _flatten(name, golden[name], {})
+    # Compare flat, so a failure names the exact checkpoint that drifted
+    # instead of dumping two page-size dicts.
+    assert fresh.keys() == recorded.keys()
+    drifted = {
+        key: (recorded[key], fresh[key])
+        for key in recorded
+        if fresh[key] != recorded[key]
+    }
+    assert not drifted, f"virtual-clock drift detected: {drifted}"
+
+
+def test_golden_covers_every_workload(golden: dict):
+    assert sorted(golden) == sorted(GOLDEN_WORKLOADS)
