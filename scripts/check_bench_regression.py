@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare fresh bench JSON against committed baselines.
+
+CI runs the smoke benches fresh every build and lands their JSON in
+``results/``; this script compares those documents against the committed
+baselines in ``results/baselines/smoke/`` and fails (exit 1) when a
+headline metric regressed beyond its tolerance.
+
+The gated metrics are *virtual-clock* quantities (phase seconds, speedups,
+cache hit rates) — deterministic for a fixed config, so the tolerances are
+tight and a trip means the simulation's performance model actually moved,
+not that the CI runner was slow.  Wall-clock numbers are reported for
+context but never gated (runner noise).  Directionality matters: speedups
+and hit rates gate one-sided on *worse* (lower), phase seconds on *worse*
+(higher); improvements always pass — refresh the baselines when you land
+one, so the gate ratchets.
+
+Regenerate baselines (only when a change is *supposed* to move them)::
+
+    PYTHONPATH=src python -m repro query-bench --smoke --out results/baselines/smoke/BENCH_query.json
+    PYTHONPATH=src python -m repro qd-bench    --smoke --out results/baselines/smoke/BENCH_qd.json
+    PYTHONPATH=src python -m repro scale-bench --smoke --out results/baselines/smoke/BENCH_scale.json
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --fresh results --baseline results/baselines/smoke \
+        [--report comparison.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Optional
+
+#: (bench file, dotted metric path, direction, relative tolerance).
+#: direction "higher" = regression when fresh < baseline * (1 - tol);
+#: direction "lower"  = regression when fresh > baseline * (1 + tol).
+GATES: list[tuple[str, str, str, float]] = [
+    # Query offload: the headline parallel-vs-serial win and bloom efficacy.
+    ("BENCH_query.json", "get_speedup", "higher", 0.10),
+    ("BENCH_query.json", "parallel_get_seconds", "lower", 0.02),
+    ("BENCH_query.json", "block_read_elimination", "higher", 0.05),
+    # Queue-depth sweep: deep-QD single-thread GETs must keep their edge.
+    ("BENCH_qd.json", "get_speedup.16", "higher", 0.10),
+    ("BENCH_qd.json", "get_seconds.16", "lower", 0.02),
+    ("BENCH_qd.json", "put_seconds.16", "lower", 0.02),
+    # Scale run: ingest and mixed-op virtual throughput.
+    ("BENCH_scale.json", "phases.load.virtual_seconds", "lower", 0.02),
+    ("BENCH_scale.json", "phases.prepare.virtual_seconds", "lower", 0.02),
+    ("BENCH_scale.json", "phases.ycsb.virtual_seconds", "lower", 0.02),
+]
+
+#: Reported for context in the comparison artifact, never gated.
+CONTEXT: list[tuple[str, str]] = [
+    ("BENCH_scale.json", "phases.load.wall_seconds"),
+    ("BENCH_scale.json", "phases.ycsb.wall_seconds"),
+]
+
+#: Config keys that may differ between fresh and baseline without making
+#: the comparison meaningless (observability toggles don't move the clock).
+_CONFIG_IGNORE = {"timeline", "trace"}
+
+
+def _lookup(doc: Any, path: str) -> Optional[float]:
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _load(directory: str, name: str) -> Optional[dict]:
+    path = os.path.join(directory, name)
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _strip_config(config: dict) -> dict:
+    return {k: v for k, v in config.items() if k not in _CONFIG_IGNORE}
+
+
+def compare(fresh_dir: str, baseline_dir: str) -> tuple[list[dict], list[str]]:
+    """Returns (per-metric comparison rows, failure messages)."""
+    rows: list[dict] = []
+    failures: list[str] = []
+    docs: dict[str, tuple[Optional[dict], Optional[dict]]] = {}
+    for name in sorted({g[0] for g in GATES}):
+        fresh = _load(fresh_dir, name)
+        base = _load(baseline_dir, name)
+        docs[name] = (fresh, base)
+        if base is None:
+            failures.append(f"{name}: no committed baseline in {baseline_dir}")
+            continue
+        if fresh is None:
+            failures.append(f"{name}: no fresh result in {fresh_dir}")
+            continue
+        if _strip_config(fresh.get("config", {})) != _strip_config(
+            base.get("config", {})
+        ):
+            failures.append(
+                f"{name}: fresh and baseline configs differ — comparison is "
+                "meaningless (did the smoke config change without a baseline "
+                "refresh?)"
+            )
+            continue
+        for check in fresh.get("checks", []):
+            if not check.get("passed", False):
+                failures.append(
+                    f"{name}: shape check failed: {check['description']}"
+                    + (f" ({check['observed']})" if check.get("observed") else "")
+                )
+
+    for name, path, direction, tol in GATES:
+        fresh, base = docs[name]
+        if fresh is None or base is None:
+            continue
+        fresh_v = _lookup(fresh, path)
+        base_v = _lookup(base, path)
+        row = {
+            "bench": name,
+            "metric": path,
+            "direction": direction,
+            "tolerance": tol,
+            "baseline": base_v,
+            "fresh": fresh_v,
+            "regressed": False,
+        }
+        if base_v is None:
+            failures.append(f"{name}: baseline lacks metric {path!r}")
+        elif fresh_v is None:
+            row["regressed"] = True
+            failures.append(f"{name}: fresh result lacks metric {path!r}")
+        else:
+            if direction == "higher":
+                bad = fresh_v < base_v * (1.0 - tol)
+            else:
+                bad = fresh_v > base_v * (1.0 + tol)
+            row["regressed"] = bad
+            if bad:
+                failures.append(
+                    f"{name}: {path} regressed — fresh {fresh_v:.6g} vs "
+                    f"baseline {base_v:.6g} "
+                    f"({'lower' if direction == 'higher' else 'higher'} is "
+                    f"worse, tolerance {tol:.0%})"
+                )
+        rows.append(row)
+
+    for name, path in CONTEXT:
+        fresh, base = docs.get(name, (None, None))
+        if fresh is None or base is None:
+            continue
+        rows.append(
+            {
+                "bench": name,
+                "metric": path,
+                "direction": "context",
+                "tolerance": None,
+                "baseline": _lookup(base, path),
+                "fresh": _lookup(fresh, path),
+                "regressed": False,
+            }
+        )
+    return rows, failures
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare fresh smoke-bench JSON against committed baselines"
+    )
+    parser.add_argument("--fresh", default="results")
+    parser.add_argument("--baseline", default="results/baselines/smoke")
+    parser.add_argument(
+        "--report", default=None, help="write the comparison table as JSON"
+    )
+    args = parser.parse_args(argv[1:])
+
+    rows, failures = compare(args.fresh, args.baseline)
+    width = max((len(r["metric"]) for r in rows), default=10)
+    for row in rows:
+        base_v, fresh_v = row["baseline"], row["fresh"]
+        delta = ""
+        if isinstance(base_v, float) and isinstance(fresh_v, float) and base_v:
+            delta = f"{(fresh_v - base_v) / base_v:+.2%}"
+        marker = "REGRESSED" if row["regressed"] else (
+            "ctx" if row["direction"] == "context" else "ok"
+        )
+        print(
+            f"{row['bench']:<22} {row['metric']:<{width}} "
+            f"base={base_v!r:<12} fresh={fresh_v!r:<12} {delta:>8}  {marker}"
+        )
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(
+                {"rows": rows, "failures": failures, "ok": not failures},
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("bench regression gate: all metrics within tolerance")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

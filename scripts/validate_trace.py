@@ -14,7 +14,13 @@ Checks the invariants chrome://tracing / Perfetto rely on:
   dispatch with no work inside means the worker's span tree was severed;
 * every ``cq.reap`` marker pairs with a prior ``sq.post`` carrying the
   same command id — a reap without a post means the queue pair's
-  submission/completion bookkeeping desynchronised.
+  submission/completion bookkeeping desynchronised;
+* counter (``C``) tracks — the timeline's saturation curves — carry
+  finite numeric ``args.value`` samples with per-track monotonically
+  non-decreasing timestamps, and their clock agrees with the span
+  clock: no counter sample may land beyond the end of the last span
+  (both are driven by the same virtual clock, so a counter past the
+  final span means the sampler and tracer disagreed about ``env.now``).
 
 Usage: ``python scripts/validate_trace.py trace.json``
 """
@@ -37,6 +43,7 @@ def validate(path: str) -> list[str]:
         return [f"{path}: top level must be an object with a traceEvents list"]
 
     complete = []
+    counters = []
     for i, event in enumerate(doc["traceEvents"]):
         where = f"traceEvents[{i}]"
         if not isinstance(event, dict):
@@ -45,6 +52,9 @@ def validate(path: str) -> list[str]:
         for key in ("name", "ph", "pid"):
             if key not in event:
                 errors.append(f"{where}: missing {key!r}")
+        if event.get("ph") == "C":
+            counters.append((where, event))
+            continue
         if event.get("ph") != "X":
             continue
         complete.append(event)
@@ -62,6 +72,47 @@ def validate(path: str) -> list[str]:
         errors.append(f"{path}: complete events not sorted by (ts, tid)")
     errors.extend(_check_dispatch_trees(path, complete))
     errors.extend(_check_sq_cq_pairing(path, complete))
+    errors.extend(_check_counter_tracks(path, counters, complete))
+    return errors
+
+
+def _check_counter_tracks(
+    path: str, counters: list[tuple[str, dict]], complete: list[dict]
+) -> list[str]:
+    """Counter tracks must be numeric, per-track monotonic, and share the
+    span clock."""
+    errors: list[str] = []
+    last_ts: dict[str, float] = {}
+    max_counter_ts = None
+    for where, event in counters:
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts != ts:
+            errors.append(f"{where}: counter 'ts' must be a finite number")
+            continue
+        value = event.get("args", {}).get("value")
+        if not isinstance(value, (int, float)) or value != value:
+            errors.append(
+                f"{where}: counter 'args.value' must be a finite number"
+            )
+        name = event.get("name", "")
+        if name in last_ts and ts < last_ts[name]:
+            errors.append(
+                f"{where}: counter track {name!r} timestamps go backwards "
+                f"({ts} after {last_ts[name]})"
+            )
+        last_ts[name] = ts
+        if max_counter_ts is None or ts > max_counter_ts:
+            max_counter_ts = ts
+    # Clock agreement: the sampler and the tracer read the same virtual
+    # clock, so no counter sample may land past the end of the last span.
+    if max_counter_ts is not None and complete:
+        span_end = max(e.get("ts", 0) + e.get("dur", 0) for e in complete)
+        if max_counter_ts > span_end + 1e-6:
+            errors.append(
+                f"{path}: counter sample at ts={max_counter_ts} lands beyond "
+                f"the last span end ({span_end}) — series and span clocks "
+                "disagree"
+            )
     return errors
 
 

@@ -187,17 +187,42 @@ class KvcsdTestbed:
         """A test thread pinned to one host core (the paper pins every one)."""
         return ThreadCtx(cpu=self.cpu, core=core)
 
-    def enable_tracing(self):
+    def enable_tracing(self, retain_spans: bool = True):
         """Install the observability layer; returns ``(tracer, hub)``.
 
         Must be called before the workload runs — spans are only recorded
-        for simulation activity after installation.
+        for simulation activity after installation.  ``retain_spans=False``
+        keeps the hub's latency feed but drops finished spans, bounding
+        memory on long runs (the timeline still works; trace export won't).
         """
         from repro.obs import install_observability
 
         return install_observability(
-            self.env, device=self.device, ssd=self.ssd, link=self.link
+            self.env, device=self.device, ssd=self.ssd, link=self.link,
+            retain_spans=retain_spans,
         )
+
+    def enable_timeline(self, config=None, retain_spans: bool = True):
+        """Install tracing (if needed) plus a continuous telemetry recorder.
+
+        Returns ``(tracer, hub, recorder)``.  Unlike tracing/journaling,
+        the timeline *does* schedule simulation events (its sampler ticks),
+        so it is never enabled implicitly — but ticks are pure state reads,
+        and every workload outcome matches the untimed run.
+        ``retain_spans=False`` applies only when this call installs the
+        tracer itself (long runs that want curves but no span dump).
+        """
+        from repro.obs import TimelineConfig, install_timeline
+
+        tracer = self.env.tracer
+        if tracer is None or tracer.hub is None:
+            tracer, hub = self.enable_tracing(retain_spans=retain_spans)
+        else:
+            hub = tracer.hub
+        recorder = install_timeline(
+            self.env, hub, config if config is not None else TimelineConfig()
+        )
+        return tracer, hub, recorder
 
     def enable_introspection(
         self, audit_level: str = "phase", journal_capacity: int = 4096

@@ -56,6 +56,9 @@ class CompactionBenchConfig:
     zipf_theta: float = 0.99
     #: trace the pipelined run and attach its latency attribution to the JSON
     trace: bool = False
+    #: record a telemetry timeline on the pipelined run and attach its
+    #: series/alerts to the JSON
+    timeline: bool = False
 
 
 @dataclass
@@ -69,6 +72,7 @@ class CompactionBenchResult:
     cache_report: dict = field(default_factory=dict)
     device_stats: dict = field(default_factory=dict)
     attribution: dict = field(default_factory=dict)
+    timeline: dict = field(default_factory=dict)
 
     @property
     def compaction_speedup(self) -> float:
@@ -157,13 +161,19 @@ class CompactionBenchResult:
             ],
         }
         # Only traced runs carry an attribution table; untraced runs omit the
-        # key entirely rather than emitting a misleading empty dict.
+        # key entirely rather than emitting a misleading empty dict.  Same
+        # for the timeline document.
         if self.attribution:
             out["attribution"] = self.attribution
+        if self.timeline:
+            out["timeline"] = self.timeline
         return out
 
 
-def _load_and_compact(config: CompactionBenchConfig, pairs, shards, cache_bytes, trace=False):
+def _load_and_compact(
+    config: CompactionBenchConfig, pairs, shards, cache_bytes,
+    trace=False, timeline=False,
+):
     """One testbed: load, wait for device compaction, return measurements."""
     kv = build_kvcsd_testbed(
         seed=config.seed,
@@ -172,6 +182,11 @@ def _load_and_compact(config: CompactionBenchConfig, pairs, shards, cache_bytes,
     )
     if trace:
         kv.enable_tracing()
+    if timeline:
+        from repro.obs.journal import install_journal
+
+        install_journal(kv.env)
+        kv.enable_timeline()
     load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
 
     def wait():
@@ -205,6 +220,7 @@ def run_compaction_bench(
         shards=config.shards,
         cache_bytes=config.block_cache_bytes,
         trace=config.trace,
+        timeline=config.timeline,
     )
 
     a = serial.device.keyspaces["ks"].pidx_sketch
@@ -230,10 +246,12 @@ def run_compaction_bench(
     cache = piped.device.block_cache
     result.cache_report = cache.report() if cache is not None else {}
     result.device_stats = piped.device.stats.as_dict()
-    if piped.env.tracer is not None:
+    if piped.env.tracer is not None and piped.env.tracer.spans:
         from repro.obs import attribution_rows
 
         result.attribution = attribution_rows(piped.env.tracer)
+    if piped.env.timeline is not None:
+        result.timeline = piped.env.timeline.to_json()
     return result
 
 

@@ -26,6 +26,7 @@ cost model) — never to paper over an optimisation that reordered events.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 from typing import Any
@@ -44,7 +45,7 @@ from repro.workloads import (
     run_phase,
 )
 
-__all__ = ["collect_fingerprints", "GOLDEN_WORKLOADS"]
+__all__ = ["collect_fingerprints", "observed_testbeds", "GOLDEN_WORKLOADS"]
 
 
 # ---------------------------------------------------------------- helpers
@@ -372,6 +373,38 @@ GOLDEN_WORKLOADS = {
     "mixed_contention": _fp_mixed_contention,
     "lsm_baseline": _fp_lsm_baseline,
 }
+
+
+@contextlib.contextmanager
+def observed_testbeds():
+    """Run golden workloads with the full observability stack installed.
+
+    Every KV-CSD testbed built inside the block gets a journal, a tracer +
+    metrics hub (with the device gauges registered), and a *constructed but
+    unstarted* :class:`~repro.obs.timeline.TimelineRecorder`.  That is the
+    zero-cost contract in executable form: instrumentation that is present
+    but not sampling must leave every golden fingerprint byte-identical —
+    tracer and journal schedule no simulation events, and a recorder only
+    creates events once ``start()`` arms it.
+    """
+    from repro.obs.journal import install_journal
+    from repro.obs.timeline import TimelineConfig, TimelineRecorder
+
+    global build_kvcsd_testbed
+    real = build_kvcsd_testbed
+
+    def observed(*args, **kwargs):
+        kv = real(*args, **kwargs)
+        install_journal(kv.env)
+        _tracer, hub = kv.enable_tracing()
+        TimelineRecorder(kv.env, hub, TimelineConfig())  # never started
+        return kv
+
+    build_kvcsd_testbed = observed
+    try:
+        yield
+    finally:
+        build_kvcsd_testbed = real
 
 
 def collect_fingerprints(names: list[str] | None = None) -> dict:

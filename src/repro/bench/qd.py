@@ -42,6 +42,9 @@ class QdBenchConfig:
     query_workers: int = 4
     gets_per_depth: int = 512
     puts_per_depth: int = 512
+    #: record a telemetry timeline on the deepest-QD sweep and attach its
+    #: series/alerts to the results JSON
+    timeline: bool = False
 
     @classmethod
     def smoke(cls) -> "QdBenchConfig":
@@ -59,6 +62,7 @@ class QdBenchResult:
     queue_state: dict[int, dict] = field(default_factory=dict)
     identical_results: bool = False
     accounting_clean: bool = False
+    timeline: dict = field(default_factory=dict)
 
     def get_speedup(self, depth: int) -> float:
         return speedup(self.get_seconds[1], self.get_seconds[depth])
@@ -116,6 +120,7 @@ class QdBenchResult:
                 "query_workers": self.config.query_workers,
                 "gets_per_depth": self.config.gets_per_depth,
                 "puts_per_depth": self.config.puts_per_depth,
+                "timeline": self.config.timeline,
             },
             "get_seconds": {str(d): s for d, s in self.get_seconds.items()},
             "put_seconds": {str(d): s for d, s in self.put_seconds.items()},
@@ -133,6 +138,8 @@ class QdBenchResult:
                  "observed": c.observed}
                 for c in self.checks()
             ],
+            # Only timeline-enabled runs carry the series/alert document.
+            **({"timeline": self.timeline} if self.timeline else {}),
         }
 
 
@@ -211,6 +218,14 @@ def run_qd_bench(config: QdBenchConfig = QdBenchConfig()) -> QdBenchResult:
     accounting_clean = True
     for depth in config.depths:
         kv = _build_loaded(config, pairs, depth)
+        if config.timeline and depth == max(config.depths):
+            # Record the deepest sweep — the one whose in-flight window
+            # actually exercises the queues.  Load/prepare already ran, so
+            # the curves cover the GET and PUT sweeps.
+            from repro.obs.journal import install_journal
+
+            install_journal(kv.env)
+            kv.enable_timeline()
         seconds, values = _get_sweep(kv, get_keys)
         result.get_seconds[depth] = seconds
         values_by_depth[depth] = values
@@ -219,6 +234,8 @@ def run_qd_bench(config: QdBenchConfig = QdBenchConfig()) -> QdBenchResult:
         accounting_clean = accounting_clean and not check_queue_pair_accounting(
             kv.client.qp
         )
+        if kv.env.timeline is not None:
+            result.timeline = kv.env.timeline.to_json()
     baseline = values_by_depth[config.depths[0]]
     result.identical_results = all(
         values_by_depth[d] == baseline for d in config.depths

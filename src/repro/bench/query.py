@@ -51,6 +51,9 @@ class QueryBenchConfig:
     queries_per_thread: int = 192
     #: all-absent keys probed in the bloom ablation phase
     absent_queries: int = 1024
+    #: record a continuous telemetry timeline on the parallel testbed and
+    #: attach its series/alerts to the results JSON
+    timeline: bool = False
 
     @classmethod
     def smoke(cls) -> "QueryBenchConfig":
@@ -73,6 +76,7 @@ class QueryBenchResult:
     identical_results: bool = False
     scheduler_report: dict = field(default_factory=dict)
     device_stats: dict = field(default_factory=dict)
+    timeline: dict = field(default_factory=dict)
 
     @property
     def get_speedup(self) -> float:
@@ -149,6 +153,7 @@ class QueryBenchResult:
                 "n_threads": self.config.n_threads,
                 "queries_per_thread": self.config.queries_per_thread,
                 "absent_queries": self.config.absent_queries,
+                "timeline": self.config.timeline,
             },
             "one_worker_get_seconds": self.one_worker_seconds,
             "parallel_get_seconds": self.parallel_seconds,
@@ -168,6 +173,8 @@ class QueryBenchResult:
                  "observed": c.observed}
                 for c in self.checks()
             ],
+            # Only timeline-enabled runs carry the series/alert document.
+            **({"timeline": self.timeline} if self.timeline else {}),
         }
 
 
@@ -262,6 +269,14 @@ def run_query_bench(config: QueryBenchConfig = QueryBenchConfig()) -> QueryBench
         config, pairs, workers=config.workers,
         bloom_bits=config.bloom_bits_per_key,
     )
+    if config.timeline:
+        # Record the parallel testbed's saturation curves through every
+        # phase.  Timeline ticks are pure reads, so the timed phases and
+        # the determinism fingerprint are unchanged by recording.
+        from repro.obs.journal import install_journal
+
+        install_journal(piped.env)
+        piped.enable_timeline()
 
     # --- phase A: multi-threaded GET throughput, 1 worker vs N workers
     result.one_worker_seconds = _threaded_get_phase(one, config, get_keys)
@@ -287,6 +302,8 @@ def run_query_bench(config: QueryBenchConfig = QueryBenchConfig()) -> QueryBench
         **piped.device.query_scheduler.introspect(),
     }
     result.device_stats = piped.device.stats.as_dict()
+    if piped.env.timeline is not None:
+        result.timeline = piped.env.timeline.to_json()
     return result
 
 

@@ -66,6 +66,10 @@ class ScaleBenchConfig:
     #: comfortably holds 1 MiB write buffers per keyspace at this load
     membuf_bytes: int = 1 * MiB
     bulk_message_bytes: int = 256 * KiB
+    #: record a telemetry timeline (spans NOT retained — only the hub's
+    #: bounded latency reservoirs and the sampled series, so memory stays
+    #: flat at 1M-key scale) and attach it to the results JSON
+    timeline: bool = False
 
     @classmethod
     def smoke(cls) -> "ScaleBenchConfig":
@@ -84,6 +88,7 @@ class ScaleBenchResult:
     reads_missing: int = 0
     updates_verified: bool = False
     accounting_clean: bool = False
+    timeline: dict = field(default_factory=dict)
 
     def _rate(self, phase: str, clock: str) -> float:
         info = self.phases[phase]
@@ -143,6 +148,7 @@ class ScaleBenchResult:
                 "zipf_theta": c.zipf_theta,
                 "membuf_bytes": c.membuf_bytes,
                 "bulk_message_bytes": c.bulk_message_bytes,
+                "timeline": c.timeline,
             },
             "phases": self.phases,
             "device_io": self.device_io,
@@ -156,6 +162,8 @@ class ScaleBenchResult:
                  "observed": c_.observed}
                 for c_ in self.checks()
             ],
+            # Only timeline-enabled runs carry the series/alert document.
+            **({"timeline": self.timeline} if self.timeline else {}),
         }
 
 
@@ -183,6 +191,13 @@ def run_scale_bench(config: ScaleBenchConfig = ScaleBenchConfig()) -> ScaleBench
         membuf_bytes=config.membuf_bytes,
         bulk_message_bytes=config.bulk_message_bytes,
     )
+    if config.timeline:
+        # Spans are not retained at this scale; the timeline only needs the
+        # hub's bounded reservoirs and the per-tick gauge reads.
+        from repro.obs.journal import install_journal
+
+        install_journal(kv.env)
+        kv.enable_timeline(retain_spans=False)
     per_ks = len(pairs) // config.n_keyspaces
     slices = [
         pairs[i * per_ks : (i + 1) * per_ks if i < config.n_keyspaces - 1 else None]
@@ -295,6 +310,8 @@ def run_scale_bench(config: ScaleBenchConfig = ScaleBenchConfig()) -> ScaleBench
     result.device_io = kv.ssd.introspect()["io"]
     result.queue_state = kv.client.qp.introspect()
     result.accounting_clean = not check_queue_pair_accounting(kv.client.qp)
+    if kv.env.timeline is not None:
+        result.timeline = kv.env.timeline.to_json()
     return result
 
 

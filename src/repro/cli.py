@@ -25,6 +25,12 @@ Commands:
 * ``audit``                — run an audited workload, checking every device
   invariant on demand and (``--audit-level=phase``) at each flush and
   compaction-phase boundary; exits non-zero on violations.
+* ``timeline``             — run a timeline-recorded workload and export the
+  sampled series + SLO alerts (JSON/CSV/Chrome counter tracks);
+* ``top``                  — run a timeline-recorded workload and render the
+  hottest series as terminal sparklines;
+* ``profile``              — run a workload under cProfile and print the
+  per-subsystem wall-clock cost table.
 """
 
 from __future__ import annotations
@@ -115,6 +121,8 @@ def _cmd_compaction_bench(args) -> int:
         config = replace(config, block_cache_bytes=args.cache_bytes)
     if args.trace:
         config = replace(config, trace=True)
+    if args.timeline:
+        config = replace(config, timeline=True)
     result = run_compaction_bench(config)
     print(result.table())
     ok = True
@@ -137,6 +145,8 @@ def _cmd_query_bench(args) -> int:
         config = replace(config, workers=args.workers)
     if args.bloom_bits is not None:
         config = replace(config, bloom_bits_per_key=args.bloom_bits)
+    if args.timeline:
+        config = replace(config, timeline=True)
     result = run_query_bench(config)
     print(result.table())
     ok = True
@@ -159,6 +169,8 @@ def _cmd_qd_bench(args) -> int:
         config = replace(config, query_workers=args.workers)
     if args.depths:
         config = replace(config, depths=tuple(args.depths))
+    if args.timeline:
+        config = replace(config, timeline=True)
     result = run_qd_bench(config)
     print(result.table())
     ok = True
@@ -181,6 +193,8 @@ def _cmd_scale_bench(args) -> int:
         config = replace(config, n_pairs=args.pairs)
     if args.ops is not None:
         config = replace(config, ops=args.ops)
+    if args.timeline:
+        config = replace(config, timeline=True)
     result = run_scale_bench(config)
     print(result.table())
     ok = True
@@ -225,9 +239,18 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_metrics(args) -> int:
-    from repro.obs.harness import run_traced_selftest
+    if args.workload == "saturate":
+        from repro.obs.harness import run_saturated_workload
 
-    _kv, _tracer, hub = run_traced_selftest(seed=args.seed)
+        _kv, _tracer, hub, _recorder = run_saturated_workload(seed=args.seed)
+    elif args.timeline:
+        from repro.obs.harness import run_timed_selftest
+
+        _kv, _tracer, hub, _recorder = run_timed_selftest(seed=args.seed)
+    else:
+        from repro.obs.harness import run_traced_selftest
+
+        _kv, _tracer, hub = run_traced_selftest(seed=args.seed)
     text = hub.to_prometheus()
     if args.out:
         with open(args.out, "w") as fh:
@@ -313,6 +336,142 @@ def _cmd_audit(args) -> int:
     return 0 if summary["total_violations"] == 0 else 1
 
 
+def _run_timed_workload(args):
+    """Shared driver for ``timeline`` / ``top``: run the chosen workload."""
+    from repro.obs.harness import run_saturated_workload, run_timed_selftest
+
+    if args.workload == "saturate":
+        return run_saturated_workload(seed=args.seed)
+    return run_timed_selftest(seed=args.seed)
+
+
+def _print_alerts(recorder) -> None:
+    counts = recorder.alert_counts()
+    fired = sum(counts.values())
+    if fired == 0:
+        print("slo: no alerts fired")
+        return
+    for alert in recorder.alerts:
+        cleared = (
+            f" cleared at t={alert.cleared_at:.6f}s"
+            if alert.cleared_at is not None
+            else " (still firing)"
+        )
+        print(
+            f"slo ALERT {alert.rule}: {alert.condition} — "
+            f"{alert.series}={alert.value:g} at t={alert.fired_at:.6f}s{cleared}"
+        )
+
+
+def _cmd_timeline(args) -> int:
+    import json
+
+    from repro.obs import timeline_to_csv, to_chrome_trace
+
+    kv, tracer, _hub, recorder = _run_timed_workload(args)
+    doc = recorder.to_json()
+    print(
+        f"timeline: {recorder.ticks} samples, {len(recorder.series)} series, "
+        f"{len(recorder.windows)} latency windows "
+        f"({kv.env.now:.4f} simulated seconds)"
+    )
+    _print_alerts(recorder)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.csv_out:
+        with open(args.csv_out, "w") as fh:
+            fh.write(timeline_to_csv(doc))
+        print(f"wrote {args.csv_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            json.dump(to_chrome_trace(tracer, timeline=recorder), fh)
+        print(f"wrote {args.trace_out} (spans + counter tracks)")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from fnmatch import fnmatchcase
+
+    from repro.obs import sparkline
+
+    kv, _tracer, _hub, recorder = _run_timed_workload(args)
+    keys = sorted(recorder.series)
+    if args.series:
+        keys = [
+            k for k in keys
+            if any(p == k or fnmatchcase(k, p) for p in args.series)
+        ]
+    # Rank by dynamic range so flat/constant series drop to the bottom,
+    # then keep the busiest ``--limit``.
+    def spread(key: str) -> float:
+        values = recorder.series[key].values
+        return (max(values) - min(values)) if values else 0.0
+
+    keys.sort(key=lambda k: (-spread(k), k))
+    keys = keys[: args.limit]
+    if not keys:
+        print("no series matched")
+        return 1
+    label_w = max(len(k) for k in keys)
+    print(
+        f"{recorder.ticks} samples over {kv.env.now:.4f} simulated seconds "
+        f"(interval {recorder.config.interval:g}s)"
+    )
+    for key in keys:
+        series = recorder.series[key]
+        last = series.last()
+        lo, hi = min(series.values), max(series.values)
+        print(
+            f"{key.ljust(label_w)}  {sparkline(series.values, args.width)}  "
+            f"min={lo:g} max={hi:g} last={last:g}"
+        )
+    _print_alerts(recorder)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import (
+        format_profile,
+        profile_call,
+        subsystem_rows,
+        top_functions,
+    )
+
+    def workload():
+        if args.workload == "saturate":
+            from repro.obs.harness import run_saturated_workload
+
+            return run_saturated_workload(seed=args.seed)
+        if args.workload == "timed-selftest":
+            from repro.obs.harness import run_timed_selftest
+
+            return run_timed_selftest(seed=args.seed)
+        from repro.obs.harness import run_traced_selftest
+
+        return run_traced_selftest(seed=args.seed)
+
+    result, stats = profile_call(workload)
+    kv = result[0]
+    rows = subsystem_rows(stats)
+    total = sum(r["tottime"] for r in rows)
+    print(format_profile(rows, total))
+    print(
+        f"\n{total:.3f}s interpreter time for {kv.env.now:.4f} simulated "
+        f"seconds ({args.workload})"
+    )
+    if args.top:
+        print("\nhottest functions:")
+        for row in top_functions(stats, args.top):
+            print(
+                f"  {row['tottime']:.4f}s  {row['calls']:>8} calls  "
+                f"{row['function']}"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="KV-CSD reproduction toolkit"
@@ -345,6 +504,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="trace the pipelined run and attach its latency attribution",
     )
+    comp.add_argument(
+        "--timeline",
+        action="store_true",
+        help="record a telemetry timeline; attach series + SLO alerts to "
+        "the results JSON",
+    )
     comp.set_defaults(func=_cmd_compaction_bench)
     qb = sub.add_parser(
         "query-bench",
@@ -360,6 +525,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--bloom-bits", type=int, default=None, help="bloom bits per key"
     )
     qb.add_argument("--out", default=None, help="write JSON results to this path")
+    qb.add_argument(
+        "--timeline",
+        action="store_true",
+        help="record a telemetry timeline on the parallel testbed; attach "
+        "series + SLO alerts to the results JSON",
+    )
     qb.set_defaults(func=_cmd_query_bench)
     qd = sub.add_parser(
         "qd-bench",
@@ -376,6 +547,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue depths to sweep (default: 1 4 16 32)",
     )
     qd.add_argument("--out", default=None, help="write JSON results to this path")
+    qd.add_argument(
+        "--timeline",
+        action="store_true",
+        help="record a telemetry timeline on the deepest-QD sweep; attach "
+        "series + SLO alerts to the results JSON",
+    )
     qd.set_defaults(func=_cmd_qd_bench)
     scale = sub.add_parser(
         "scale-bench",
@@ -392,6 +569,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scale.add_argument(
         "--out", default=None, help="write JSON results to this path"
+    )
+    scale.add_argument(
+        "--timeline",
+        action="store_true",
+        help="record a telemetry timeline (spans not retained); attach "
+        "series + SLO alerts to the results JSON",
     )
     scale.set_defaults(func=_cmd_scale_bench)
     trace = sub.add_parser(
@@ -415,6 +598,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     metrics.add_argument("--out", default=None, help="write the dump to this path")
+    metrics.add_argument(
+        "--workload",
+        default="selftest",
+        choices=["selftest", "saturate"],
+        help="'saturate' trips the SLO watchdog; alert counters and firing "
+        "gauges appear in the dump",
+    )
+    metrics.add_argument(
+        "--timeline",
+        action="store_true",
+        help="record the telemetry timeline during the selftest so windowed "
+        "quantiles and SLO state appear in the dump",
+    )
     metrics.set_defaults(func=_cmd_metrics)
     inspect = sub.add_parser(
         "inspect",
@@ -465,6 +661,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal-out", default=None, help="write the event journal (JSONL)"
     )
     audit.set_defaults(func=_cmd_audit)
+    timeline = sub.add_parser(
+        "timeline",
+        help="run a timeline-recorded workload, export series + SLO alerts",
+    )
+    timeline.add_argument(
+        "--workload",
+        default="selftest",
+        choices=["selftest", "saturate"],
+        help="'selftest' is the traced selftest; 'saturate' overdrives one "
+        "query worker to trip the SLO watchdog",
+    )
+    timeline.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    timeline.add_argument(
+        "--out", default=None, help="write the timeline document (JSON)"
+    )
+    timeline.add_argument(
+        "--csv-out", default=None, help="write the series as long-form CSV"
+    )
+    timeline.add_argument(
+        "--trace-out", default=None,
+        help="write a Chrome trace with spans + counter tracks",
+    )
+    timeline.set_defaults(func=_cmd_timeline)
+    top = sub.add_parser(
+        "top",
+        help="run a timeline-recorded workload, render terminal sparklines",
+    )
+    top.add_argument(
+        "--workload",
+        default="selftest",
+        choices=["selftest", "saturate"],
+        help="workload to record (see `timeline`)",
+    )
+    top.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    top.add_argument(
+        "--series", nargs="+", default=None,
+        help="series key patterns to show (fnmatch; default: busiest)",
+    )
+    top.add_argument(
+        "--limit", type=int, default=16, help="series rows to print"
+    )
+    top.add_argument(
+        "--width", type=int, default=48, help="sparkline width in columns"
+    )
+    top.set_defaults(func=_cmd_top)
+    profile = sub.add_parser(
+        "profile",
+        help="run a workload under cProfile, print per-subsystem cost",
+    )
+    profile.add_argument(
+        "--workload",
+        default="selftest",
+        choices=["selftest", "timed-selftest", "saturate"],
+        help="workload to profile",
+    )
+    profile.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    profile.add_argument(
+        "--top", type=int, default=0,
+        help="also print the N hottest individual functions",
+    )
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

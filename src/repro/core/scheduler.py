@@ -167,3 +167,10 @@ class QueryScheduler:
             "admitted": self._admitted,
             "busy_workers": self._busy,
         }
+
+    def metric_gauges(self) -> dict[str, Callable[[], float]]:
+        """Instantaneous gauges for MetricsHub/timeline sampling."""
+        return {
+            "soc.query_queue_depth": lambda: float(len(self.queue)),
+            "soc.query_busy_workers": lambda: float(self._busy),
+        }

@@ -236,3 +236,10 @@ class ZoneManager:
             "free_zones": sorted(self._free),
             "allocated_clusters": self.allocated_clusters,
         }
+
+    def metric_gauges(self) -> dict:
+        """Instantaneous gauges for MetricsHub/timeline sampling."""
+        return {
+            "zones.free": lambda: float(len(self._free)),
+            "zones.allocated_clusters": lambda: float(self.allocated_clusters),
+        }

@@ -36,6 +36,17 @@ from repro.obs.journal import (
     journal_event,
 )
 from repro.obs.metrics import MetricsHub
+from repro.obs.timeline import (
+    DEFAULT_RULES,
+    Alert,
+    AlertRule,
+    LatencyWindow,
+    TimelineConfig,
+    TimelineRecorder,
+    install_timeline,
+    sparkline,
+    timeline_to_csv,
+)
 from repro.obs.trace import (
     Span,
     TraceContext,
@@ -54,6 +65,15 @@ __all__ = [
     "install_observability",
     "trace_span",
     "trace_wait",
+    "DEFAULT_RULES",
+    "Alert",
+    "AlertRule",
+    "LatencyWindow",
+    "TimelineConfig",
+    "TimelineRecorder",
+    "install_timeline",
+    "sparkline",
+    "timeline_to_csv",
     "to_chrome_trace",
     "attribution_rows",
     "format_attribution",
@@ -105,15 +125,17 @@ def install_observability(
     device: Optional[Any] = None,
     ssd: Optional[Any] = None,
     link: Optional[Any] = None,
+    retain_spans: bool = True,
 ) -> tuple[Tracer, MetricsHub]:
     """Wire a tracer + hub onto one testbed's components.
 
     Registers the device's stats registry (and its block cache's, when
     present), the SSD's :class:`IoStats` and fault-trip counters, the host
-    link's byte counters, and the NVMe queue pairs (the SoC's block queue
+    link's byte counters, the NVMe queue pairs (the SoC's block queue
     and any host KV queue pairs registered on the device) for in-flight
-    depth gauges, then installs a tracer feeding per-op latency histograms
-    into the hub.
+    depth gauges, and the instantaneous gauges (scheduler queue depth,
+    DRAM budget pressure, zone-pool occupancy) the timeline samples, then
+    installs a tracer feeding per-op latency histograms into the hub.
     """
     hub = MetricsHub()
     if device is not None:
@@ -124,13 +146,25 @@ def install_observability(
         board = getattr(device, "board", None)
         if board is not None:
             hub.register_queue_pair("soc-ssd", board.qp)
+            dram = getattr(board, "dram", None)
+            if dram is not None:
+                for name, fn in dram.metric_gauges().items():
+                    hub.register_gauge(name, fn)
         for i, qp in enumerate(getattr(device, "host_qps", [])):
             hub.register_queue_pair("host-kv" if i == 0 else f"host-kv-{i}", qp)
+        scheduler = getattr(device, "query_scheduler", None)
+        if scheduler is not None:
+            for name, fn in scheduler.metric_gauges().items():
+                hub.register_gauge(name, fn)
+        zones = getattr(device, "zone_manager", None)
+        if zones is not None:
+            for name, fn in zones.metric_gauges().items():
+                hub.register_gauge(name, fn)
     if ssd is not None:
         ssd_name = getattr(ssd, "name", "ssd")
         hub.register_io(ssd_name, ssd.stats)
         hub.register_faults(ssd_name, ssd)
     if link is not None:
         hub.register_link(getattr(link, "name", "link"), link)
-    tracer = install_tracer(env, hub=hub)
+    tracer = install_tracer(env, hub=hub, retain_spans=retain_spans)
     return tracer, hub

@@ -56,8 +56,14 @@ def _effective_lane(span: Span) -> str:
     return f"ops/{root.name}"
 
 
-def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
-    """Render every recorded span as a Chrome-trace JSON object."""
+def to_chrome_trace(tracer: Tracer, timeline: Optional[Any] = None) -> dict[str, Any]:
+    """Render every recorded span as a Chrome-trace JSON object.
+
+    When a :class:`~repro.obs.timeline.TimelineRecorder` is given, its
+    series are appended as counter (``ph: "C"``) tracks, so queue-depth and
+    windowed-p99 curves render directly under the span timeline on the same
+    virtual-microsecond axis.
+    """
     now = tracer.env.now
     lanes: dict[str, int] = {}
     events: list[dict[str, Any]] = []
@@ -103,8 +109,11 @@ def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
             }
         )
     events.sort(key=lambda e: (e["ts"], e["tid"]))
+    counter_events: list[dict[str, Any]] = []
+    if timeline is not None:
+        counter_events = timeline.counter_track_events()
     return {
-        "traceEvents": metadata + events,
+        "traceEvents": metadata + events + counter_events,
         "displayTimeUnit": "ms",
     }
 

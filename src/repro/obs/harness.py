@@ -17,7 +17,14 @@ compaction-phase boundary.
 
 from __future__ import annotations
 
-__all__ = ["run_traced_selftest", "run_audited_workload"]
+from typing import Optional
+
+__all__ = [
+    "run_traced_selftest",
+    "run_audited_workload",
+    "run_timed_selftest",
+    "run_saturated_workload",
+]
 
 
 def run_traced_selftest(seed: int = 0, n_pairs: int = 2000):
@@ -108,3 +115,92 @@ def run_audited_workload(
     kv.env.run(kv.env.process(workload()))
     final_report = auditor.run("final")
     return kv, auditor, final_report
+
+
+def run_timed_selftest(
+    seed: int = 0, n_pairs: int = 2000, config: Optional[object] = None
+):
+    """The traced selftest with the telemetry timeline recording throughout.
+
+    Installs journal + tracing + timeline *before* any simulation activity,
+    then drives the same load/compact/query phases as
+    :func:`run_traced_selftest`.  Returns ``(testbed, tracer, hub,
+    recorder)``; the recorder holds the full labeled series set and any SLO
+    alerts the run produced.
+    """
+    from repro.bench import build_kvcsd_testbed
+    from repro.obs.journal import install_journal
+    from repro.units import MiB
+    from repro.workloads import SyntheticSpec, generate_pairs, get_phase, load_phase
+
+    kv = build_kvcsd_testbed(
+        seed=seed, block_cache_bytes=4 * MiB, query_workers=2,
+        bloom_bits_per_key=10,
+    )
+    install_journal(kv.env)
+    tracer, hub, recorder = kv.enable_timeline(config)
+
+    pairs = generate_pairs(SyntheticSpec(n_pairs=n_pairs, seed=seed))
+    keys = [k for k, _ in pairs[::50]]
+    load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
+
+    def ready():
+        yield from kv.adapter.prepare_queries("ks", kv.thread_ctx(0))
+
+    kv.env.run(kv.env.process(ready()))
+    get_phase(kv.env, kv.adapter, [("ks", keys, kv.thread_ctx(0))])
+
+    def batched_queries():
+        ctx = kv.thread_ctx(1)
+        yield from kv.client.multi_get("ks", keys[:16], ctx)
+        lo, hi = min(keys), max(keys)
+        yield from kv.client.range_query("ks", lo, hi, ctx)
+
+    kv.env.run(kv.env.process(batched_queries()))
+    return kv, tracer, hub, recorder
+
+
+def run_saturated_workload(
+    seed: int = 0,
+    n_pairs: int = 2048,
+    burst: int = 256,
+    queue_depth: int = 64,
+    config: Optional[object] = None,
+):
+    """Deliberately overdrive one SoC query worker to trip the SLO watchdog.
+
+    A single host thread posts a ``burst`` of async GETs into a deep
+    (``queue_depth``) submission window while the device runs only *one*
+    query worker — the admission queue backs up well past the
+    ``query-queue-saturated`` threshold and stays there, so the default
+    rule set fires.  Returns ``(testbed, tracer, hub, recorder)``.
+    """
+    from repro.bench import build_kvcsd_testbed
+    from repro.nvme.kv_commands import KvGetCmd
+    from repro.obs.journal import install_journal
+    from repro.workloads import SyntheticSpec, generate_pairs, load_phase
+
+    kv = build_kvcsd_testbed(
+        seed=seed, query_workers=1, queue_depth=queue_depth
+    )
+    install_journal(kv.env)
+    tracer, hub, recorder = kv.enable_timeline(config)
+
+    pairs = generate_pairs(SyntheticSpec(n_pairs=n_pairs, seed=seed))
+    load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
+
+    def ready():
+        yield from kv.adapter.prepare_queries("ks", kv.thread_ctx(0))
+
+    kv.env.run(kv.env.process(ready()))
+
+    keys = [pairs[i % n_pairs][0] for i in range(burst)]
+
+    def driver():
+        ctx = kv.thread_ctx(0)
+        commands = [KvGetCmd(keyspace="ks", key=k) for k in keys]
+        completions = yield from kv.client.submit_many(commands, ctx)
+        assert all(c.ok for c in completions)
+
+    kv.env.run(kv.env.process(driver()))
+    return kv, tracer, hub, recorder

@@ -75,6 +75,9 @@ EVENT_TYPES = frozenset(
         "cache.invalidate",
         "fault.trip",
         "audit.run",
+        # SLO watchdog (timeline alert transitions)
+        "slo.alert_fire",
+        "slo.alert_clear",
     }
 )
 

@@ -16,11 +16,16 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Any
+from typing import Any, Callable, Optional
 
-from repro.sim.stats import Histogram, StatsRegistry
+from repro.sim.stats import Histogram, StatsRegistry, series_key
 
-__all__ = ["MetricsHub", "sanitize_metric_name"]
+__all__ = ["MetricsHub", "OP_LATENCY_MAX_SAMPLES", "sanitize_metric_name"]
+
+#: Reservoir bound for per-op latency histograms.  Count/sum/min/max stay
+#: exact; percentiles come from a uniform sample of this many values, so a
+#: 1M-key scale-bench run holds ~8k floats per op instead of one per command.
+OP_LATENCY_MAX_SAMPLES = 8192
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -53,6 +58,13 @@ class MetricsHub:
         self.op_latency: dict[str, Histogram] = {}
         #: NVMe queue pairs (host KV + SoC block), for in-flight depth gauges
         self.queue_pairs: dict[str, Any] = {}
+        #: flat series key -> (name, zero-arg read fn, labels); the timeline
+        #: samples every entry each tick, the one-shot dump reads them once
+        self.gauges: dict[
+            str, tuple[str, Callable[[], float], Optional[dict[str, str]]]
+        ] = {}
+        #: attached :class:`~repro.obs.timeline.TimelineRecorder`, if any
+        self.timeline: Any = None
 
     # -- registration --------------------------------------------------------
     def register_registry(self, name: str, registry: StatsRegistry) -> None:
@@ -81,14 +93,36 @@ class MetricsHub:
         """
         self.fault_sources[name] = holder
 
+    def register_gauge(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        labels: Optional[dict[str, str]] = None,
+    ) -> None:
+        """Expose an instantaneous value (queue depth, DRAM pressure, ...).
+
+        Gauges cost nothing until read: the one-shot dump and each timeline
+        tick call ``fn()``; nothing is recorded at registration.  Entries
+        are keyed by the flat series key, so one metric name may carry many
+        label sets (e.g. ``qp.inflight`` per queue pair).
+        """
+        labels = dict(labels) if labels else None
+        self.gauges[series_key(name, labels)] = (name, fn, labels)
+
+    def attach_timeline(self, recorder: Any) -> None:
+        """Bind a timeline recorder so op latencies feed its windows."""
+        self.timeline = recorder
+
     # -- tracer feed ---------------------------------------------------------
     def observe_op(self, op: str, seconds: float) -> None:
         """Record one finished command/job latency (called by the tracer)."""
         hist = self.op_latency.get(op)
         if hist is None:
-            hist = Histogram(op)
+            hist = Histogram(op, max_samples=OP_LATENCY_MAX_SAMPLES)
             self.op_latency[op] = hist
         hist.record(seconds)
+        if self.timeline is not None:
+            self.timeline.observe_latency(op, seconds)
 
     def op_summaries(self) -> dict[str, dict[str, float]]:
         """Per-op latency summaries with percentiles, for results JSON."""
@@ -130,6 +164,17 @@ class MetricsHub:
             out["queues"] = {
                 name: qp.introspect()
                 for name, qp in sorted(self.queue_pairs.items())
+            }
+        if self.gauges:
+            out["gauges"] = {
+                key: float(fn())
+                for key, (_name, fn, _labels) in sorted(self.gauges.items())
+            }
+        if self.timeline is not None:
+            out["slo"] = {
+                "alert_counts": self.timeline.alert_counts(),
+                "firing": self.timeline.firing(),
+                "alerts": [a.as_dict() for a in self.timeline.alerts],
             }
         return out
 
@@ -213,6 +258,18 @@ class MetricsHub:
                 lines.append(f"# TYPE {metric} gauge")
                 lines.append(f"{metric}{{{label}}} {_fmt(state[field])}")
 
+        for _key, (gauge_name, fn, labels) in sorted(self.gauges.items()):
+            metric = f"{ns}_{sanitize_metric_name(gauge_name)}"
+            lines.append(f"# TYPE {metric} gauge")
+            if labels:
+                inner = ",".join(
+                    f'{sanitize_metric_name(k)}="{v}"'
+                    for k, v in sorted(labels.items())
+                )
+                lines.append(f"{metric}{{{inner}}} {_fmt(fn())}")
+            else:
+                lines.append(f"{metric} {_fmt(fn())}")
+
         if self.op_latency:
             metric = f"{ns}_op_latency_seconds"
             lines.append(f"# TYPE {metric} summary")
@@ -225,6 +282,39 @@ class MetricsHub:
                     )
                 lines.append(f"{metric}_sum{{{label}}} {_fmt(hist.mean * hist.count)}")
                 lines.append(f"{metric}_count{{{label}}} {_fmt(hist.count)}")
+
+        if self.timeline is not None:
+            recorder = self.timeline
+            firing = set(recorder.firing())
+            metric = f"{ns}_slo_alerts_fired_total"
+            lines.append(f"# TYPE {metric} counter")
+            for rule, count in recorder.alert_counts().items():
+                lines.append(f'{metric}{{rule="{rule}"}} {_fmt(count)}')
+            metric = f"{ns}_slo_alert_firing"
+            lines.append(f"# TYPE {metric} gauge")
+            for rule in recorder.alert_counts():
+                lines.append(
+                    f'{metric}{{rule="{rule}"}} {_fmt(1 if rule in firing else 0)}'
+                )
+            now = recorder.env.now
+            windowed = {
+                op: recorder.windows[op].summary(now)
+                for op in sorted(recorder.windows)
+            }
+            windowed = {op: s for op, s in windowed.items() if s is not None}
+            if windowed:
+                metric = f"{ns}_op_latency_windowed_seconds"
+                lines.append(f"# TYPE {metric} summary")
+                for op, summary in windowed.items():
+                    label = f'op="{op}"'
+                    for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                        lines.append(
+                            f'{metric}{{{label},quantile="{q}"}} '
+                            f"{_fmt(summary[key])}"
+                        )
+                    lines.append(
+                        f"{metric}_count{{{label}}} {_fmt(summary['count'])}"
+                    )
 
         return "\n".join(lines) + "\n"
 

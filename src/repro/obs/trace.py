@@ -243,9 +243,18 @@ class Tracer:
     histograms accumulate as the run progresses.
     """
 
-    def __init__(self, env: "Environment", hub: Optional[Any] = None):
+    def __init__(
+        self,
+        env: "Environment",
+        hub: Optional[Any] = None,
+        retain_spans: bool = True,
+    ):
         self.env = env
         self.hub = hub
+        #: with ``retain_spans=False`` finished spans are not accumulated —
+        #: the hub/timeline latency feed still works, but nothing is kept for
+        #: trace export, so long scale-bench runs hold O(live spans) memory.
+        self.retain_spans = retain_spans
         self.spans: list[Span] = []
         self._current: dict[Optional["Process"], Optional[Span]] = {}
         self._inherited: dict["Process", Optional[Span]] = {}
@@ -299,9 +308,10 @@ class Tracer:
             self._next_id, name, category, self.env.now,
             parent=parent, lane=lane, args=dict(args),
         )
-        self.spans.append(span)
-        if parent is not None:
-            parent.children.append(span)
+        if self.retain_spans:
+            self.spans.append(span)
+            if parent is not None:
+                parent.children.append(span)
         self._current[proc] = span
         return span
 
@@ -336,9 +346,13 @@ class Tracer:
         return [s for s in self.roots() if s.category == CAT_COMMAND]
 
 
-def install_tracer(env: "Environment", hub: Optional[Any] = None) -> Tracer:
+def install_tracer(
+    env: "Environment",
+    hub: Optional[Any] = None,
+    retain_spans: bool = True,
+) -> Tracer:
     """Attach a fresh :class:`Tracer` to ``env`` and return it."""
-    tracer = Tracer(env, hub=hub)
+    tracer = Tracer(env, hub=hub, retain_spans=retain_spans)
     env.tracer = tracer
     return tracer
 

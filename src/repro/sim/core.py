@@ -306,6 +306,12 @@ class Environment:
         #: ``tracer`` — ``None`` means lifecycle-event emission sites cost one
         #: attribute check.  Installed via ``repro.obs.install_journal``.
         self.journal = None
+        #: optional :class:`repro.obs.timeline.TimelineRecorder`.  ``None``
+        #: (the default) costs one attribute check per ``run()`` call — NOT
+        #: per event — and creates no simulation events.  When installed,
+        #: a parked sampler re-arms at the start of each run segment so
+        #: multi-phase workloads keep a continuous sample cadence.
+        self.timeline = None
 
     @property
     def now(self) -> float:
@@ -456,6 +462,8 @@ class Environment:
         * an :class:`Event` — run until that event has been processed, and
           return its value (raising if it failed).
         """
+        if self.timeline is not None:
+            self.timeline.on_run()
         if isinstance(until, Event):
             stop_event = until
             while not stop_event.processed:

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import bisect
 import math
+import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -16,9 +18,11 @@ __all__ = [
     "Counter",
     "HitRatio",
     "Histogram",
+    "Series",
     "TimeSeries",
     "StatsRegistry",
     "nan_to_zero",
+    "series_key",
 ]
 
 
@@ -94,39 +98,77 @@ class HitRatio:
 
 
 class Histogram:
-    """Streaming histogram with exact percentiles (stores samples sorted).
+    """Streaming histogram with exact or reservoir-bounded percentiles.
 
-    Suitable for the scale of this reproduction (up to a few million samples
-    per run); memory is one float per sample.
+    The default mode stores every sample sorted: exact percentiles, one
+    float of memory per sample — fine up to a few million samples per run.
+    Passing ``max_samples`` switches to Vitter's Algorithm R once that many
+    samples have arrived: count/sum/min/max stay exact, percentiles come
+    from a uniform reservoir of ``max_samples`` values, and memory stays
+    bounded no matter how long the run is (per-op latency at 1M-key scale
+    is the consumer).  The reservoir RNG is seeded from the histogram name,
+    so two runs recording the same sequence agree bit-for-bit.
     """
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, max_samples: Optional[int] = None):
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
         self.name = name
+        self.max_samples = max_samples
         self._sorted: list[float] = []
+        self._dirty = False  # reservoir mode appends unsorted
         self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._rng = (
+            random.Random(zlib.crc32(name.encode())) if max_samples else None
+        )
 
     def record(self, value: float) -> None:
-        bisect.insort(self._sorted, value)
         self._sum += value
+        self._count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self.max_samples is None:
+            bisect.insort(self._sorted, value)
+        elif len(self._sorted) < self.max_samples:
+            self._sorted.append(value)
+            self._dirty = True
+        else:
+            # Algorithm R: keep each of the n samples with probability k/n.
+            slot = self._rng.randrange(self._count)
+            if slot < self.max_samples:
+                self._sorted[slot] = value
+                self._dirty = True
 
     @property
     def count(self) -> int:
-        return len(self._sorted)
+        return self._count
 
     @property
     def mean(self) -> float:
-        return self._sum / len(self._sorted) if self._sorted else math.nan
+        return self._sum / self._count if self._count else math.nan
 
     @property
     def min(self) -> float:
-        return self._sorted[0] if self._sorted else math.nan
+        return self._min if self._count else math.nan
 
     @property
     def max(self) -> float:
-        return self._sorted[-1] if self._sorted else math.nan
+        return self._max if self._count else math.nan
 
     def percentile(self, p: float) -> float:
-        """Exact percentile by nearest-rank; ``p`` in [0, 100]."""
+        """Percentile by nearest-rank; ``p`` in [0, 100].
+
+        Exact in the default mode; in reservoir mode, the nearest rank of
+        the retained uniform sample.
+        """
+        if self._dirty:
+            self._sorted.sort()
+            self._dirty = False
         if not self._sorted:
             return math.nan
         if not 0 <= p <= 100:
@@ -165,6 +207,62 @@ class TimeSeries:
 
     def __len__(self) -> int:
         return len(self.times)
+
+
+class Series:
+    """A labeled (time, value) series — one telemetry timeline track.
+
+    Unlike :class:`TimeSeries` (an unlabeled per-component scratch series),
+    a :class:`Series` carries a label set (``{"qp": "host-kv"}``) so many
+    instances of one metric stay distinguishable in exports, and a canonical
+    flat ``key`` (``qp.depth{qp=host-kv}``) that alert rules match against.
+    """
+
+    __slots__ = ("name", "labels", "times", "values")
+
+    def __init__(self, name: str, labels: Optional[dict[str, str]] = None):
+        self.name = name
+        self.labels: dict[str, str] = dict(labels) if labels else {}
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    @property
+    def key(self) -> str:
+        """Canonical flat identity: ``name{label=value,...}`` (sorted)."""
+        return series_key(self.name, self.labels)
+
+    def sample(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("series samples must be non-decreasing in time")
+        self.times.append(time)
+        self.values.append(value)
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def decimate(self) -> None:
+        """Drop every second sample in place (timeline memory bounding)."""
+        self.times = self.times[::2]
+        self.values = self.values[::2]
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "times": list(self.times),
+            "values": [nan_to_zero(v) for v in self.values],
+        }
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def series_key(name: str, labels: Optional[dict[str, str]] = None) -> str:
+    """The flat series identity alert rules and exports use."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
 
 
 class StatsRegistry:

@@ -8,7 +8,7 @@ semantics.
 
 from __future__ import annotations
 
-from collections.abc import Generator
+from collections.abc import Callable, Generator
 
 from repro.errors import SimulationError
 from repro.sim.core import Environment
@@ -50,4 +50,13 @@ class DramBudget:
             "capacity_bytes": self.capacity,
             "available_bytes": self.available,
             "reserved_bytes": self.capacity - self.available,
+        }
+
+    def metric_gauges(self) -> dict[str, Callable[[], float]]:
+        """Instantaneous gauges for MetricsHub/timeline sampling."""
+        return {
+            "dram.reserved_bytes": lambda: float(self.capacity - self.available),
+            "dram.budget_used_frac": lambda: (
+                (self.capacity - self.available) / self.capacity
+            ),
         }

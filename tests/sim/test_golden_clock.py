@@ -24,7 +24,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.golden import GOLDEN_WORKLOADS
+from repro.bench.golden import GOLDEN_WORKLOADS, observed_testbeds
 
 GOLDEN_PATH = Path(__file__).with_name("golden_clock.json")
 
@@ -68,3 +68,22 @@ def test_fingerprint_matches_golden(name: str, golden: dict):
 
 def test_golden_covers_every_workload(golden: dict):
     assert sorted(golden) == sorted(GOLDEN_WORKLOADS)
+
+
+@pytest.mark.parametrize("name", ["serial_compaction", "async_qd16"])
+def test_idle_observability_leaves_fingerprints_identical(name: str, golden: dict):
+    """The zero-cost contract: journal + tracer + hub gauges installed, and
+    a TimelineRecorder constructed but never started, must leave every
+    clock checkpoint, counter, and result digest byte-identical.  Only
+    ``start()`` may schedule sampler events."""
+    with observed_testbeds():
+        fresh = _flatten(name, GOLDEN_WORKLOADS[name](), {})
+    recorded = _flatten(name, golden[name], {})
+    drifted = {
+        key: (recorded[key], fresh[key])
+        for key in recorded
+        if fresh[key] != recorded[key]
+    }
+    assert not drifted, (
+        f"idle observability moved the virtual clock: {drifted}"
+    )
