@@ -62,7 +62,7 @@ CONTEXT: list[tuple[str, str]] = [
 
 #: Config keys that may differ between fresh and baseline without making
 #: the comparison meaningless (observability toggles don't move the clock).
-_CONFIG_IGNORE = {"timeline", "trace"}
+_CONFIG_IGNORE = {"timeline", "trace", "explain"}
 
 
 def _lookup(doc: Any, path: str) -> Optional[float]:
@@ -86,8 +86,56 @@ def _strip_config(config: dict) -> dict:
     return {k: v for k, v in config.items() if k not in _CONFIG_IGNORE}
 
 
-def compare(fresh_dir: str, baseline_dir: str) -> tuple[list[dict], list[str]]:
-    """Returns (per-metric comparison rows, failure messages)."""
+def _explain_hints(
+    docs: dict[str, tuple[Optional[dict], Optional[dict]]]
+) -> list[str]:
+    """Context-only "what changed" lines from attached explain reports.
+
+    When both the fresh and the baseline document carry a critical-path
+    ``explain`` report (``--explain`` bench runs), diff them and surface
+    the largest per-op segment movements — the resource/kind whose shift
+    explains a latency delta.  Committed baselines without explain (or a
+    missing ``repro`` package) silently produce no hints; these lines
+    never gate.
+    """
+    try:
+        from repro.obs.critpath import diff_explain
+    except ImportError:
+        sys.path.insert(
+            0,
+            os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         os.pardir, "src"),
+        )
+        try:
+            from repro.obs.critpath import diff_explain
+        except ImportError:
+            return []
+    hints: list[str] = []
+    for name in sorted(docs):
+        fresh, base = docs[name]
+        if not isinstance(fresh, dict) or not isinstance(base, dict):
+            continue
+        fresh_exp = fresh.get("explain")
+        base_exp = base.get("explain")
+        if not isinstance(fresh_exp, dict) or not isinstance(base_exp, dict):
+            continue
+        for row in diff_explain(base_exp, fresh_exp)[:5]:
+            if row["delta"] is None:
+                state = "appeared" if row["after"] else "disappeared"
+                hints.append(f"{name}: {row['op']} {state}")
+                continue
+            hints.append(
+                f"{name}: {row['op']} {row['metric']}: "
+                f"{row['before']:.6g} -> {row['after']:.6g} "
+                f"({row['delta']:+.3g}s)"
+            )
+    return hints
+
+
+def compare(
+    fresh_dir: str, baseline_dir: str
+) -> tuple[list[dict], list[str], list[str]]:
+    """Returns (per-metric rows, failure messages, explain hints)."""
     rows: list[dict] = []
     failures: list[str] = []
     docs: dict[str, tuple[Optional[dict], Optional[dict]]] = {}
@@ -167,7 +215,7 @@ def compare(fresh_dir: str, baseline_dir: str) -> tuple[list[dict], list[str]]:
                 "regressed": False,
             }
         )
-    return rows, failures
+    return rows, failures, _explain_hints(docs)
 
 
 def main(argv: list[str]) -> int:
@@ -181,7 +229,7 @@ def main(argv: list[str]) -> int:
     )
     args = parser.parse_args(argv[1:])
 
-    rows, failures = compare(args.fresh, args.baseline)
+    rows, failures, hints = compare(args.fresh, args.baseline)
     width = max((len(r["metric"]) for r in rows), default=10)
     for row in rows:
         base_v, fresh_v = row["baseline"], row["fresh"]
@@ -195,10 +243,15 @@ def main(argv: list[str]) -> int:
             f"{row['bench']:<22} {row['metric']:<{width}} "
             f"base={base_v!r:<12} fresh={fresh_v!r:<12} {delta:>8}  {marker}"
         )
+    if hints:
+        print("what changed (critical-path explain, context only):")
+        for hint in hints:
+            print(f"  {hint}")
     if args.report:
         with open(args.report, "w") as fh:
             json.dump(
-                {"rows": rows, "failures": failures, "ok": not failures},
+                {"rows": rows, "failures": failures,
+                 "explain_hints": hints, "ok": not failures},
                 fh, indent=2, sort_keys=True,
             )
             fh.write("\n")

@@ -22,6 +22,14 @@ Checks the invariants chrome://tracing / Perfetto rely on:
   (both are driven by the same virtual clock, so a counter past the
   final span means the sampler and tracer disagreed about ``env.now``).
 
+Explain reports (``repro explain --out``) are detected by shape (top-level
+``ops`` + ``min_attributed``) and validated instead against the tiling
+invariant: every sampled op's critical-path segments must exactly tile the
+op's span — contiguous, starting at the span start, ending at the span
+end, with segment widths summing to the span duration.  Gaps, overlaps,
+or a mismatched sum mean the attribution engine double-counted or lost
+time.
+
 Usage: ``python scripts/validate_trace.py trace.json``
 """
 
@@ -39,6 +47,8 @@ def validate(path: str) -> list[str]:
     errors: list[str] = []
     with open(path) as fh:
         doc = json.load(fh, parse_constant=_reject_constant)
+    if isinstance(doc, dict) and "ops" in doc and "min_attributed" in doc:
+        return _check_explain_tiling(path, doc)
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
         return [f"{path}: top level must be an object with a traceEvents list"]
 
@@ -73,6 +83,56 @@ def validate(path: str) -> list[str]:
     errors.extend(_check_dispatch_trees(path, complete))
     errors.extend(_check_sq_cq_pairing(path, complete))
     errors.extend(_check_counter_tracks(path, counters, complete))
+    return errors
+
+
+def _check_explain_tiling(path: str, doc: dict) -> list[str]:
+    """Critical-path segments must exactly tile each sampled op span.
+
+    No gaps (segment N+1 starts where N ends), no overlap (same rule),
+    anchored to the span (first segment starts at the sample start, last
+    segment ends at the sample end), and the widths sum to the span
+    duration.  Everything is a float off the same virtual clock, so the
+    comparisons allow a relative epsilon only.
+    """
+    errors: list[str] = []
+    eps = 1e-9
+    ops = doc.get("ops")
+    if not isinstance(ops, dict) or not ops:
+        return [f"{path}: explain report has no ops"]
+    for name, op in ops.items():
+        for sample in op.get("samples", ()):
+            where = f"{path}: {name} sample span={sample.get('span_id')}"
+            segments = sample.get("segments", [])
+            if not segments:
+                errors.append(f"{where}: no segments")
+                continue
+            start, end = sample["start"], sample["end"]
+            duration = sample["duration"]
+            tol = eps * max(1.0, abs(end))
+            if abs(segments[0]["start"] - start) > tol:
+                errors.append(
+                    f"{where}: first segment starts at "
+                    f"{segments[0]['start']!r}, span starts at {start!r}"
+                )
+            if abs(segments[-1]["end"] - end) > tol:
+                errors.append(
+                    f"{where}: last segment ends at "
+                    f"{segments[-1]['end']!r}, span ends at {end!r}"
+                )
+            for prev, cur in zip(segments, segments[1:]):
+                if abs(cur["start"] - prev["end"]) > tol:
+                    kind = "gap" if cur["start"] > prev["end"] else "overlap"
+                    errors.append(
+                        f"{where}: {kind} between segments at "
+                        f"{prev['end']!r} -> {cur['start']!r}"
+                    )
+            total = sum(s["end"] - s["start"] for s in segments)
+            if abs(total - duration) > max(tol, eps * max(1.0, duration)):
+                errors.append(
+                    f"{where}: segment widths sum to {total!r}, span "
+                    f"duration is {duration!r}"
+                )
     return errors
 
 
@@ -169,7 +229,15 @@ def main(argv: list[str]) -> int:
     for error in errors:
         print(f"FAIL: {error}", file=sys.stderr)
     if not errors:
-        print(f"{argv[1]}: valid Chrome trace")
+        with open(argv[1]) as fh:
+            doc = json.load(fh)
+        if isinstance(doc, dict) and "ops" in doc and "min_attributed" in doc:
+            print(
+                f"{argv[1]}: valid explain report (segments exactly tile "
+                "every sampled op span)"
+            )
+        else:
+            print(f"{argv[1]}: valid Chrome trace")
     return 1 if errors else 0
 
 

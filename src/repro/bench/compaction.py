@@ -59,6 +59,9 @@ class CompactionBenchConfig:
     #: record a telemetry timeline on the pipelined run and attach its
     #: series/alerts to the JSON
     timeline: bool = False
+    #: trace the pipelined run with the blocked-by/holder observer and
+    #: attach its critical-path explain report to the JSON
+    explain: bool = False
 
 
 @dataclass
@@ -73,6 +76,7 @@ class CompactionBenchResult:
     device_stats: dict = field(default_factory=dict)
     attribution: dict = field(default_factory=dict)
     timeline: dict = field(default_factory=dict)
+    explain: dict = field(default_factory=dict)
 
     @property
     def compaction_speedup(self) -> float:
@@ -111,6 +115,17 @@ class CompactionBenchResult:
         return t
 
     def checks(self) -> list[ShapeCheck]:
+        extra = []
+        if self.explain:
+            attributed = self.explain.get("min_attributed", 0.0)
+            extra.append(
+                ShapeCheck(
+                    "explain: >= 95% of every sampled op's latency is "
+                    "attributed to typed segments",
+                    attributed >= 0.95,
+                    f"{attributed * 100:.1f}%",
+                )
+            )
         return [
             ShapeCheck(
                 "pipelined compaction beats serial by >= 1.5x",
@@ -131,7 +146,7 @@ class CompactionBenchResult:
                 self.hit_rate >= 0.5,
                 f"{self.hit_rate:.2f}",
             ),
-        ]
+        ] + extra
 
     def to_json(self) -> dict:
         out = {
@@ -162,17 +177,19 @@ class CompactionBenchResult:
         }
         # Only traced runs carry an attribution table; untraced runs omit the
         # key entirely rather than emitting a misleading empty dict.  Same
-        # for the timeline document.
+        # for the timeline document and the explain report.
         if self.attribution:
             out["attribution"] = self.attribution
         if self.timeline:
             out["timeline"] = self.timeline
+        if self.explain:
+            out["explain"] = self.explain
         return out
 
 
 def _load_and_compact(
     config: CompactionBenchConfig, pairs, shards, cache_bytes,
-    trace=False, timeline=False,
+    trace=False, timeline=False, explain=False,
 ):
     """One testbed: load, wait for device compaction, return measurements."""
     kv = build_kvcsd_testbed(
@@ -187,6 +204,12 @@ def _load_and_compact(
 
         install_journal(kv.env)
         kv.enable_timeline()
+    if explain:
+        from repro.obs.critpath import install_critpath
+
+        if kv.env.tracer is None:
+            kv.enable_tracing()
+        install_critpath(kv.env, tracer=kv.env.tracer)
     load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
 
     def wait():
@@ -221,6 +244,7 @@ def run_compaction_bench(
         cache_bytes=config.block_cache_bytes,
         trace=config.trace,
         timeline=config.timeline,
+        explain=config.explain,
     )
 
     a = serial.device.keyspaces["ks"].pidx_sketch
@@ -252,6 +276,12 @@ def run_compaction_bench(
         result.attribution = attribution_rows(piped.env.tracer)
     if piped.env.timeline is not None:
         result.timeline = piped.env.timeline.to_json()
+    if piped.env.critpath is not None:
+        from repro.obs.critpath import explain_report
+
+        result.explain = explain_report(
+            piped.env.tracer, piped.env.critpath, now=piped.env.now
+        )
     return result
 
 

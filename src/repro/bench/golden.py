@@ -45,7 +45,12 @@ from repro.workloads import (
     run_phase,
 )
 
-__all__ = ["collect_fingerprints", "observed_testbeds", "GOLDEN_WORKLOADS"]
+__all__ = [
+    "collect_fingerprints",
+    "observed_testbeds",
+    "critpath_testbeds",
+    "GOLDEN_WORKLOADS",
+]
 
 
 # ---------------------------------------------------------------- helpers
@@ -380,13 +385,17 @@ def observed_testbeds():
     """Run golden workloads with the full observability stack installed.
 
     Every KV-CSD testbed built inside the block gets a journal, a tracer +
-    metrics hub (with the device gauges registered), and a *constructed but
-    unstarted* :class:`~repro.obs.timeline.TimelineRecorder`.  That is the
+    metrics hub (with the device gauges registered), a *constructed but
+    unstarted* :class:`~repro.obs.timeline.TimelineRecorder`, and a
+    *constructed but uninstalled* critical-path observer
+    (:class:`~repro.obs.critpath.CritPathObserver`).  That is the
     zero-cost contract in executable form: instrumentation that is present
     but not sampling must leave every golden fingerprint byte-identical —
-    tracer and journal schedule no simulation events, and a recorder only
-    creates events once ``start()`` arms it.
+    tracer and journal schedule no simulation events, a recorder only
+    creates events once ``start()`` arms it, and the blocked-by/holder
+    sites only fire once the observer is assigned to ``env.critpath``.
     """
+    from repro.obs.critpath import CritPathObserver
     from repro.obs.journal import install_journal
     from repro.obs.timeline import TimelineConfig, TimelineRecorder
 
@@ -396,8 +405,37 @@ def observed_testbeds():
     def observed(*args, **kwargs):
         kv = real(*args, **kwargs)
         install_journal(kv.env)
-        _tracer, hub = kv.enable_tracing()
+        tracer, hub = kv.enable_tracing()
         TimelineRecorder(kv.env, hub, TimelineConfig())  # never started
+        CritPathObserver(kv.env, tracer=tracer)  # never installed
+        return kv
+
+    build_kvcsd_testbed = observed
+    try:
+        yield
+    finally:
+        build_kvcsd_testbed = real
+
+
+@contextlib.contextmanager
+def critpath_testbeds():
+    """Run golden workloads with the critical-path observer *installed*.
+
+    Stronger than :func:`observed_testbeds`: the blocked-by/holder sites
+    actually record on every wait and grant.  The observer is pure
+    bookkeeping — it creates no simulation events and never yields — so
+    even with it live the virtual clock, I/O counters, and result digests
+    must stay byte-identical to the reference fingerprints.
+    """
+    from repro.obs.critpath import install_critpath
+
+    global build_kvcsd_testbed
+    real = build_kvcsd_testbed
+
+    def observed(*args, **kwargs):
+        kv = real(*args, **kwargs)
+        tracer, _hub = kv.enable_tracing()
+        install_critpath(kv.env, tracer=tracer)
         return kv
 
     build_kvcsd_testbed = observed

@@ -45,6 +45,9 @@ class QdBenchConfig:
     #: record a telemetry timeline on the deepest-QD sweep and attach its
     #: series/alerts to the results JSON
     timeline: bool = False
+    #: trace the deepest-QD sweep with the blocked-by/holder observer and
+    #: attach its critical-path explain report to the results JSON
+    explain: bool = False
 
     @classmethod
     def smoke(cls) -> "QdBenchConfig":
@@ -63,6 +66,7 @@ class QdBenchResult:
     identical_results: bool = False
     accounting_clean: bool = False
     timeline: dict = field(default_factory=dict)
+    explain: dict = field(default_factory=dict)
 
     def get_speedup(self, depth: int) -> float:
         return speedup(self.get_seconds[1], self.get_seconds[depth])
@@ -92,6 +96,17 @@ class QdBenchResult:
 
     def checks(self) -> list[ShapeCheck]:
         qd16 = 16 if 16 in self.config.depths else max(self.config.depths)
+        extra = []
+        if self.explain:
+            attributed = self.explain.get("min_attributed", 0.0)
+            extra.append(
+                ShapeCheck(
+                    "explain: >= 95% of every sampled op's latency is "
+                    "attributed to typed segments",
+                    attributed >= 0.95,
+                    f"{attributed * 100:.1f}%",
+                )
+            )
         return [
             ShapeCheck(
                 f"QD={qd16} single-thread GETs beat QD=1 by >= 2x "
@@ -107,7 +122,7 @@ class QdBenchResult:
                 "queue-pair accounting is clean after every sweep",
                 self.accounting_clean,
             ),
-        ]
+        ] + extra
 
     def to_json(self) -> dict:
         return {
@@ -121,6 +136,7 @@ class QdBenchResult:
                 "gets_per_depth": self.config.gets_per_depth,
                 "puts_per_depth": self.config.puts_per_depth,
                 "timeline": self.config.timeline,
+                "explain": self.config.explain,
             },
             "get_seconds": {str(d): s for d, s in self.get_seconds.items()},
             "put_seconds": {str(d): s for d, s in self.put_seconds.items()},
@@ -138,8 +154,10 @@ class QdBenchResult:
                  "observed": c.observed}
                 for c in self.checks()
             ],
-            # Only timeline-enabled runs carry the series/alert document.
+            # Only timeline-enabled runs carry the series/alert document;
+            # likewise the explain report only appears when requested.
             **({"timeline": self.timeline} if self.timeline else {}),
+            **({"explain": self.explain} if self.explain else {}),
         }
 
 
@@ -226,6 +244,14 @@ def run_qd_bench(config: QdBenchConfig = QdBenchConfig()) -> QdBenchResult:
 
             install_journal(kv.env)
             kv.enable_timeline()
+        if config.explain and depth == max(config.depths):
+            # Blocked-by attribution on the deepest sweep: that's where
+            # the in-flight window contends on slots/workers.
+            from repro.obs.critpath import install_critpath
+
+            if kv.env.tracer is None:
+                kv.enable_tracing()
+            install_critpath(kv.env, tracer=kv.env.tracer)
         seconds, values = _get_sweep(kv, get_keys)
         result.get_seconds[depth] = seconds
         values_by_depth[depth] = values
@@ -236,6 +262,12 @@ def run_qd_bench(config: QdBenchConfig = QdBenchConfig()) -> QdBenchResult:
         )
         if kv.env.timeline is not None:
             result.timeline = kv.env.timeline.to_json()
+        if kv.env.critpath is not None:
+            from repro.obs.critpath import explain_report
+
+            result.explain = explain_report(
+                kv.env.tracer, kv.env.critpath, now=kv.env.now
+            )
     baseline = values_by_depth[config.depths[0]]
     result.identical_results = all(
         values_by_depth[d] == baseline for d in config.depths

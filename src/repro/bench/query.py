@@ -54,6 +54,9 @@ class QueryBenchConfig:
     #: record a continuous telemetry timeline on the parallel testbed and
     #: attach its series/alerts to the results JSON
     timeline: bool = False
+    #: trace the parallel testbed with the blocked-by/holder observer and
+    #: attach its critical-path explain report to the results JSON
+    explain: bool = False
 
     @classmethod
     def smoke(cls) -> "QueryBenchConfig":
@@ -77,6 +80,7 @@ class QueryBenchResult:
     scheduler_report: dict = field(default_factory=dict)
     device_stats: dict = field(default_factory=dict)
     timeline: dict = field(default_factory=dict)
+    explain: dict = field(default_factory=dict)
 
     @property
     def get_speedup(self) -> float:
@@ -114,6 +118,17 @@ class QueryBenchResult:
         return t
 
     def checks(self) -> list[ShapeCheck]:
+        extra = []
+        if self.explain:
+            attributed = self.explain.get("min_attributed", 0.0)
+            extra.append(
+                ShapeCheck(
+                    "explain: >= 95% of every sampled op's latency is "
+                    "attributed to typed segments",
+                    attributed >= 0.95,
+                    f"{attributed * 100:.1f}%",
+                )
+            )
         return [
             ShapeCheck(
                 f"{self.config.workers} query workers beat 1 worker by >= 2x "
@@ -139,7 +154,7 @@ class QueryBenchResult:
                 f"{self.scheduler_report.get('admitted')} admitted / "
                 f"{self.scheduler_report.get('dispatched')} dispatched",
             ),
-        ]
+        ] + extra
 
     def to_json(self) -> dict:
         return {
@@ -154,6 +169,7 @@ class QueryBenchResult:
                 "queries_per_thread": self.config.queries_per_thread,
                 "absent_queries": self.config.absent_queries,
                 "timeline": self.config.timeline,
+                "explain": self.config.explain,
             },
             "one_worker_get_seconds": self.one_worker_seconds,
             "parallel_get_seconds": self.parallel_seconds,
@@ -173,8 +189,10 @@ class QueryBenchResult:
                  "observed": c.observed}
                 for c in self.checks()
             ],
-            # Only timeline-enabled runs carry the series/alert document.
+            # Only timeline-enabled runs carry the series/alert document;
+            # likewise the explain report only appears when requested.
             **({"timeline": self.timeline} if self.timeline else {}),
+            **({"explain": self.explain} if self.explain else {}),
         }
 
 
@@ -277,6 +295,15 @@ def run_query_bench(config: QueryBenchConfig = QueryBenchConfig()) -> QueryBench
 
         install_journal(piped.env)
         piped.enable_timeline()
+    if config.explain:
+        # Blocked-by attribution across every phase on the parallel
+        # testbed.  The observer is pure bookkeeping: virtual time and
+        # the determinism fingerprint are identical with it installed.
+        from repro.obs.critpath import install_critpath
+
+        if piped.env.tracer is None:
+            piped.enable_tracing()
+        install_critpath(piped.env, tracer=piped.env.tracer)
 
     # --- phase A: multi-threaded GET throughput, 1 worker vs N workers
     result.one_worker_seconds = _threaded_get_phase(one, config, get_keys)
@@ -304,6 +331,12 @@ def run_query_bench(config: QueryBenchConfig = QueryBenchConfig()) -> QueryBench
     result.device_stats = piped.device.stats.as_dict()
     if piped.env.timeline is not None:
         result.timeline = piped.env.timeline.to_json()
+    if piped.env.critpath is not None:
+        from repro.obs.critpath import explain_report
+
+        result.explain = explain_report(
+            piped.env.tracer, piped.env.critpath, now=piped.env.now
+        )
     return result
 
 

@@ -70,6 +70,10 @@ class ScaleBenchConfig:
     #: bounded latency reservoirs and the sampled series, so memory stays
     #: flat at 1M-key scale) and attach it to the results JSON
     timeline: bool = False
+    #: trace with the blocked-by/holder observer and attach a critical-path
+    #: explain report.  Forces span retention (the report needs the span
+    #: trees), so memory grows with the run — use with ``--smoke`` scale.
+    explain: bool = False
 
     @classmethod
     def smoke(cls) -> "ScaleBenchConfig":
@@ -89,6 +93,7 @@ class ScaleBenchResult:
     updates_verified: bool = False
     accounting_clean: bool = False
     timeline: dict = field(default_factory=dict)
+    explain: dict = field(default_factory=dict)
 
     def _rate(self, phase: str, clock: str) -> float:
         info = self.phases[phase]
@@ -118,6 +123,17 @@ class ScaleBenchResult:
         return t
 
     def checks(self) -> list[ShapeCheck]:
+        extra = []
+        if self.explain:
+            attributed = self.explain.get("min_attributed", 0.0)
+            extra.append(
+                ShapeCheck(
+                    "explain: >= 95% of every sampled op's latency is "
+                    "attributed to typed segments",
+                    attributed >= 0.95,
+                    f"{attributed * 100:.1f}%",
+                )
+            )
         return [
             ShapeCheck(
                 "every zipfian read found its key",
@@ -132,7 +148,7 @@ class ScaleBenchResult:
                 "queue-pair accounting is clean after the run",
                 self.accounting_clean,
             ),
-        ]
+        ] + extra
 
     def to_json(self) -> dict:
         c = self.config
@@ -149,6 +165,7 @@ class ScaleBenchResult:
                 "membuf_bytes": c.membuf_bytes,
                 "bulk_message_bytes": c.bulk_message_bytes,
                 "timeline": c.timeline,
+                "explain": c.explain,
             },
             "phases": self.phases,
             "device_io": self.device_io,
@@ -162,8 +179,10 @@ class ScaleBenchResult:
                  "observed": c_.observed}
                 for c_ in self.checks()
             ],
-            # Only timeline-enabled runs carry the series/alert document.
+            # Only timeline-enabled runs carry the series/alert document;
+            # likewise the explain report only appears when requested.
             **({"timeline": self.timeline} if self.timeline else {}),
+            **({"explain": self.explain} if self.explain else {}),
         }
 
 
@@ -193,11 +212,18 @@ def run_scale_bench(config: ScaleBenchConfig = ScaleBenchConfig()) -> ScaleBench
     )
     if config.timeline:
         # Spans are not retained at this scale; the timeline only needs the
-        # hub's bounded reservoirs and the per-tick gauge reads.
+        # hub's bounded reservoirs and the per-tick gauge reads.  An explain
+        # run overrides that: the report is built from the span trees.
         from repro.obs.journal import install_journal
 
         install_journal(kv.env)
-        kv.enable_timeline(retain_spans=False)
+        kv.enable_timeline(retain_spans=config.explain)
+    if config.explain:
+        from repro.obs.critpath import install_critpath
+
+        if kv.env.tracer is None:
+            kv.enable_tracing()
+        install_critpath(kv.env, tracer=kv.env.tracer)
     per_ks = len(pairs) // config.n_keyspaces
     slices = [
         pairs[i * per_ks : (i + 1) * per_ks if i < config.n_keyspaces - 1 else None]
@@ -312,6 +338,12 @@ def run_scale_bench(config: ScaleBenchConfig = ScaleBenchConfig()) -> ScaleBench
     result.accounting_clean = not check_queue_pair_accounting(kv.client.qp)
     if kv.env.timeline is not None:
         result.timeline = kv.env.timeline.to_json()
+    if kv.env.critpath is not None:
+        from repro.obs.critpath import explain_report
+
+        result.explain = explain_report(
+            kv.env.tracer, kv.env.critpath, now=kv.env.now
+        )
     return result
 
 

@@ -25,6 +25,11 @@ Commands:
 * ``audit``                — run an audited workload, checking every device
   invariant on demand and (``--audit-level=phase``) at each flush and
   compaction-phase boundary; exits non-zero on violations.
+* ``explain``              — run a workload under the blocked-by/holder
+  observer and print the causal critical-path diagnosis: per-op latency
+  decomposed into typed segments, p50 vs p99 cohorts, and the dominant
+  blocker each cohort spent its time behind (``--diff`` compares two
+  saved reports instead);
 * ``timeline``             — run a timeline-recorded workload and export the
   sampled series + SLO alerts (JSON/CSV/Chrome counter tracks);
 * ``top``                  — run a timeline-recorded workload and render the
@@ -123,6 +128,8 @@ def _cmd_compaction_bench(args) -> int:
         config = replace(config, trace=True)
     if args.timeline:
         config = replace(config, timeline=True)
+    if args.explain:
+        config = replace(config, explain=True)
     result = run_compaction_bench(config)
     print(result.table())
     ok = True
@@ -147,6 +154,8 @@ def _cmd_query_bench(args) -> int:
         config = replace(config, bloom_bits_per_key=args.bloom_bits)
     if args.timeline:
         config = replace(config, timeline=True)
+    if args.explain:
+        config = replace(config, explain=True)
     result = run_query_bench(config)
     print(result.table())
     ok = True
@@ -171,6 +180,8 @@ def _cmd_qd_bench(args) -> int:
         config = replace(config, depths=tuple(args.depths))
     if args.timeline:
         config = replace(config, timeline=True)
+    if args.explain:
+        config = replace(config, explain=True)
     result = run_qd_bench(config)
     print(result.table())
     ok = True
@@ -195,6 +206,8 @@ def _cmd_scale_bench(args) -> int:
         config = replace(config, ops=args.ops)
     if args.timeline:
         config = replace(config, timeline=True)
+    if args.explain:
+        config = replace(config, explain=True)
     result = run_scale_bench(config)
     print(result.table())
     ok = True
@@ -334,6 +347,85 @@ def _cmd_audit(args) -> int:
             fh.write(kv.env.journal.to_jsonl())
         print(f"wrote {args.journal_out}")
     return 0 if summary["total_violations"] == 0 else 1
+
+
+def _load_explain_doc(path: str) -> dict:
+    """Read an explain report, accepting bench JSON carrying one under
+    ``"explain"`` as well as raw ``repro explain --out`` documents."""
+    import json
+
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "ops" not in doc and isinstance(doc.get("explain"), dict):
+        return doc["explain"]
+    return doc
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    from repro.obs.critpath import (
+        diff_explain,
+        explain_report,
+        explain_to_folded,
+        format_explain,
+    )
+
+    if args.diff:
+        before = _load_explain_doc(args.diff[0])
+        after = _load_explain_doc(args.diff[1])
+        rows = diff_explain(before, after)
+        if not rows:
+            print("explain diff: no ops in either report")
+            return 0
+        print(f"explain diff: {args.diff[0]} -> {args.diff[1]}")
+        for row in rows[: args.limit]:
+            if row["delta"] is None:
+                state = "appeared" if row["after"] else "disappeared"
+                print(f"  {row['op']}: {state}")
+                continue
+            print(
+                f"  {row['op']} {row['metric']}: "
+                f"{row['before']:.6f} -> {row['after']:.6f} "
+                f"({row['delta']:+.6f}s)"
+            )
+        return 0
+
+    if args.workload == "saturate":
+        from repro.obs.harness import run_saturated_workload
+
+        # Prompt reaping: per-op latency then reflects device-side queueing
+        # (the thing worth diagnosing) rather than batch reap order.
+        kv, tracer, _hub, _recorder = run_saturated_workload(
+            seed=args.seed, critpath=True, reap="prompt"
+        )
+    else:
+        from repro.obs.harness import run_traced_selftest
+
+        kv, tracer, _hub = run_traced_selftest(seed=args.seed, critpath=True)
+    report = explain_report(tracer, kv.env.critpath, now=kv.env.now)
+    # Write artifacts before printing: a closed stdout pipe (`... | head`)
+    # must not cost the caller the report files.
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.folded_out:
+        with open(args.folded_out, "w") as fh:
+            fh.write(explain_to_folded(report))
+    print(format_explain(report))
+    if args.out:
+        print(f"wrote {args.out}")
+    if args.folded_out:
+        print(f"wrote {args.folded_out} (folded stacks for flamegraph.pl)")
+    if report["min_attributed"] < 0.95:
+        print(
+            "FAIL: < 95% of some sampled op's latency is attributed "
+            f"({report['min_attributed']:.1%})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _run_timed_workload(args):
@@ -510,6 +602,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a telemetry timeline; attach series + SLO alerts to "
         "the results JSON",
     )
+    comp.add_argument(
+        "--explain",
+        action="store_true",
+        help="attach a critical-path explain report for the pipelined run",
+    )
     comp.set_defaults(func=_cmd_compaction_bench)
     qb = sub.add_parser(
         "query-bench",
@@ -530,6 +627,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record a telemetry timeline on the parallel testbed; attach "
         "series + SLO alerts to the results JSON",
+    )
+    qb.add_argument(
+        "--explain",
+        action="store_true",
+        help="attach a critical-path explain report for the parallel testbed",
     )
     qb.set_defaults(func=_cmd_query_bench)
     qd = sub.add_parser(
@@ -553,6 +655,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a telemetry timeline on the deepest-QD sweep; attach "
         "series + SLO alerts to the results JSON",
     )
+    qd.add_argument(
+        "--explain",
+        action="store_true",
+        help="attach a critical-path explain report for the deepest-QD sweep",
+    )
     qd.set_defaults(func=_cmd_qd_bench)
     scale = sub.add_parser(
         "scale-bench",
@@ -575,6 +682,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record a telemetry timeline (spans not retained); attach "
         "series + SLO alerts to the results JSON",
+    )
+    scale.add_argument(
+        "--explain",
+        action="store_true",
+        help="attach a critical-path explain report (forces span "
+        "retention; pair with --smoke)",
     )
     scale.set_defaults(func=_cmd_scale_bench)
     trace = sub.add_parser(
@@ -661,6 +774,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal-out", default=None, help="write the event journal (JSONL)"
     )
     audit.set_defaults(func=_cmd_audit)
+    explain = sub.add_parser(
+        "explain",
+        help="critical-path diagnosis: typed segments, cohorts, blockers",
+    )
+    explain.add_argument(
+        "--workload",
+        default="saturate",
+        choices=["selftest", "saturate"],
+        help="'saturate' overdrives one query worker (prompt reaping) so "
+        "the p99 cohort has a real blocker to name; 'selftest' is the "
+        "traced selftest",
+    )
+    explain.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    explain.add_argument(
+        "--out", default=None, help="write the explain report (JSON)"
+    )
+    explain.add_argument(
+        "--folded-out", default=None,
+        help="write folded stacks (flamegraph.pl / speedscope input)",
+    )
+    explain.add_argument(
+        "--diff", nargs=2, metavar=("BEFORE", "AFTER"), default=None,
+        help="compare two saved reports (raw or bench JSON with an "
+        "'explain' key) instead of running a workload",
+    )
+    explain.add_argument(
+        "--limit", type=int, default=16, help="diff rows to print"
+    )
+    explain.set_defaults(func=_cmd_explain)
     timeline = sub.add_parser(
         "timeline",
         help="run a timeline-recorded workload, export series + SLO alerts",

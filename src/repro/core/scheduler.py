@@ -43,7 +43,8 @@ __all__ = ["QueryScheduler"]
 class _QueuedQuery:
     """One admitted query command in flight through the scheduler."""
 
-    __slots__ = ("op", "fn", "done", "tctx", "seq")
+    __slots__ = ("op", "fn", "done", "tctx", "seq", "admit_at", "waiter_op",
+                 "waiter_root", "admit_holders")
 
     def __init__(
         self,
@@ -58,6 +59,13 @@ class _QueuedQuery:
         self.done = done
         self.tctx = tctx
         self.seq = seq
+        # Critical-path stamps, filled at admission when an observer is
+        # installed: admit time, submitting op identity, and the snapshot of
+        # ops the workers were executing when this query got in line.
+        self.admit_at: Optional[float] = None
+        self.waiter_op: Optional[str] = None
+        self.waiter_root: Optional[int] = None
+        self.admit_holders: tuple = ()
 
 
 class QueryScheduler:
@@ -83,7 +91,7 @@ class QueryScheduler:
         self.env = env
         self.board = board
         self.n_workers = n_workers
-        self.queue = BoundedQueue(env, queue_depth)
+        self.queue = BoundedQueue(env, queue_depth, name="soc.query_queue")
         self.stats = stats
         self._admitted = 0
         self._busy = 0
@@ -114,6 +122,11 @@ class QueryScheduler:
             self.stats.counter("query_admitted").add()
             self.stats.histogram("query_queue_depth").record(float(len(self.queue)))
         item = _QueuedQuery(op, fn, Event(env), tctx, seq)
+        critpath = env.critpath
+        if critpath is not None:
+            item.admit_at = env.now
+            item.waiter_op, item.waiter_root = critpath.actor()
+            item.admit_holders = critpath.holders("soc.query_queue")
         yield from self.queue.put(item)
         result = yield item.done
         return result
@@ -123,6 +136,15 @@ class QueryScheduler:
         env = self.env
         while True:
             item = yield from self.queue.get()
+            critpath = env.critpath
+            if critpath is not None and item.admit_at is not None:
+                # Queue-sojourn edge: admitted -> dispatched, blocked behind
+                # whatever the workers were running at admission time.
+                if env.now > item.admit_at:
+                    critpath.record_edge(
+                        "soc.query_queue", "queue", item.admit_at, env.now,
+                        item.waiter_op, item.waiter_root, item.admit_holders,
+                    )
             journal_event(env, "query.dispatch", op=item.op, seq=item.seq, worker=idx)
             if self.stats is not None:
                 self.stats.counter("query_dispatched").add()
@@ -144,6 +166,17 @@ class QueryScheduler:
     def _run(self, item: _QueuedQuery, ctx: Any) -> Generator:
         """Execute one query, routing result/exception to the submitter."""
         self._busy += 1
+        critpath = self.env.critpath
+        token = None
+        if critpath is not None and item.waiter_op is not None:
+            # While executing, this op *holds* the scheduler: queries queued
+            # behind it will name it in their blocked-by snapshots.
+            token = (
+                item.waiter_op
+                if item.waiter_root is None
+                else f"{item.waiter_op}#{item.waiter_root}"
+            )
+            critpath.acquire("soc.query_queue", token)
         try:
             result = yield from item.fn(ctx)
         except Exception as exc:  # noqa: BLE001 - re-raised at the submitter
@@ -152,6 +185,8 @@ class QueryScheduler:
             item.done.succeed(result)
         finally:
             self._busy -= 1
+            if token is not None:
+                critpath.release("soc.query_queue", token)
 
     @property
     def busy_workers(self) -> int:

@@ -168,7 +168,22 @@ class ZoneManager:
         self._free = [z for z in self._free if z != zone_id]
         self.allocated_clusters += 1
         journal_event(self.ssd.env, "cluster.reserve", zones=[zone_id])
+        self._record_grant(1)
         return ZoneCluster(self.ssd, [zone_id], rotation=0)
+
+    def _record_grant(self, n_zones: int) -> None:
+        """Register the granting op as a zone-pool holder (critical path).
+
+        Zone allocation never blocks (it raises when the pool is short), so
+        there are no wait edges — but the holder registry still matters:
+        an op that *holds* zones shows up in other ops' DRAM/flash blocked-by
+        snapshots via the shared free-pool pressure it creates.
+        """
+        critpath = self.ssd.env.critpath
+        if critpath is not None:
+            token = critpath.token()
+            for _ in range(n_zones):
+                critpath.acquire("zones.pool", token)
 
     def mark_used(self, zone_ids: list[int]) -> None:
         """Remove recovered zones from the free pool (device mount)."""
@@ -216,6 +231,7 @@ class ZoneManager:
         rotation = int(self.rng.integers(0, want))
         self.allocated_clusters += 1
         journal_event(self.ssd.env, "cluster.allocate", zones=sorted(chosen))
+        self._record_grant(len(chosen))
         return ZoneCluster(self.ssd, chosen, rotation)
 
     def release_cluster(self, cluster: ZoneCluster) -> Generator:
@@ -227,6 +243,11 @@ class ZoneManager:
         journal_event(
             self.ssd.env, "cluster.release", zones=sorted(cluster.zone_ids)
         )
+        critpath = self.ssd.env.critpath
+        if critpath is not None:
+            token = critpath.token()
+            for _ in cluster.zone_ids:
+                critpath.release("zones.pool", token)
 
     def introspect(self) -> dict:
         """Free-pool and allocation accounting (no simulation events)."""

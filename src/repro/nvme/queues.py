@@ -45,7 +45,7 @@ class CommandTicket:
 
     __slots__ = ("cid", "command", "op", "event", "completion", "span",
                  "posted_at", "submitted_at", "completed_at", "result_bytes",
-                 "_slot", "_reaped")
+                 "_slot", "_reaped", "cp_token")
 
     def __init__(self, cid: int, command: NvmeCommand, op: str, event: Event,
                  span: Optional["Span"], posted_at: float):
@@ -61,6 +61,9 @@ class CommandTicket:
         self.result_bytes = 0
         self._slot = None
         self._reaped = False
+        #: holder token registered with the critical-path observer while
+        #: this command occupies a queue slot (None when the observer is off)
+        self.cp_token: Optional[str] = None
 
     @property
     def done(self) -> bool:
@@ -112,10 +115,24 @@ class QueuePair:
         )
         req = self._slots.request()
         t0 = env.now
+        critpath = env.critpath
+        if critpath is not None:
+            slot_holders = critpath.holders("qp.nvme")
         yield req
         if span is not None:
             span.args["wait"] = env.now - t0
         ticket._slot = req
+        if critpath is not None:
+            waiter_op, waiter_root = critpath.actor()
+            if env.now > t0:
+                critpath.record_edge(
+                    "qp.nvme", "qp_slot", t0, env.now,
+                    waiter_op, waiter_root, slot_holders,
+                )
+            ticket.cp_token = (
+                waiter_op if waiter_root is None else f"{waiter_op}#{waiter_root}"
+            )
+            critpath.acquire("qp.nvme", ticket.cp_token)
         ticket.submitted_at = env.now
         self.submitted += 1
         # The executor process inherits the command's span, then the poster's
@@ -143,6 +160,7 @@ class QueuePair:
             self.errors += 1
             ticket.completed_at = self.env.now
             self._slots.release(ticket._slot)
+            self._release_hold(ticket, "qp.nvme")
             if ticket.span is not None:
                 ticket.span.args.setdefault("error", type(exc).__name__)
                 self.env.tracer.finish(ticket.span)
@@ -152,10 +170,19 @@ class QueuePair:
         ticket.completed_at = self.env.now
         self.completed += 1
         self._slots.release(ticket._slot)
+        self._release_hold(ticket, "qp.nvme")
         if ticket.span is not None:
             self.env.tracer.finish(ticket.span)
         self._done.append(ticket)
         ticket.event.succeed(completion)
+
+    def _release_hold(self, ticket: CommandTicket, resource: str) -> None:
+        """Drop the slot-holder registration made at post time, if any."""
+        if ticket.cp_token is not None:
+            critpath = self.env.critpath
+            if critpath is not None:
+                critpath.release(resource, ticket.cp_token)
+            ticket.cp_token = None
 
     # -- completion reaping --------------------------------------------------
     def wait(self, ticket: CommandTicket) -> Generator:
@@ -308,10 +335,26 @@ class KvQueuePair:
         ) as post_span:
             req = self._slots.request()
             t0 = env.now
+            critpath = env.critpath
+            if critpath is not None:
+                slot_holders = critpath.holders("qp.host-kv")
             yield req
             if post_span is not None:
                 post_span.args["wait"] = env.now - t0
             ticket._slot = req
+            if critpath is not None:
+                waiter_op, waiter_root = critpath.actor()
+                if env.now > t0:
+                    critpath.record_edge(
+                        "qp.host-kv", "qp_slot", t0, env.now,
+                        waiter_op, waiter_root, slot_holders,
+                    )
+                ticket.cp_token = (
+                    waiter_op
+                    if waiter_root is None
+                    else f"{waiter_op}#{waiter_root}"
+                )
+                critpath.acquire("qp.host-kv", ticket.cp_token)
             yield from ctx.execute(
                 self.costs.per_command + self.costs.pack_per_byte * payload
             )
@@ -360,14 +403,24 @@ class KvQueuePair:
             self.errors += 1
             ticket.completed_at = env.now
             self._slots.release(ticket._slot)
+            self._release_hold(ticket)
             ticket.event.fail(exc)
             return
         ticket.completion = completion
         ticket.completed_at = env.now
         self.completed += 1
         self._slots.release(ticket._slot)
+        self._release_hold(ticket)
         self._done.append(ticket)
         ticket.event.succeed(completion)
+
+    def _release_hold(self, ticket: CommandTicket) -> None:
+        """Drop the slot-holder registration made at post time, if any."""
+        if ticket.cp_token is not None:
+            critpath = self.env.critpath
+            if critpath is not None:
+                critpath.release("qp.host-kv", ticket.cp_token)
+            ticket.cp_token = None
 
     def submit(
         self,
@@ -386,7 +439,13 @@ class KvQueuePair:
         times — minus the spawn/complete event round trip.
         """
         env = self.env
-        if env.tracer is not None or env.journal is not None:
+        if (
+            env.tracer is not None
+            or env.journal is not None
+            or env.critpath is not None
+        ):
+            # Any observer routes through the fully instrumented async path
+            # (virtual-time identical; only host-side event counts differ).
             ticket = yield from self.post(command, ctx, op=op, span_args=span_args)
             completion = yield from self.wait(ticket, ctx)
             return completion
@@ -487,15 +546,39 @@ class KvQueuePair:
         for ticket in done:
             ticket._reaped = True
             self.reaped += 1
+            self._record_reap_edge(ticket)
             if tracer is not None and ticket.span is not None:
                 tracer.finish(ticket.span)
         return done
+
+    def _record_reap_edge(self, ticket: CommandTicket) -> None:
+        """Blocked-by edge for CQE residency: completion posted -> reaped.
+
+        While the host thread is busy posting the rest of a batch (or
+        blocked on a submission slot), finished completions sit unreaped
+        and the command's client-visible latency keeps growing — attribute
+        that tail to the completion queue, behind the commands still in
+        flight on this pair.
+        """
+        critpath = self.env.critpath
+        if (
+            critpath is not None
+            and ticket.span is not None
+            and ticket.completed_at is not None
+            and self.env.now > ticket.completed_at
+        ):
+            critpath.record_edge(
+                "cq.host-kv", "cq_reap", ticket.completed_at, self.env.now,
+                ticket.span.name, ticket.span.span_id,
+                critpath.holders("qp.host-kv"),
+            )
 
     def _reap(self, ticket: CommandTicket) -> None:
         if ticket._reaped:
             return
         ticket._reaped = True
         self.reaped += 1
+        self._record_reap_edge(ticket)
         if ticket in self._done:
             self._done.remove(ticket)
         queued, executed = ticket.latency_split()

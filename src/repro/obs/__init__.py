@@ -22,6 +22,16 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.obs.critpath import (
+    BlockedEdge,
+    CritPathObserver,
+    diff_explain,
+    explain_report,
+    explain_to_folded,
+    format_explain,
+    install_critpath,
+    op_segments,
+)
 from repro.obs.export import (
     attribution_rows,
     format_attribution,
@@ -78,6 +88,14 @@ __all__ = [
     "attribution_rows",
     "format_attribution",
     "min_command_coverage",
+    "BlockedEdge",
+    "CritPathObserver",
+    "install_critpath",
+    "op_segments",
+    "explain_report",
+    "format_explain",
+    "explain_to_folded",
+    "diff_explain",
     "EVENT_TYPES",
     "EventJournal",
     "JournalEvent",

@@ -27,8 +27,13 @@ __all__ = [
 ]
 
 
-def run_traced_selftest(seed: int = 0, n_pairs: int = 2000):
-    """Run the traced selftest workload; returns ``(testbed, tracer, hub)``."""
+def run_traced_selftest(seed: int = 0, n_pairs: int = 2000, critpath: bool = False):
+    """Run the traced selftest workload; returns ``(testbed, tracer, hub)``.
+
+    ``critpath=True`` additionally installs the blocked-by/holder observer
+    (:func:`repro.obs.critpath.install_critpath`) before any simulation
+    activity; retrieve it afterwards as ``kv.env.critpath``.
+    """
     from repro.bench import build_kvcsd_testbed
     from repro.units import MiB
     from repro.workloads import SyntheticSpec, generate_pairs, get_phase, load_phase
@@ -42,6 +47,10 @@ def run_traced_selftest(seed: int = 0, n_pairs: int = 2000):
         bloom_bits_per_key=10,
     )
     tracer, hub = kv.enable_tracing()
+    if critpath:
+        from repro.obs.critpath import install_critpath
+
+        install_critpath(kv.env, tracer=tracer)
 
     pairs = generate_pairs(SyntheticSpec(n_pairs=n_pairs, seed=seed))
     keys = [k for k, _ in pairs[::50]]
@@ -166,6 +175,8 @@ def run_saturated_workload(
     burst: int = 256,
     queue_depth: int = 64,
     config: Optional[object] = None,
+    critpath: bool = False,
+    reap: str = "batch",
 ):
     """Deliberately overdrive one SoC query worker to trip the SLO watchdog.
 
@@ -174,6 +185,13 @@ def run_saturated_workload(
     query worker — the admission queue backs up well past the
     ``query-queue-saturated`` threshold and stays there, so the default
     rule set fires.  Returns ``(testbed, tracer, hub, recorder)``.
+
+    ``reap`` picks the host driver: ``"batch"`` posts the whole burst and
+    reaps afterwards (``submit_many``, the timeline/SLO shape), while
+    ``"prompt"`` reaps each completion as soon as the posting thread can —
+    per-op latency then reflects the device-side queueing rather than
+    batch reap order, which is what critical-path attribution
+    (``critpath=True``, ``repro explain``) wants to diagnose.
     """
     from repro.bench import build_kvcsd_testbed
     from repro.nvme.kv_commands import KvGetCmd
@@ -185,6 +203,10 @@ def run_saturated_workload(
     )
     install_journal(kv.env)
     tracer, hub, recorder = kv.enable_timeline(config)
+    if critpath:
+        from repro.obs.critpath import install_critpath
+
+        install_critpath(kv.env, tracer=tracer)
 
     pairs = generate_pairs(SyntheticSpec(n_pairs=n_pairs, seed=seed))
     load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
@@ -196,11 +218,30 @@ def run_saturated_workload(
 
     keys = [pairs[i % n_pairs][0] for i in range(burst)]
 
+    if reap not in ("batch", "prompt"):
+        raise ValueError(f"reap must be 'batch' or 'prompt', got {reap!r}")
+
     def driver():
         ctx = kv.thread_ctx(0)
         commands = [KvGetCmd(keyspace="ks", key=k) for k in keys]
-        completions = yield from kv.client.submit_many(commands, ctx)
-        assert all(c.ok for c in completions)
+        if reap == "batch":
+            completions = yield from kv.client.submit_many(commands, ctx)
+            assert all(c.ok for c in completions)
+            return
+        # Prompt in-order reaping: after each post, drain every completion
+        # that has already arrived at the head of the batch.
+        qp = kv.client.qp
+        tickets = []
+        head = 0
+        for command in commands:
+            ticket = yield from qp.post(command, ctx)
+            tickets.append(ticket)
+            while head < len(tickets) and tickets[head].done:
+                yield from qp.wait(tickets[head], ctx, raise_on_error=False)
+                head += 1
+        for ticket in tickets[head:]:
+            yield from qp.wait(ticket, ctx, raise_on_error=False)
+        assert all(t.completion is not None and t.completion.ok for t in tickets)
 
     kv.env.run(kv.env.process(driver()))
     return kv, tracer, hub, recorder

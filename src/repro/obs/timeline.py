@@ -100,16 +100,30 @@ class LatencyWindow:
         return len(self._samples)
 
     def summary(self, now: float) -> Optional[dict[str, float]]:
-        """count/p50/p95/p99 over the trailing window; None when empty."""
+        """count/p50/p95/p99 over the trailing window; None when empty.
+
+        Tiny windows are explicitly guarded: with one sample every
+        percentile is that sample, and the nearest-rank index is clamped to
+        ``n - 1`` *inside* the rank computation, so p95/p99 can never index
+        past the sample count however short the window is.
+        """
         self.prune(now)
         if not self._samples:
             return None
         values = sorted(v for _, v in self._samples)
         n = len(values)
+        if n == 1:
+            only = values[0]
+            return {"count": 1.0, "p50": only, "p95": only, "p99": only}
 
         def pct(p: float) -> float:
-            rank = max(0, -(-int(p * n) // 100) - 1)  # ceil(p/100*n) - 1
-            return values[min(rank, n - 1)]
+            # nearest-rank: ceil(p/100 * n) - 1, clamped into [0, n-1]
+            rank = -(-int(p * n) // 100) - 1
+            if rank < 0:
+                rank = 0
+            elif rank >= n:
+                rank = n - 1
+            return values[rank]
 
         return {
             "count": float(n),

@@ -312,6 +312,13 @@ class Environment:
         #: a parked sampler re-arms at the start of each run segment so
         #: multi-phase workloads keep a continuous sample cadence.
         self.timeline = None
+        #: optional :class:`repro.obs.critpath.CritPathObserver`; same
+        #: contract as ``tracer`` — ``None`` (the default) means the
+        #: blocked-by/holder instrumentation sites cost one attribute check
+        #: and record nothing.  Installed via
+        #: ``repro.obs.critpath.install_critpath``; the observer is pure
+        #: bookkeeping and creates no simulation events either way.
+        self.critpath = None
 
     @property
     def now(self) -> float:

@@ -102,6 +102,23 @@ class CpuPool:
                 cores[idx].release(req)
         return keep, requests[keep]
 
+    def _claim(self, allowed, priority, critpath, resource, op, root, token):
+        """``_acquire`` plus blocked-by edge + holder registration.
+
+        Only runs when a critical-path observer is installed; records an
+        edge when the claim actually waited (holder snapshot taken at wait
+        start — the work the claimant was stuck behind) and registers this
+        actor as a holder of ``resource`` until the matching release.
+        """
+        t0 = self.env.now
+        holders = critpath.holders(resource)
+        idx, req = yield from self._acquire(allowed, priority)
+        now = self.env.now
+        if now > t0:
+            critpath.record_edge(resource, "cpu", t0, now, op, root, holders)
+        critpath.acquire(resource, token)
+        return idx, req
+
     def _check_allowed(self, core: Optional[int], cores: Optional[Sequence[int]]):
         if core is not None and cores is not None:
             raise SimulationError("pass either core= or cores=, not both")
@@ -146,6 +163,13 @@ class CpuPool:
             raise SimulationError("cannot execute negative CPU time")
         allowed = self._check_allowed(core, cores)
         tracer = self.env.tracer
+        critpath = self.env.critpath
+        if critpath is not None:
+            resource = f"cpu.{self.name}"
+            actor_op, actor_root = critpath.actor()
+            token = (
+                actor_op if actor_root is None else f"{actor_op}#{actor_root}"
+            )
         if tracer is None:
             # Untraced fast path: skip all span bookkeeping.  Acquisition
             # still goes through the queue — a synchronous take would hand
@@ -155,18 +179,33 @@ class CpuPool:
             cores_ = self._cores
             remaining = float(seconds)
             if remaining == 0.0:
-                idx, req = yield from self._acquire(allowed, priority)
+                if critpath is None:
+                    idx, req = yield from self._acquire(allowed, priority)
+                else:
+                    idx, req = yield from self._claim(
+                        allowed, priority, critpath, resource,
+                        actor_op, actor_root, token,
+                    )
+                    critpath.release(resource, token)
                 cores_[idx].release(req)
                 return
             timeslice = self.timeslice
             while remaining > 0:
-                idx, req = yield from self._acquire(allowed, priority)
+                if critpath is None:
+                    idx, req = yield from self._acquire(allowed, priority)
+                else:
+                    idx, req = yield from self._claim(
+                        allowed, priority, critpath, resource,
+                        actor_op, actor_root, token,
+                    )
                 slice_len = remaining if remaining < timeslice else timeslice
                 try:
                     yield env.timeout(slice_len)
                 finally:
                     self.busy_time[idx] += slice_len
                     cores_[idx].release(req)
+                    if critpath is not None:
+                        critpath.release(resource, token)
                 remaining -= slice_len
             return
         span = None
@@ -181,7 +220,14 @@ class CpuPool:
                 # Zero-cost work still passes through the queue once so that
                 # ordering against other work on the core is preserved.
                 t0 = self.env.now
-                idx, req = yield from self._acquire(allowed, priority)
+                if critpath is None:
+                    idx, req = yield from self._acquire(allowed, priority)
+                else:
+                    idx, req = yield from self._claim(
+                        allowed, priority, critpath, resource,
+                        actor_op, actor_root, token,
+                    )
+                    critpath.release(resource, token)
                 wait += self.env.now - t0
                 if span is not None:
                     span.lane = f"{self.name}/core{idx}"
@@ -189,7 +235,13 @@ class CpuPool:
                 return
             while remaining > 0:
                 t0 = self.env.now
-                idx, req = yield from self._acquire(allowed, priority)
+                if critpath is None:
+                    idx, req = yield from self._acquire(allowed, priority)
+                else:
+                    idx, req = yield from self._claim(
+                        allowed, priority, critpath, resource,
+                        actor_op, actor_root, token,
+                    )
                 wait += self.env.now - t0
                 if span is not None and span.lane is None:
                     span.lane = f"{self.name}/core{idx}"
@@ -199,6 +251,8 @@ class CpuPool:
                 finally:
                     self.busy_time[idx] += slice_len
                     self._cores[idx].release(req)
+                    if critpath is not None:
+                        critpath.release(resource, token)
                 remaining -= slice_len
         finally:
             if span is not None:

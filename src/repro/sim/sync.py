@@ -94,11 +94,13 @@ class BoundedQueue:
     (e.g. stripe groups) held in DRAM.
     """
 
-    def __init__(self, env: Environment, capacity: int):
+    def __init__(self, env: Environment, capacity: int, name: str = "queue"):
         if capacity < 1:
             raise SimulationError("queue capacity must be >= 1")
         self.env = env
         self.capacity = capacity
+        #: resource label for blocked-by edges (critical-path attribution)
+        self.name = name
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
         self._putters: deque[Event] = deque()
@@ -111,6 +113,8 @@ class BoundedQueue:
         while len(self._items) >= self.capacity:
             slot = Event(self.env)
             self._putters.append(slot)
+            critpath = self.env.critpath
+            begun = critpath.wait_begin(self.name) if critpath is not None else None
             tracer = self.env.tracer
             if tracer is None:
                 yield slot
@@ -119,6 +123,8 @@ class BoundedQueue:
                 # it as queue time on the producer's span tree.
                 with tracer.span("queue.put_wait", "queue", capacity=self.capacity):
                     yield slot
+            if begun is not None:
+                critpath.wait_end(self.name, "queue", begun)
         self._items.append(item)
         if self._getters:
             self._getters.popleft().succeed()
@@ -128,12 +134,16 @@ class BoundedQueue:
         while not self._items:
             ready = Event(self.env)
             self._getters.append(ready)
+            critpath = self.env.critpath
+            begun = critpath.wait_begin(self.name) if critpath is not None else None
             tracer = self.env.tracer
             if tracer is None:
                 yield ready
             else:
                 with tracer.span("queue.get_wait", "queue", capacity=self.capacity):
                     yield ready
+            if begun is not None:
+                critpath.wait_end(self.name, "queue", begun)
         item = self._items.popleft()
         if self._putters:
             self._putters.popleft().succeed()

@@ -129,6 +129,64 @@ def test_attribution_rows_prune_background_jobs():
         assert bucket in lines[0]
 
 
+def test_attribution_rows_prune_inline_job_subtrees():
+    """Hand-built tree: a job span *inside* the still-open command span.
+
+    The pruning walk must stop at the job boundary — the job's SoC CPU
+    seconds belong to the job's own row, never the launching command's —
+    while count/total/coverage still aggregate over every command
+    instance in the group.
+    """
+    env = Environment()
+    tracer = install_tracer(env)
+
+    def cmd(tail: float):
+        with tracer.span("cmd.compact", "command"):
+            with tracer.span(
+                "cpu.host", "cpu", pool="host", run=1.0, wait=0.0
+            ):
+                yield env.timeout(1.0)
+            # Inline job subtree: pruned from the command's buckets.
+            with tracer.span("job.flush", "job"):
+                with tracer.span(
+                    "cpu.soc", "cpu", pool="soc", run=2.0, wait=0.0
+                ):
+                    yield env.timeout(2.0)
+            if tail:
+                yield env.timeout(tail)  # un-spanned tail
+
+    env.run(env.process(cmd(0.0)))
+    env.run(env.process(cmd(1.0)))
+
+    rows = {row["op"]: row for row in attribution_rows(tracer)}
+    assert set(rows) == {"cmd.compact", "job.flush"}
+    cmd_row = rows["cmd.compact"]
+    assert cmd_row["count"] == 2
+    # The job subtree's 2x2s of SoC CPU must not leak into the command.
+    assert cmd_row["soc_cpu"] == 0.0
+    assert cmd_row["host_cpu"] == 2.0
+    assert cmd_row["total_s"] == 7.0  # 3s + 4s wall
+    # Worst instance in the group: the second command's 1s tail is
+    # uncovered, 3/4 of its duration attributed.
+    assert cmd_row["coverage"] == 0.75
+    job_row = rows["job.flush"]
+    assert job_row["count"] == 2
+    assert job_row["soc_cpu"] == 4.0
+    assert job_row["coverage"] == 1.0
+
+    text = format_attribution(attribution_rows(tracer))
+    lines = text.splitlines()
+    # Header, separator, one row per op — aligned fixed-width columns.
+    assert len(lines) == 4
+    assert lines[0].split()[:3] == ["op", "count", "total_s"]
+    assert set(lines[0].split()) >= set(BUCKETS) | {"op", "count", "coverage"}
+    compact_line = next(li for li in lines if li.startswith("cmd.compact"))
+    fields = compact_line.split()
+    assert fields[1] == "2"
+    assert fields[2] == "7.000000"
+    assert fields[-1] == "75.0%"
+
+
 def test_min_command_coverage_flags_unattributed_time():
     env = Environment()
     tracer = install_tracer(env)

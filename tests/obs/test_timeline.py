@@ -152,6 +152,34 @@ def test_latency_window_rejects_bad_window():
         LatencyWindow("x", window=0.0)
 
 
+def test_latency_window_empty_returns_none():
+    w = LatencyWindow("cmd.get", window=1.0)
+    assert w.summary(now=0.0) is None
+    # Observed then fully pruned is empty again, not a stale snapshot.
+    w.observe(0.0, seconds=1e-3)
+    assert w.summary(now=5.0) is None
+
+
+def test_latency_window_single_sample_percentiles():
+    w = LatencyWindow("cmd.get", window=1.0)
+    w.observe(0.5, seconds=2e-3)
+    s = w.summary(now=1.0)
+    assert s == {"count": 1.0, "p50": 2e-3, "p95": 2e-3, "p99": 2e-3}
+
+
+def test_latency_window_two_sample_percentiles():
+    w = LatencyWindow("cmd.get", window=1.0)
+    w.observe(0.4, seconds=1e-3)
+    w.observe(0.5, seconds=3e-3)
+    s = w.summary(now=1.0)
+    # Nearest-rank over n=2: p50 is the first value, p95/p99 clamp to the
+    # last — never an index past the sample count.
+    assert s["count"] == 2.0
+    assert s["p50"] == 1e-3
+    assert s["p95"] == 3e-3
+    assert s["p99"] == 3e-3
+
+
 def test_windowed_percentiles_appear_as_series():
     env = Environment()
     hub = MetricsHub()

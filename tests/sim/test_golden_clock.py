@@ -24,7 +24,11 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.golden import GOLDEN_WORKLOADS, observed_testbeds
+from repro.bench.golden import (
+    GOLDEN_WORKLOADS,
+    critpath_testbeds,
+    observed_testbeds,
+)
 
 GOLDEN_PATH = Path(__file__).with_name("golden_clock.json")
 
@@ -72,10 +76,12 @@ def test_golden_covers_every_workload(golden: dict):
 
 @pytest.mark.parametrize("name", ["serial_compaction", "async_qd16"])
 def test_idle_observability_leaves_fingerprints_identical(name: str, golden: dict):
-    """The zero-cost contract: journal + tracer + hub gauges installed, and
-    a TimelineRecorder constructed but never started, must leave every
+    """The zero-cost contract: journal + tracer + hub gauges installed, a
+    TimelineRecorder constructed but never started, and a CritPathObserver
+    constructed but never installed on ``env.critpath``, must leave every
     clock checkpoint, counter, and result digest byte-identical.  Only
-    ``start()`` may schedule sampler events."""
+    ``start()`` may schedule sampler events, and only installation makes
+    the blocked-by/holder sites record anything."""
     with observed_testbeds():
         fresh = _flatten(name, GOLDEN_WORKLOADS[name](), {})
     recorded = _flatten(name, golden[name], {})
@@ -86,4 +92,24 @@ def test_idle_observability_leaves_fingerprints_identical(name: str, golden: dic
     }
     assert not drifted, (
         f"idle observability moved the virtual clock: {drifted}"
+    )
+
+
+@pytest.mark.parametrize("name", ["mixed_contention", "async_qd16"])
+def test_installed_critpath_leaves_fingerprints_identical(name: str, golden: dict):
+    """Recording blocked-by edges must not move the clock.  With the
+    observer *installed* (tracer + ``env.critpath`` live), every wait and
+    grant in the workload records holder identity — but the observer is
+    pure bookkeeping with no simulation events, so the fingerprints still
+    have to come out byte-identical to the uninstrumented reference."""
+    with critpath_testbeds():
+        fresh = _flatten(name, GOLDEN_WORKLOADS[name](), {})
+    recorded = _flatten(name, golden[name], {})
+    drifted = {
+        key: (recorded[key], fresh[key])
+        for key in recorded
+        if fresh[key] != recorded[key]
+    }
+    assert not drifted, (
+        f"recording blocked-by edges moved the virtual clock: {drifted}"
     )
