@@ -20,6 +20,7 @@ Regenerate baselines (only when a change is *supposed* to move them)::
     PYTHONPATH=src python -m repro query-bench --smoke --out results/baselines/smoke/BENCH_query.json
     PYTHONPATH=src python -m repro qd-bench    --smoke --out results/baselines/smoke/BENCH_qd.json
     PYTHONPATH=src python -m repro scale-bench --smoke --out results/baselines/smoke/BENCH_scale.json
+    PYTHONPATH=src python -m repro cluster-bench --smoke --out results/baselines/smoke/BENCH_cluster.json
 
 Usage::
 
@@ -52,6 +53,11 @@ GATES: list[tuple[str, str, str, float]] = [
     ("BENCH_scale.json", "phases.load.virtual_seconds", "lower", 0.02),
     ("BENCH_scale.json", "phases.prepare.virtual_seconds", "lower", 0.02),
     ("BENCH_scale.json", "phases.ycsb.virtual_seconds", "lower", 0.02),
+    # Cluster router: scale-out speedups at the largest fleet, and the
+    # rebalance tail-latency penalty while migration runs under traffic.
+    ("BENCH_cluster.json", "get_speedup_max", "higher", 0.10),
+    ("BENCH_cluster.json", "put_speedup_max", "higher", 0.10),
+    ("BENCH_cluster.json", "rebalance.p99_ratio", "lower", 0.10),
 ]
 
 #: Reported for context in the comparison artifact, never gated.

@@ -15,6 +15,11 @@ Checks the invariants chrome://tracing / Perfetto rely on:
 * every ``cq.reap`` marker pairs with a prior ``sq.post`` carrying the
   same command id — a reap without a post means the queue pair's
   submission/completion bookkeeping desynchronised;
+* every fanned-out per-device command span (a ``cmd.*`` span stamped
+  with a ``dev`` arg by the cluster router) has an ancestor named
+  ``cluster.*`` or ``migrate.*`` — a device command with no originating
+  router span means the fan-out lost its parent and ``repro explain``
+  cannot attribute its latency to the logical operation;
 * counter (``C``) tracks — the timeline's saturation curves — carry
   finite numeric ``args.value`` samples with per-track monotonically
   non-decreasing timestamps, and their clock agrees with the span
@@ -82,6 +87,7 @@ def validate(path: str) -> list[str]:
         errors.append(f"{path}: complete events not sorted by (ts, tid)")
     errors.extend(_check_dispatch_trees(path, complete))
     errors.extend(_check_sq_cq_pairing(path, complete))
+    errors.extend(_check_cluster_fanout_parenting(path, complete))
     errors.extend(_check_counter_tracks(path, counters, complete))
     return errors
 
@@ -191,6 +197,48 @@ def _check_dispatch_trees(path: str, complete: list[dict]) -> list[str]:
             errors.append(
                 f"{path}: query.dispatch span at ts={d['ts']} contains no "
                 "child events (worker span tree severed)"
+            )
+    return errors
+
+
+def _check_cluster_fanout_parenting(
+    path: str, complete: list[dict]
+) -> list[str]:
+    """Fanned-out device commands must parent under a router span.
+
+    The cluster router stamps every per-device command span with a
+    ``dev`` arg and parents it under the logical ``cluster.<op>`` (or,
+    during migration, ``migrate.<phase>``) span that fanned it out.
+    Single-device traces never stamp ``dev``, so they pass vacuously.
+    """
+    errors: list[str] = []
+    by_id = {
+        e["args"]["span_id"]: e
+        for e in complete
+        if isinstance(e.get("args"), dict) and "span_id" in e["args"]
+    }
+    for e in complete:
+        args = e.get("args")
+        if not isinstance(args, dict) or "dev" not in args:
+            continue
+        if not str(e.get("name", "")).startswith("cmd."):
+            continue
+        node, hops = e, 0
+        while node is not None and hops < 64:
+            name = str(node.get("name", ""))
+            if node is not e and (
+                name.startswith("cluster.") or name.startswith("migrate.")
+            ):
+                break
+            node = by_id.get(node.get("args", {}).get("parent_id"))
+            hops += 1
+        else:
+            node = None
+        if node is None:
+            errors.append(
+                f"{path}: fanned-out span {e.get('name')!r} "
+                f"(dev={args['dev']!r}, ts={e.get('ts')}) has no "
+                "cluster.*/migrate.* ancestor"
             )
     return errors
 

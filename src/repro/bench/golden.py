@@ -346,6 +346,85 @@ def _fp_mixed_contention() -> dict:
     return fp
 
 
+def _fp_cluster_router() -> dict:
+    """2-device cluster router: fan-out GETs, scatter scans, ordered merge.
+
+    Pins the scale-out determinism contract: consistent-hash placement,
+    per-device name-seeded RNG streams, router fan-out/merge order, and the
+    per-device execution contexts must all be byte-stable — per-device I/O
+    and fabric counters are fingerprinted separately so a placement drift
+    names the device it moved.
+    """
+    from repro.cluster import build_cluster_testbed
+
+    pairs = _pairs(1024, seed=59)
+    tb = build_cluster_testbed(n_devices=2, seed=59)
+    fp: dict = {}
+    per = len(pairs) // 2
+    slices = [pairs[:per], pairs[per:]]
+    load_phase(
+        tb.env,
+        tb.adapter,
+        [(f"cks{i}", s, tb.thread_ctx(i)) for i, s in enumerate(slices)],
+    )
+    fp["now_after_load"] = _hx(tb.env.now)
+
+    def ready(i: int):
+        yield from tb.adapter.prepare_queries(f"cks{i}", tb.thread_ctx(i))
+
+    run_phase(tb.env, [ready(i) for i in range(2)])
+    fp["now_after_prepare"] = _hx(tb.env.now)
+
+    rng = np.random.default_rng(59)
+    picks = rng.integers(0, per, size=192).tolist()
+    completions: list = []
+
+    def driver():
+        ctx = tb.thread_ctx(0)
+        commands = [
+            KvGetCmd(keyspace=f"cks{i % 2}", key=slices[i % 2][p][0])
+            for i, p in enumerate(picks)
+        ]
+        completions.extend((yield from tb.router.submit_many(commands, ctx)))
+
+    tb.env.run(tb.env.process(driver()))
+    fp["now_after_submit_many"] = _hx(tb.env.now)
+    fp["get_values"] = _digest([c.value for c in completions])
+    fp["gets_ok"] = all(c.ok for c in completions)
+
+    sorted_keys = sorted(k for k, _ in slices[0])
+    lo, hi = sorted_keys[per // 3], sorted_keys[2 * per // 3]
+    out: dict = {}
+
+    def scans():
+        rows = yield from tb.router.range_query("cks0", lo, hi, tb.thread_ctx(1))
+        out["range"] = [k + v for k, v in rows]
+        multi = yield from tb.router.multi_get(
+            "cks1", [k for k, _ in slices[1][::17]], tb.thread_ctx(2)
+        )
+        out["multi"] = [k + (v or b"") for k, v in sorted(multi.items())]
+
+    tb.env.run(tb.env.process(scans()))
+    fp["now_after_scans"] = _hx(tb.env.now)
+    fp["range"] = _digest(out["range"])
+    fp["multi"] = _digest(out["multi"])
+    for node in tb.nodes:
+        s = node.ssd.stats
+        fp[f"{node.name}_io"] = {
+            "bytes_written": s.bytes_written,
+            "bytes_read": s.bytes_read,
+            "write_ops": s.write_ops,
+            "read_ops": s.read_ops,
+            "erase_ops": s.erase_ops,
+        }
+        fp[f"{node.name}_link"] = {
+            "bytes_tx": node.link.bytes_tx,
+            "bytes_rx": node.link.bytes_rx,
+        }
+    fp["router_counters"] = dict(tb.router.counters)
+    return fp
+
+
 def _fp_lsm_baseline() -> dict:
     """The RocksDB-style baseline: memtable flushes + compaction + GETs."""
     pairs = _pairs(1024, seed=7)
@@ -376,6 +455,7 @@ GOLDEN_WORKLOADS = {
     "query_offload": _fp_query_offload,
     "async_qd16": _fp_async_qd,
     "mixed_contention": _fp_mixed_contention,
+    "cluster_router_2dev": _fp_cluster_router,
     "lsm_baseline": _fp_lsm_baseline,
 }
 

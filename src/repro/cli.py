@@ -14,6 +14,8 @@ Commands:
   SQ/CQ path (``--out results/BENCH_qd.json``);
 * ``scale-bench``          — 1M-key multi-keyspace YCSB-style load +
   read/update run (``--out results/BENCH_scale.json``);
+* ``cluster-bench``        — scale-out router sweep over 1..N devices plus
+  online rebalancing under load (``--out results/BENCH_cluster.json``);
 * ``trace``                — run a traced workload, dump a Chrome-trace
   timeline and print the per-command latency-attribution table;
 * ``metrics``              — run a traced workload and dump a
@@ -209,6 +211,38 @@ def _cmd_scale_bench(args) -> int:
     if args.explain:
         config = replace(config, explain=True)
     result = run_scale_bench(config)
+    print(result.table())
+    ok = True
+    for check in result.checks():
+        print(check)
+        ok = ok and check.passed
+    if args.out:
+        write_json(result, args.out)
+        print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+def _cmd_cluster_bench(args) -> int:
+    from dataclasses import replace
+
+    from repro.bench.cluster import (
+        ClusterBenchConfig,
+        run_cluster_bench,
+        write_json,
+    )
+
+    config = ClusterBenchConfig.smoke() if args.smoke else ClusterBenchConfig()
+    if args.devices:
+        config = replace(config, devices=tuple(args.devices))
+    if args.pairs is not None:
+        config = replace(config, n_pairs=args.pairs)
+    if args.ops is not None:
+        config = replace(config, ops=args.ops)
+    if args.no_rebalance:
+        config = replace(config, rebalance=False)
+    if args.explain:
+        config = replace(config, explain=True)
+    result = run_cluster_bench(config)
     print(result.table())
     ok = True
     for check in result.checks():
@@ -690,6 +724,37 @@ def build_parser() -> argparse.ArgumentParser:
         "retention; pair with --smoke)",
     )
     scale.set_defaults(func=_cmd_scale_bench)
+    cluster = sub.add_parser(
+        "cluster-bench",
+        help="scale-out router sweep over 1..N devices + online rebalance",
+    )
+    cluster.add_argument(
+        "--smoke", action="store_true", help="reduced configuration for CI"
+    )
+    cluster.add_argument(
+        "--devices", type=int, nargs="+", default=None,
+        help="fleet sizes to sweep (default: 1 2 4 8)",
+    )
+    cluster.add_argument(
+        "--pairs", type=int, default=None, help="total pairs to load"
+    )
+    cluster.add_argument(
+        "--ops", type=int, default=None, help="batched GETs per fleet size"
+    )
+    cluster.add_argument(
+        "--no-rebalance", action="store_true",
+        help="skip the online-rebalance scenario",
+    )
+    cluster.add_argument(
+        "--out", default=None, help="write JSON results to this path"
+    )
+    cluster.add_argument(
+        "--explain",
+        action="store_true",
+        help="trace the largest fleet and attach a critical-path explain "
+        "report with device-labeled resources",
+    )
+    cluster.set_defaults(func=_cmd_cluster_bench)
     trace = sub.add_parser(
         "trace",
         help="run a traced workload, export a Chrome-trace timeline",

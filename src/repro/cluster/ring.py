@@ -1,0 +1,201 @@
+"""Placement policies: which devices own a ``(keyspace, key)`` pair.
+
+The default policy is a consistent-hash ring with virtual nodes (the DHT
+construction SILT-style stores use for scale-out): each device contributes
+``vnodes`` points on a 64-bit circle, a key hashes to a point, and its
+owners are the next distinct devices clockwise.  Virtual nodes smooth the
+per-device share to ``weight / total_weight`` and make a device
+add/remove move only ~``1/N`` of the keys — the property online
+rebalancing depends on.
+
+Policies are immutable: :meth:`~PlacementPolicy.with_devices` returns a
+*new* policy for a changed fleet, so a router can hold the whole epoch
+chain (creation-time ring, post-migration rings) and resolve any key's
+location at any epoch.  Hash points are derived from sha256, like
+:func:`repro.sim.rng.derive_seed` — stable across processes and Python
+versions, never from ``hash()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from collections.abc import Sequence
+
+from repro.errors import SimulationError
+
+__all__ = ["PlacementPolicy", "HashRing", "RangePolicy"]
+
+
+def _point64(label: bytes) -> int:
+    """Stable 64-bit position on the ring for an arbitrary label."""
+    return int.from_bytes(hashlib.sha256(label).digest()[:8], "big")
+
+
+def key_point(keyspace: str, key: bytes) -> int:
+    """Ring position of one ``(keyspace, key)`` pair."""
+    return _point64(keyspace.encode() + b"\x00" + key)
+
+
+class PlacementPolicy:
+    """Interface every placement policy implements.
+
+    ``devices`` is the ordered fleet (order is the deterministic
+    tie-break everywhere); ``owners`` maps a pair to its primary plus
+    replica devices; ``with_devices`` rebuilds the policy for a changed
+    fleet (the rebalancer's input).
+    """
+
+    devices: tuple[str, ...]
+
+    def owners(self, keyspace: str, key: bytes, n: int = 1) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def primary(self, keyspace: str, key: bytes) -> str:
+        return self.owners(keyspace, key, 1)[0]
+
+    def with_devices(self, devices: Sequence[str]) -> "PlacementPolicy":
+        raise NotImplementedError
+
+
+class HashRing(PlacementPolicy):
+    """Consistent-hash ring with weighted virtual nodes."""
+
+    def __init__(
+        self,
+        devices: Sequence[str],
+        vnodes: int = 64,
+        weights: dict[str, float] | None = None,
+        salt: str = "kvcsd-ring",
+    ):
+        if not devices:
+            raise SimulationError("a hash ring needs at least one device")
+        if len(set(devices)) != len(devices):
+            raise SimulationError("duplicate device names on the ring")
+        if vnodes < 1:
+            raise SimulationError("vnodes must be >= 1")
+        self.devices = tuple(devices)
+        self.vnodes = vnodes
+        self.weights = dict(weights or {})
+        self.salt = salt
+        points: list[tuple[int, str]] = []
+        for dev in self.devices:
+            n_points = max(1, round(vnodes * self.weights.get(dev, 1.0)))
+            for i in range(n_points):
+                points.append(
+                    (_point64(f"{salt}:{dev}:{i}".encode()), dev)
+                )
+        points.sort()
+        self._points = points
+        self._positions = [p for p, _ in points]
+        self._owners_at = [d for _, d in points]
+
+    def owners(self, keyspace: str, key: bytes, n: int = 1) -> tuple[str, ...]:
+        """The first ``n`` *distinct* devices clockwise from the key's point.
+
+        ``n`` is clamped to the fleet size, so asking for 3 replicas on a
+        2-device ring yields both devices rather than raising.
+        """
+        n = min(n, len(self.devices))
+        start = bisect_right(self._positions, key_point(keyspace, key))
+        chosen: list[str] = []
+        seen: set[str] = set()
+        total = len(self._points)
+        for step in range(total):
+            dev = self._owners_at[(start + step) % total]
+            if dev not in seen:
+                seen.add(dev)
+                chosen.append(dev)
+                if len(chosen) == n:
+                    break
+        return tuple(chosen)
+
+    def with_devices(self, devices: Sequence[str]) -> "HashRing":
+        return HashRing(
+            devices, vnodes=self.vnodes, weights=self.weights, salt=self.salt
+        )
+
+    def add_device(self, name: str, weight: float = 1.0) -> "HashRing":
+        """A new ring with ``name`` added; moves ~``weight/total`` of keys."""
+        weights = dict(self.weights)
+        if weight != 1.0:
+            weights[name] = weight
+        return HashRing(
+            (*self.devices, name), vnodes=self.vnodes, weights=weights,
+            salt=self.salt,
+        )
+
+    def remove_device(self, name: str) -> "HashRing":
+        """A new ring without ``name``; its keys scatter over the rest."""
+        if name not in self.devices:
+            raise SimulationError(f"device {name!r} is not on the ring")
+        remaining = tuple(d for d in self.devices if d != name)
+        weights = {d: w for d, w in self.weights.items() if d != name}
+        return HashRing(
+            remaining, vnodes=self.vnodes, weights=weights, salt=self.salt
+        )
+
+    def share(self, name: str, samples: int = 4096) -> float:
+        """Fraction of the ring arc owned by ``name`` (for skew checks)."""
+        if name not in self.devices:
+            return 0.0
+        total = 1 << 64
+        owned = 0
+        prev = self._positions[-1] - total  # wrap-around arc
+        for pos, dev in self._points:
+            if dev == name:
+                owned += pos - prev
+            prev = pos
+        return owned / total
+
+
+class RangePolicy(PlacementPolicy):
+    """Range partitioning: contiguous key-prefix slices per device.
+
+    The pluggable alternative to hashing for workloads whose scans
+    dominate: keys are compared by their first 8 bytes (big-endian), each
+    device owns one contiguous slice, replicas are the next devices in
+    fleet order.  Default boundaries split the 64-bit prefix space evenly;
+    pass explicit ``boundaries`` (len(devices) - 1 ascending 8-byte
+    prefixes) to match a known key distribution.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[str],
+        boundaries: Sequence[bytes] | None = None,
+    ):
+        if not devices:
+            raise SimulationError("a range policy needs at least one device")
+        self.devices = tuple(devices)
+        n = len(self.devices)
+        if boundaries is None:
+            step = (1 << 64) // n
+            self._bounds = [(i + 1) * step for i in range(n - 1)]
+        else:
+            if len(boundaries) != n - 1:
+                raise SimulationError(
+                    f"need {n - 1} boundaries for {n} devices"
+                )
+            self._bounds = [
+                int.from_bytes(b[:8].ljust(8, b"\x00"), "big")
+                for b in boundaries
+            ]
+            if self._bounds != sorted(self._bounds):
+                raise SimulationError("range boundaries must be ascending")
+        self.boundaries = tuple(
+            b.to_bytes(8, "big") for b in self._bounds
+        )
+
+    def owners(self, keyspace: str, key: bytes, n: int = 1) -> tuple[str, ...]:
+        n = min(n, len(self.devices))
+        prefix = int.from_bytes(key[:8].ljust(8, b"\x00"), "big")
+        idx = bisect_right(self._bounds, prefix)
+        return tuple(
+            self.devices[(idx + r) % len(self.devices)] for r in range(n)
+        )
+
+    def with_devices(self, devices: Sequence[str]) -> "RangePolicy":
+        # A changed fleet gets fresh even boundaries; explicit boundaries
+        # don't survive because they were sized to the old fleet.
+        return RangePolicy(devices)

@@ -1,0 +1,862 @@
+"""Host-side cluster router: N KV-CSD devices as one logical store.
+
+The router mirrors :class:`~repro.core.client.KvCsdClient`'s generator API
+(the :class:`~repro.workloads.adapters.KvCsdAdapter` drives it unchanged)
+while owning one :class:`~repro.nvme.queues.KvQueuePair` per device and
+driving them concurrently:
+
+* point GETs go to the least-loaded replica (live ``qp.inflight``, fleet
+  order as the deterministic tie-break);
+* ``submit_many`` batches split per device and post in parallel at QD>1 —
+  one slow device backpressures only its own queue slots;
+* bulk PUTs group pairs by owner and round-robin their 128 KB messages
+  across the owning devices' queues;
+* range/SIDX scans scatter to every device holding a slice and stream an
+  ordered merge on the host (``heapq.merge`` over per-device sorted runs).
+
+Placement history is an *epoch chain*: every logical keyspace remembers
+the ring it was created under plus one ring per completed migration.  A
+key's location is decided by the last epoch at which its owner set
+changed — it lives in the base keyspace on its epoch-0 owners, or in the
+``<name>.m<epoch>`` fragment written by that epoch's migration.  Writable
+keyspaces keep their creation-time placement (the device only accepts
+writes before sealing); rebalancing migrates sealed keyspaces, which is
+exactly the compacted, query-ready data worth moving.
+
+Observability: every routed operation opens a ``cluster.<op>`` command
+span; the per-device ``cmd.*`` spans it fans out are parented under it
+(and stamped with ``dev=<device>``), so ``repro explain`` attributes
+cluster-level tail latency to device-labeled queue-pair resources and
+``validate_trace.py`` can check the fan-out tree shape.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable, Sequence
+from dataclasses import replace as dc_replace
+from typing import Any, Optional
+
+from repro.cluster.ring import HashRing, PlacementPolicy
+from repro.core.client import KvCsdClient
+from repro.core.sidx import SidxConfig
+from repro.core.wire import split_into_messages
+from repro.errors import KeyspaceNotFoundError, NvmeError, SimulationError
+from repro.nvme.commands import Completion
+from repro.nvme.kv_commands import (
+    BuildSidxCmd,
+    CompactCmd,
+    CreateKeyspaceCmd,
+    DeleteKeyspaceCmd,
+    KeyspaceStatCmd,
+    KvBulkDeleteCmd,
+    KvBulkPutCmd,
+    KvCommand,
+    KvDeleteCmd,
+    KvExistCmd,
+    KvFsyncCmd,
+    KvGetCmd,
+    KvMultiGetCmd,
+    ListKeyspacesCmd,
+    OpenKeyspaceCmd,
+    PointQueryCmd,
+    RangeQueryCmd,
+    SidxPointQueryCmd,
+    SidxRangeQueryCmd,
+    WaitCompactionCmd,
+)
+from repro.obs.trace import CAT_COMMAND, trace_span
+
+__all__ = ["ClusterRouter", "LogicalKeyspace", "RouterTicket"]
+
+#: command types routed by a single key, with the op name their command
+#: span gets (matching the single-device client's vocabulary)
+_SINGLE_KEY_CMDS = (KvGetCmd, PointQueryCmd, KvExistCmd, KvDeleteCmd)
+_BATCH_OPS = {
+    KvGetCmd: "get",
+    PointQueryCmd: "point_query",
+    KvExistCmd: "exist",
+    KvDeleteCmd: "delete",
+    KvBulkPutCmd: "bulk_put",
+}
+
+
+class _Migration:
+    """Live state of one in-flight ring change for a keyspace."""
+
+    __slots__ = ("new_ring", "epoch", "fragment_ready", "total_pairs",
+                 "copied_pairs")
+
+    def __init__(self, new_ring: PlacementPolicy, epoch: int):
+        self.new_ring = new_ring
+        self.epoch = epoch
+        #: flips once the destination fragment is compacted and queryable —
+        #: only then do foreground GETs dual-read old + new locations
+        self.fragment_ready = False
+        self.total_pairs = 0
+        self.copied_pairs = 0
+
+
+class LogicalKeyspace:
+    """Router-side routing state for one logical keyspace."""
+
+    def __init__(self, name: str, ring: PlacementPolicy, replicas: int):
+        self.name = name
+        #: epoch chain: ring at creation plus one ring per completed
+        #: migration; never mutated in place (rings are immutable)
+        self.rings: list[PlacementPolicy] = [ring]
+        #: epoch -> devices that received that migration's fragment
+        self.fragment_devices: dict[int, tuple[str, ...]] = {}
+        self.replicas = replicas
+        self.sealed = False
+        self.migration: Optional[_Migration] = None
+
+    def fragment_name(self, epoch: int) -> str:
+        return f"{self.name}.m{epoch}"
+
+    def _locate_chain(
+        self, rings: Sequence[PlacementPolicy], key: bytes
+    ) -> tuple[tuple[str, ...], int]:
+        owners = rings[0].owners(self.name, key, self.replicas)
+        epoch = 0
+        for e in range(1, len(rings)):
+            nxt = rings[e].owners(self.name, key, self.replicas)
+            if set(nxt) != set(owners):
+                epoch = e
+            owners = nxt
+        return rings[epoch].owners(self.name, key, self.replicas), epoch
+
+    def locate(self, key: bytes) -> tuple[tuple[str, ...], str]:
+        """Authoritative ``(replica devices, physical keyspace)`` of a key."""
+        devs, epoch = self._locate_chain(self.rings, key)
+        return devs, (self.name if epoch == 0 else self.fragment_name(epoch))
+
+    def locate_pending(self, key: bytes) -> tuple[tuple[str, ...], str]:
+        """Where the key will live once the active migration cuts over."""
+        assert self.migration is not None
+        rings = [*self.rings, self.migration.new_ring]
+        devs, epoch = self._locate_chain(rings, key)
+        return devs, (self.name if epoch == 0 else self.fragment_name(epoch))
+
+    def physical_locations(self) -> list[tuple[str, str]]:
+        """Every ``(device, physical keyspace)`` holding a slice of this
+        keyspace — base shards first, then fragments by epoch."""
+        locs = [(dev, self.name) for dev in self.rings[0].devices]
+        for epoch in sorted(self.fragment_devices):
+            locs.extend(
+                (dev, self.fragment_name(epoch))
+                for dev in self.fragment_devices[epoch]
+            )
+        return locs
+
+
+class RouterTicket:
+    """Future for an async router op: one ticket per owning device."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: list[tuple[KvCsdClient, Any]]):
+        self.parts = parts
+
+
+class ClusterRouter:
+    """One logical KV-CSD built from N devices behind per-device QPs."""
+
+    def __init__(
+        self,
+        clients: Sequence[tuple[str, KvCsdClient]],
+        ring: Optional[PlacementPolicy] = None,
+        replicas: int = 1,
+        merge_cpu_per_pair: float = 2e-8,
+    ):
+        if not clients:
+            raise SimulationError("a cluster router needs at least one device")
+        self.clients: dict[str, KvCsdClient] = dict(clients)
+        if len(self.clients) != len(clients):
+            raise SimulationError("duplicate device names")
+        self.devices: tuple[str, ...] = tuple(name for name, _ in clients)
+        self._order = {name: i for i, name in enumerate(self.devices)}
+        first = self.clients[self.devices[0]]
+        self.env = first.env
+        self.ring: PlacementPolicy = ring or HashRing(self.devices)
+        unknown = set(self.ring.devices) - set(self.devices)
+        if unknown:
+            raise SimulationError(f"ring names unknown devices: {sorted(unknown)}")
+        if replicas < 1 or replicas > len(self.devices):
+            raise SimulationError("replicas must be in [1, n_devices]")
+        self.replicas = replicas
+        #: host CPU charged per merged row in scatter/merge scans
+        self.merge_cpu_per_pair = merge_cpu_per_pair
+        self.keyspaces: dict[str, LogicalKeyspace] = {}
+        #: secondary-index configs seen per keyspace, replayed onto
+        #: migration fragments so SIDX queries keep working after a move
+        self.sidx_configs: dict[str, tuple[SidxConfig, ...]] = {}
+        #: cluster-level counters: dual-read verification + routing volume
+        self.counters = {
+            "gets": 0,
+            "dual_reads": 0,
+            "stale_reads": 0,
+            "migrated_pairs": 0,
+            "coalesced_reads": 0,
+        }
+        self._rid = 0
+
+    # ------------------------------------------------------------------ plumbing
+    def _lk(self, name: str) -> LogicalKeyspace:
+        lk = self.keyspaces.get(name)
+        if lk is None:
+            raise KeyspaceNotFoundError(f"unknown keyspace {name!r}")
+        return lk
+
+    def _span(self, op: str, **args):
+        self._rid += 1
+        return trace_span(
+            self.env, f"cluster.{op}", CAT_COMMAND, lane="cluster",
+            rid=self._rid, **args,
+        )
+
+    def _pick(self, devs: Sequence[str]) -> str:
+        """Least-loaded replica; fleet order breaks ties deterministically."""
+        return min(
+            devs,
+            key=lambda d: (self.clients[d].qp.inflight, self._order[d]),
+        )
+
+    def _post(
+        self, dev: str, command: KvCommand, ctx, op: str, **span_args
+    ) -> Generator:
+        client = self.clients[dev]
+        ticket = yield from client.qp.post(
+            command, ctx, op=op, span_args={"dev": dev, **span_args}
+        )
+        return client, ticket
+
+    def _wait_all(
+        self, parts: Sequence[tuple[KvCsdClient, Any]], ctx
+    ) -> Generator:
+        """Reap every ticket, then surface the first error (if any).
+
+        Reaping everything before raising keeps the queue pairs' slot
+        accounting exact even when one device fails — no orphaned tickets.
+        """
+        completions: list[Completion] = []
+        for client, ticket in parts:
+            completions.append(
+                (yield from client.qp.wait(ticket, ctx, raise_on_error=False))
+            )
+        for completion in completions:
+            if not completion.ok:
+                if completion.error is not None:
+                    raise completion.error
+                raise NvmeError(completion.status, "cluster op failed")
+        return completions
+
+    def _broadcast(
+        self, make_cmd, devices: Sequence[str], ctx, op: str
+    ) -> Generator:
+        """Post one command per device concurrently; returns {dev: value}."""
+        parts = []
+        for dev in devices:
+            parts.append((dev, (yield from self._post(dev, make_cmd(dev), ctx, op))))
+        completions = yield from self._wait_all([p for _, p in parts], ctx)
+        return {
+            dev: completion.value
+            for (dev, _), completion in zip(parts, completions)
+        }
+
+    def metric_gauges(self) -> dict:
+        """Ring + migration state for MetricsHub/timeline sampling."""
+
+        def active() -> float:
+            return float(
+                sum(1 for lk in self.keyspaces.values() if lk.migration)
+            )
+
+        def progress() -> float:
+            total = copied = 0
+            for lk in self.keyspaces.values():
+                if lk.migration is not None:
+                    total += lk.migration.total_pairs
+                    copied += lk.migration.copied_pairs
+            return copied / total if total else 1.0
+
+        def copied() -> float:
+            return float(
+                sum(
+                    lk.migration.copied_pairs
+                    for lk in self.keyspaces.values()
+                    if lk.migration is not None
+                )
+            )
+
+        return {
+            "cluster.ring.devices": lambda: float(len(self.ring.devices)),
+            "cluster.migration.active": active,
+            "cluster.migration.progress": progress,
+            "cluster.migration.copied_pairs": copied,
+            "cluster.stale_reads": lambda: float(self.counters["stale_reads"]),
+        }
+
+    def introspect(self) -> dict:
+        return {
+            "devices": list(self.devices),
+            "ring_devices": list(self.ring.devices),
+            "replicas": self.replicas,
+            "keyspaces": sorted(self.keyspaces),
+            "counters": dict(self.counters),
+            "qp": {dev: c.qp.introspect() for dev, c in self.clients.items()},
+        }
+
+    # ------------------------------------------------------------------ keyspaces
+    def create_keyspace(self, name: str, ctx) -> Generator:
+        """Create the keyspace on every current ring device."""
+        lk = LogicalKeyspace(name, self.ring, self.replicas)
+        with self._span("create_keyspace", keyspace=name):
+            yield from self._broadcast(
+                lambda dev: CreateKeyspaceCmd(name=name),
+                lk.rings[0].devices, ctx, "create_keyspace",
+            )
+        self.keyspaces[name] = lk
+
+    def open_keyspace(self, name: str, ctx) -> Generator:
+        lk = self._lk(name)
+        with self._span("open_keyspace", keyspace=name):
+            yield from self._broadcast(
+                lambda dev: OpenKeyspaceCmd(name=name),
+                lk.rings[0].devices, ctx, "open_keyspace",
+            )
+
+    def delete_keyspace(self, name: str, ctx) -> Generator:
+        """Delete the base shards and every migration fragment."""
+        lk = self._lk(name)
+        with self._span("delete_keyspace", keyspace=name):
+            for dev, phys in lk.physical_locations():
+                client, ticket = yield from self._post(
+                    dev, DeleteKeyspaceCmd(name=phys), ctx, "delete_keyspace"
+                )
+                yield from self._wait_all([(client, ticket)], ctx)
+        del self.keyspaces[name]
+
+    def list_keyspaces(self, ctx) -> Generator:
+        """Union of device listings, minus internal migration fragments."""
+        with self._span("list_keyspaces"):
+            per_dev = yield from self._broadcast(
+                lambda dev: ListKeyspacesCmd(), self.devices, ctx,
+                "list_keyspaces",
+            )
+        names: set[str] = set()
+        for listed in per_dev.values():
+            names.update(listed)
+        fragments = {
+            lk.fragment_name(epoch)
+            for lk in self.keyspaces.values()
+            for epoch in lk.fragment_devices
+        }
+        return sorted(names - fragments)
+
+    def keyspace_stat(self, name: str, ctx) -> Generator:
+        """Per-device stats of the base shards: ``{device: stat}``."""
+        lk = self._lk(name)
+        with self._span("keyspace_stat", keyspace=name):
+            stats = yield from self._broadcast(
+                lambda dev: KeyspaceStatCmd(name=name),
+                lk.rings[0].devices, ctx, "keyspace_stat",
+            )
+        return stats
+
+    # ------------------------------------------------------------------ writes
+    def _bulk_put_cmd(
+        self, keyspace: str, message: Sequence[tuple[bytes, bytes]]
+    ) -> KvBulkPutCmd:
+        return KvBulkPutCmd(
+            keyspace=keyspace,
+            keys=tuple(k for k, _ in message),
+            values=tuple(v for _, v in message),
+            message_bytes=4 + 6 * len(message)
+            + sum(len(k) + len(v) for k, v in message),
+        )
+
+    def put(self, keyspace: str, key: bytes, value: bytes, ctx) -> Generator:
+        yield from self.bulk_put(keyspace, [(key, value)], ctx)
+
+    def put_async(self, keyspace: str, key: bytes, value: bytes, ctx) -> Generator:
+        """Post one PUT to every owner; returns a :class:`RouterTicket`."""
+        lk = self._lk(keyspace)
+        devs, phys = lk.locate(key)
+        parts = []
+        for dev in devs:
+            parts.append(
+                (
+                    yield from self._post(
+                        dev, self._bulk_put_cmd(phys, [(key, value)]),
+                        ctx, "bulk_put", keyspace=keyspace, pairs=1,
+                    )
+                )
+            )
+        return RouterTicket(parts)
+
+    def wait(self, ticket, ctx) -> Generator:
+        """Reap a router or plain ticket; returns the (primary) Completion."""
+        if not isinstance(ticket, RouterTicket):
+            raise SimulationError(
+                "plain tickets are ambiguous across devices; use the "
+                "RouterTicket returned by the router's async methods"
+            )
+        completions = yield from self._wait_all(ticket.parts, ctx)
+        return completions[0]
+
+    def bulk_put(
+        self, keyspace: str, pairs: Sequence[tuple[bytes, bytes]], ctx
+    ) -> Generator:
+        """Split pairs by owner; post 128 KB messages to all owners at QD>1.
+
+        Messages round-robin across the owning devices so every device's
+        submission queue fills in parallel — aggregate ingest scales with
+        the fleet instead of draining one device at a time.
+        """
+        lk = self._lk(keyspace)
+        groups: dict[tuple[str, str], list[tuple[bytes, bytes]]] = {}
+        for key, value in pairs:
+            devs, phys = lk.locate(key)
+            for dev in devs:
+                groups.setdefault((dev, phys), []).append((key, value))
+        queues = []
+        for (dev, phys), group in sorted(
+            groups.items(), key=lambda kv: (self._order[kv[0][0]], kv[0][1])
+        ):
+            client = self.clients[dev]
+            messages = split_into_messages(group, client.bulk_message_bytes)
+            queues.append((dev, phys, list(messages)))
+        with self._span("bulk_put", keyspace=keyspace, pairs=len(pairs)):
+            parts = []
+            remaining = True
+            while remaining:
+                remaining = False
+                for dev, phys, messages in queues:
+                    if not messages:
+                        continue
+                    message = messages.pop(0)
+                    parts.append(
+                        (
+                            yield from self._post(
+                                dev, self._bulk_put_cmd(phys, message), ctx,
+                                "bulk_put", keyspace=keyspace,
+                                pairs=len(message),
+                            )
+                        )
+                    )
+                    if messages:
+                        remaining = True
+            yield from self._wait_all(parts, ctx)
+
+    def bulk_delete(self, keyspace: str, keys: Sequence[bytes], ctx) -> Generator:
+        lk = self._lk(keyspace)
+        groups: dict[tuple[str, str], list[bytes]] = {}
+        for key in keys:
+            devs, phys = lk.locate(key)
+            for dev in devs:
+                groups.setdefault((dev, phys), []).append(key)
+        with self._span("bulk_delete", keyspace=keyspace, keys=len(keys)):
+            parts = []
+            for (dev, phys), group in sorted(
+                groups.items(), key=lambda kv: (self._order[kv[0][0]], kv[0][1])
+            ):
+                parts.append(
+                    (
+                        yield from self._post(
+                            dev,
+                            KvBulkDeleteCmd(keyspace=phys, keys=tuple(group)),
+                            ctx, "bulk_delete", keyspace=keyspace,
+                        )
+                    )
+                )
+            yield from self._wait_all(parts, ctx)
+
+    def fsync(self, keyspace: str, ctx) -> Generator:
+        lk = self._lk(keyspace)
+        with self._span("fsync", keyspace=keyspace):
+            parts = []
+            for dev, phys in lk.physical_locations():
+                parts.append(
+                    (
+                        yield from self._post(
+                            dev, KvFsyncCmd(keyspace=phys), ctx, "fsync",
+                            keyspace=keyspace,
+                        )
+                    )
+                )
+            yield from self._wait_all(parts, ctx)
+
+    # ------------------------------------------------------------------ offloaded
+    def compact(
+        self, keyspace: str, ctx, secondary_indexes: Sequence[SidxConfig] = ()
+    ) -> Generator:
+        """Kick off compaction on every base shard; seals the keyspace.
+
+        Sealing freezes the keyspace's placement epoch — from here on a
+        ring change migrates its slices instead of re-routing writes.
+        """
+        lk = self._lk(keyspace)
+        if secondary_indexes:
+            self.sidx_configs[keyspace] = tuple(secondary_indexes)
+        sidx_wire = tuple(
+            (c.name, c.value_offset, c.width, c.dtype)
+            for c in secondary_indexes
+        )
+        with self._span("compact", keyspace=keyspace):
+            yield from self._broadcast(
+                lambda dev: CompactCmd(keyspace=keyspace, sidx=sidx_wire),
+                lk.rings[0].devices, ctx, "compact",
+            )
+        lk.sealed = True
+
+    def build_secondary_index(
+        self,
+        keyspace: str,
+        index_name: str,
+        value_offset: int,
+        width: int,
+        dtype: str = "bytes",
+        ctx=None,
+    ) -> Generator:
+        lk = self._lk(keyspace)
+        config = SidxConfig(
+            name=index_name, value_offset=value_offset, width=width, dtype=dtype
+        )
+        self.sidx_configs[keyspace] = (
+            *self.sidx_configs.get(keyspace, ()), config
+        )
+        with self._span("build_sidx", keyspace=keyspace, index=index_name):
+            yield from self._broadcast(
+                lambda dev: BuildSidxCmd(
+                    keyspace=keyspace, index_name=index_name,
+                    value_offset=value_offset, width=width, dtype=dtype,
+                ),
+                lk.rings[0].devices, ctx, "build_sidx",
+            )
+
+    def wait_for_device(self, keyspace: str, ctx) -> Generator:
+        """Wait for offloaded jobs on every shard-holding device."""
+        lk = self._lk(keyspace)
+        with self._span("wait_for_device", keyspace=keyspace):
+            parts = []
+            for dev, phys in lk.physical_locations():
+                parts.append(
+                    (
+                        yield from self._post(
+                            dev, WaitCompactionCmd(keyspace=phys), ctx,
+                            "wait_for_device", keyspace=keyspace,
+                        )
+                    )
+                )
+            yield from self._wait_all(parts, ctx)
+
+    # ------------------------------------------------------------------ queries
+    def get(self, keyspace: str, key: bytes, ctx) -> Generator:
+        """Point GET from the least-loaded replica of the owning device.
+
+        During an active migration whose destination fragment is already
+        queryable, keys that are moving are read from *both* locations
+        concurrently: the old copy stays authoritative until cutover, the
+        new copy is compared against it (``stale_reads`` counts any
+        mismatch — the bench requires zero).
+        """
+        lk = self._lk(keyspace)
+        self.counters["gets"] += 1
+        devs, phys = lk.locate(key)
+        mig = lk.migration
+        with self._span("get", keyspace=keyspace):
+            if mig is not None and mig.fragment_ready:
+                new_devs, new_phys = lk.locate_pending(key)
+                if (set(new_devs), new_phys) != (set(devs), phys):
+                    return (
+                        yield from self._dual_get(
+                            key, devs, phys, new_devs, new_phys, ctx
+                        )
+                    )
+            dev = self._pick(devs)
+            client, ticket = yield from self._post(
+                dev, KvGetCmd(keyspace=phys, key=key), ctx, "get",
+                keyspace=keyspace,
+            )
+            completion = yield from client.qp.wait(ticket, ctx)
+            return completion.value
+
+    def _dual_get(self, key, devs, phys, new_devs, new_phys, ctx) -> Generator:
+        self.counters["dual_reads"] += 1
+        old_client, old_ticket = yield from self._post(
+            self._pick(devs), KvGetCmd(keyspace=phys, key=key), ctx, "get",
+        )
+        new_client, new_ticket = yield from self._post(
+            self._pick(new_devs), KvGetCmd(keyspace=new_phys, key=key), ctx,
+            "get",
+        )
+        old_c = yield from old_client.qp.wait(old_ticket, ctx, raise_on_error=False)
+        new_c = yield from new_client.qp.wait(new_ticket, ctx, raise_on_error=False)
+        if old_c.ok and new_c.ok and old_c.value != new_c.value:
+            self.counters["stale_reads"] += 1
+        if old_c.ok and not new_c.ok:
+            # the migration copy is incomplete for this key — a lost read
+            # after cutover; surfaced here so the bench's zero-lost check
+            # can catch it before cutover ever happens
+            self.counters["stale_reads"] += 1
+        if not old_c.ok:
+            if old_c.error is not None:
+                raise old_c.error
+            raise NvmeError(old_c.status, "get failed")
+        return old_c.value
+
+    def get_async(self, keyspace: str, key: bytes, ctx) -> Generator:
+        lk = self._lk(keyspace)
+        devs, phys = lk.locate(key)
+        dev = self._pick(devs)
+        part = yield from self._post(
+            dev, KvGetCmd(keyspace=phys, key=key), ctx, "get",
+            keyspace=keyspace,
+        )
+        return RouterTicket([part])
+
+    def multi_get(self, keyspace: str, keys: Sequence[bytes], ctx) -> Generator:
+        """Batched GETs: one MultiGet per owning device, merged on the host."""
+        lk = self._lk(keyspace)
+        groups: dict[tuple[str, str], list[bytes]] = {}
+        pending_groups: dict[tuple[str, str], list[bytes]] = {}
+        mig = lk.migration
+        dual = mig is not None and mig.fragment_ready
+        for key in keys:
+            devs, phys = lk.locate(key)
+            groups.setdefault((self._pick(devs), phys), []).append(key)
+            if dual:
+                new_devs, new_phys = lk.locate_pending(key)
+                if (set(new_devs), new_phys) != (set(devs), phys):
+                    pending_groups.setdefault(
+                        (self._pick(new_devs), new_phys), []
+                    ).append(key)
+        with self._span("multi_get", keyspace=keyspace, keys=len(keys)):
+            parts = []
+            order = []
+            for bucket, primary in ((groups, True), (pending_groups, False)):
+                for (dev, phys), group in sorted(
+                    bucket.items(),
+                    key=lambda kv: (self._order[kv[0][0]], kv[0][1]),
+                ):
+                    parts.append(
+                        (
+                            yield from self._post(
+                                dev,
+                                KvMultiGetCmd(keyspace=phys, keys=tuple(group)),
+                                ctx, "multi_get", keyspace=keyspace,
+                            )
+                        )
+                    )
+                    order.append(primary)
+            completions = yield from self._wait_all(parts, ctx)
+            merged: dict[bytes, bytes] = {}
+            shadow: dict[bytes, bytes] = {}
+            for primary, completion in zip(order, completions):
+                (merged if primary else shadow).update(completion.value)
+            if shadow:
+                self.counters["dual_reads"] += len(shadow)
+                for key, value in shadow.items():
+                    if key in merged and merged[key] != value:
+                        self.counters["stale_reads"] += 1
+            if len(keys) > 1:
+                yield from ctx.execute(self.merge_cpu_per_pair * len(merged))
+            return merged
+
+    def _scatter_sorted(
+        self,
+        lk: LogicalKeyspace,
+        make_cmd,
+        ctx,
+        op: str,
+        sort_key,
+    ) -> Generator:
+        """Scatter a scan to every slice-holding device; ordered merge.
+
+        Per-device results arrive sorted; ``heapq.merge`` streams them
+        into one run.  Rows are kept only when their authoritative
+        location matches the device+keyspace they came from — that drops
+        both the pre-migration copies left behind in source shards and
+        (adjacent-duplicate elimination) the extra replica copies.
+        """
+        parts = []
+        sources = []
+        for dev, phys in lk.physical_locations():
+            parts.append(
+                (yield from self._post(dev, make_cmd(phys), ctx, op))
+            )
+            sources.append((dev, phys))
+        completions = yield from self._wait_all(parts, ctx)
+        runs = []
+        total = 0
+        for (dev, phys), completion in zip(sources, completions):
+            rows = completion.value
+            total += len(rows)
+            runs.append([(sort_key(row), dev, phys, row) for row in rows])
+        merged = []
+        last_key = None
+        for skey, dev, phys, row in heapq.merge(*runs):
+            loc_devs, loc_phys = lk.locate(row[0])
+            if phys != loc_phys or dev not in loc_devs:
+                continue  # stale copy left behind by a past migration
+            if last_key is not None and skey == last_key and merged and merged[-1] == row:
+                continue  # replica duplicate
+            merged.append(row)
+            last_key = skey
+        if total:
+            yield from ctx.execute(self.merge_cpu_per_pair * total)
+        return merged
+
+    def range_query(self, keyspace: str, lo: bytes, hi: bytes, ctx) -> Generator:
+        lk = self._lk(keyspace)
+        with self._span("range_query", keyspace=keyspace):
+            rows = yield from self._scatter_sorted(
+                lk,
+                lambda phys: RangeQueryCmd(keyspace=phys, lo=lo, hi=hi),
+                ctx, "range_query", sort_key=lambda row: row[0],
+            )
+        return rows
+
+    def _sidx_key(self, keyspace: str, index_name: str):
+        for config in self.sidx_configs.get(keyspace, ()):
+            if config.name == index_name:
+                off, width = config.value_offset, config.width
+                return lambda row: (row[1][off : off + width], row[0])
+        raise SimulationError(
+            f"unknown secondary index {index_name!r} on {keyspace!r} — the "
+            "router only merges indexes it saw configured via compact() or "
+            "build_secondary_index()"
+        )
+
+    def sidx_range_query(
+        self, keyspace: str, index_name: str, lo_raw: bytes, hi_raw: bytes, ctx
+    ) -> Generator:
+        lk = self._lk(keyspace)
+        sort_key = self._sidx_key(keyspace, index_name)
+        with self._span("sidx_range_query", keyspace=keyspace, index=index_name):
+            rows = yield from self._scatter_sorted(
+                lk,
+                lambda phys: SidxRangeQueryCmd(
+                    keyspace=phys, index_name=index_name, lo=lo_raw, hi=hi_raw
+                ),
+                ctx, "sidx_range_query", sort_key=sort_key,
+            )
+        return rows
+
+    def sidx_point_query(
+        self, keyspace: str, index_name: str, skey_raw: bytes, ctx
+    ) -> Generator:
+        lk = self._lk(keyspace)
+        sort_key = self._sidx_key(keyspace, index_name)
+        with self._span("sidx_point_query", keyspace=keyspace, index=index_name):
+            rows = yield from self._scatter_sorted(
+                lk,
+                lambda phys: SidxPointQueryCmd(
+                    keyspace=phys, index_name=index_name, skey=skey_raw
+                ),
+                ctx, "sidx_point_query", sort_key=sort_key,
+            )
+        return rows
+
+    # ------------------------------------------------------------------ batches
+    def _route_command(self, command: KvCommand) -> list[tuple[str, KvCommand]]:
+        """Device assignments for one batch command (keyspace rewritten to
+        the physical shard/fragment when they differ)."""
+        if isinstance(command, _SINGLE_KEY_CMDS):
+            lk = self._lk(command.keyspace)
+            devs, phys = lk.locate(command.key)
+            if isinstance(command, KvDeleteCmd):
+                targets = devs  # writes touch every replica
+            else:
+                targets = (self._pick(devs),)
+            if phys != command.keyspace:
+                command = dc_replace(command, keyspace=phys)
+            return [(dev, command) for dev in targets]
+        if isinstance(command, KvBulkPutCmd):
+            lk = self._lk(command.keyspace)
+            located = {lk.locate(key) for key in command.keys}
+            if len(located) != 1:
+                raise SimulationError(
+                    "a batched KvBulkPutCmd must target one owner; use "
+                    "router.bulk_put() to split arbitrary pair sets"
+                )
+            (devs, phys), = located
+            if phys != command.keyspace:
+                command = dc_replace(command, keyspace=phys)
+            return [(dev, command) for dev in devs]
+        raise SimulationError(
+            f"submit_many cannot route {type(command).__name__}; use the "
+            "router's dedicated method for multi-device commands"
+        )
+
+    def submit_many(self, commands: Iterable[KvCommand], ctx) -> Generator:
+        """Split a batch per device, post in parallel at QD>1, reap in order.
+
+        Returns one :class:`Completion` per input command (the primary
+        replica's, for replicated writes); error completions are returned,
+        not raised — same contract as the single-device client.
+
+        Identical point reads (same command type, keyspace and key) are
+        *coalesced*: one device command is posted and its completion fans
+        back to every duplicate position.  Under a zipfian read mix the
+        hottest keys repeat many times per batch and all land on one
+        shard — coalescing charges that shard once per batch instead of
+        once per occurrence, which is what keeps the hot device from
+        pacing the whole fleet.
+        """
+        with self._span("submit_many"):
+            posted: list[list[tuple[KvCsdClient, Any]]] = []
+            slot_of: list[int] = []
+            seen: dict[tuple, int] = {}
+            for command in commands:
+                read_key = None
+                if isinstance(
+                    command, (KvGetCmd, PointQueryCmd, KvExistCmd)
+                ):
+                    read_key = (
+                        type(command), command.keyspace, command.key
+                    )
+                    slot = seen.get(read_key)
+                    if slot is not None:
+                        self.counters["coalesced_reads"] += 1
+                        slot_of.append(slot)
+                        continue
+                parts = []
+                for dev, routed in self._route_command(command):
+                    parts.append(
+                        (
+                            yield from self._post(
+                                dev, routed, ctx,
+                                _BATCH_OPS[type(routed)],
+                            )
+                        )
+                    )
+                if read_key is not None:
+                    seen[read_key] = len(posted)
+                slot_of.append(len(posted))
+                posted.append(parts)
+            unique: list[Completion] = []
+            for parts in posted:
+                first: Optional[Completion] = None
+                for client, ticket in parts:
+                    completion = yield from client.qp.wait(
+                        ticket, ctx, raise_on_error=False
+                    )
+                    if first is None:
+                        first = completion
+                unique.append(first)
+            return [unique[slot] for slot in slot_of]
+
+    def submit_async(self, command: KvCommand, ctx, op=None, **span_args) -> Generator:
+        parts = []
+        for dev, routed in self._route_command(command):
+            parts.append(
+                (
+                    yield from self._post(
+                        dev, routed, ctx, op or _BATCH_OPS[type(routed)],
+                        **span_args,
+                    )
+                )
+            )
+        return RouterTicket(parts)

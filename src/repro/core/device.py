@@ -85,10 +85,14 @@ class KvCsdDevice:
         membuf_bytes: int = MEMBUF_BYTES,
         block_bytes: int = 4 * KiB,
         max_inflight: int = 64,
+        name: str = "kvcsd",
     ):
         self.board = board
         self.env: Environment = board.env
         self.ssd = board.ssd
+        #: device identity; cluster testbeds name each device (``dev0``,
+        #: ``dev1``, ...) so shared-journal events stay attributable
+        self.name = name
         self.costs = costs or CsdCostModel()
         self.cluster_zones = cluster_zones
         self.membuf_bytes = membuf_bytes
@@ -141,6 +145,7 @@ class KvCsdDevice:
                 self.query_workers,
                 queue_depth=board.spec.query_queue_depth,
                 stats=self.stats,
+                owner=name,
             )
             if self.query_workers > 0
             else None
@@ -174,6 +179,15 @@ class KvCsdDevice:
     def _ctx(self, priority: int = 0) -> ThreadCtx:
         return self.board.firmware_ctx(priority=priority)
 
+    def _journal(self, type: str, **fields) -> None:
+        """Journal one event stamped with this device's identity.
+
+        N-device clusters share one environment and therefore one journal;
+        the ``dev`` field is what keeps their interleaved lifecycle events
+        attributable to a device.
+        """
+        journal_event(self.env, type, dev=self.name, **fields)
+
     def _audit_boundary(self, boundary: str) -> None:
         """Run the invariant auditor at a flush/phase boundary, if attached.
 
@@ -193,13 +207,9 @@ class KvCsdDevice:
         raised never ended, and auditing its half-mutated state would
         report violations the device itself is about to unwind.
         """
-        journal_event(
-            self.env, "compact.phase_begin", keyspace=ks.name, phase=phase
-        )
+        self._journal("compact.phase_begin", keyspace=ks.name, phase=phase)
         yield
-        journal_event(
-            self.env, "compact.phase_end", keyspace=ks.name, phase=phase
-        )
+        self._journal("compact.phase_end", keyspace=ks.name, phase=phase)
         self._audit_boundary(f"compact.{phase}")
 
     def _exec(self, ctx: ThreadCtx, host_seconds: float) -> Generator:
@@ -226,9 +236,7 @@ class KvCsdDevice:
                 self.block_cache.invalidate_zone(zone_id)
             dropped = before - len(self.block_cache)
             if dropped:
-                journal_event(
-                    self.env,
-                    "cache.invalidate",
+                self._journal("cache.invalidate",
                     zones=sorted(cluster.zone_ids),
                     entries_dropped=dropped,
                 )
@@ -271,9 +279,7 @@ class KvCsdDevice:
             snapshot = encode_upsert(self.keyspaces[name], self._seqs.get(name, 0))
             yield from self._metadata_cluster.append_group(snapshot)
         self.stats.counter("metadata_checkpoints").add()
-        journal_event(
-            self.env, "metadata.checkpoint", keyspaces=len(self.keyspaces)
-        )
+        self._journal("metadata.checkpoint", keyspaces=len(self.keyspaces))
 
     def _append_stream(
         self,
@@ -323,7 +329,7 @@ class KvCsdDevice:
         self._jobs[name] = []
         yield from self._metadata_update(ctx, ks)
         self.stats.counter("keyspaces_created").add()
-        journal_event(self.env, "keyspace.create", keyspace=name)
+        self._journal("keyspace.create", keyspace=name)
 
     def open_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
         """Open for insertion: EMPTY -> WRITABLE."""
@@ -331,7 +337,7 @@ class KvCsdDevice:
         ks = self._keyspace(name)
         ks.open_for_write()
         yield from self._metadata_update(ctx, ks)
-        journal_event(self.env, "keyspace.open", keyspace=name)
+        self._journal("keyspace.open", keyspace=name)
 
     def delete_keyspace(self, name: str, ctx: ThreadCtx) -> Generator:
         """Delete at any state; deferred until running jobs complete."""
@@ -352,7 +358,7 @@ class KvCsdDevice:
         self._jobs.pop(name, None)
         yield from self._metadata_delete(ctx, name)
         self.stats.counter("keyspaces_deleted").add()
-        journal_event(self.env, "keyspace.delete", keyspace=name)
+        self._journal("keyspace.delete", keyspace=name)
 
     def list_keyspaces(self) -> list[str]:
         """Names of all live keyspaces (table lookup, no device time)."""
@@ -395,8 +401,8 @@ class KvCsdDevice:
                 used_zones.update(cluster.zone_ids)
             if ks.state is KeyspaceState.WRITABLE and ks.klog_clusters:
                 yield from self._rescan_klog(ks, ctx)
-            journal_event(
-                self.env, "keyspace.recover", keyspace=name, state=ks.state.value
+            self._journal(
+                "keyspace.recover", keyspace=name, state=ks.state.value
             )
         self.zone_manager.mark_used(sorted(used_zones))
         # Orphans: written zones nobody references (failed jobs, torn flushes).
@@ -620,9 +626,7 @@ class KvCsdDevice:
             return
         with trace_span(self.env, "dev.flush", "stage", pairs=len(pairs)):
             yield from self._flush_pairs(ks, pairs, ctx)
-        journal_event(
-            self.env, "membuf.flush", keyspace=ks.name, pairs=len(pairs)
-        )
+        self._journal("membuf.flush", keyspace=ks.name, pairs=len(pairs))
         self._audit_boundary("flush")
 
     def _flush_pairs(
@@ -719,9 +723,7 @@ class KvCsdDevice:
             yield from self._flush_membuf(ks, ctx)
         ks.begin_compaction()
         yield from self._metadata_update(ctx, ks)
-        journal_event(
-            self.env,
-            "keyspace.compaction_begin",
+        self._journal("keyspace.compaction_begin",
             keyspace=name,
             n_pairs=ks.n_pairs,
             inline_sidx=[config.name for config in sidx_configs],
@@ -960,9 +962,7 @@ class KvCsdDevice:
                     ],
                     ctx,
                 )
-            journal_event(
-                self.env,
-                "sketch.build",
+            self._journal("sketch.build",
                 keyspace=ks.name,
                 kind="pidx",
                 n_blocks=len(sketch),
@@ -980,9 +980,7 @@ class KvCsdDevice:
                 yield from self._metadata_update(ctx, ks)
             self.stats.counter("compactions").add()
             self.job_durations[(ks.name, "compaction")] = self.env.now - t0
-            journal_event(
-                self.env,
-                "keyspace.compaction_end",
+            self._journal("keyspace.compaction_end",
                 keyspace=ks.name,
                 n_pairs=ks.n_pairs,
             )
@@ -1188,9 +1186,7 @@ class KvCsdDevice:
     ) -> Generator:
         """Build one secondary index from values already resident in DRAM."""
         t0 = self.env.now
-        journal_event(
-            self.env,
-            "sidx.build_begin",
+        self._journal("sidx.build_begin",
             keyspace=ks.name,
             index=config.name,
             mode="inline",
@@ -1231,9 +1227,7 @@ class KvCsdDevice:
             yield from self._metadata_update(ctx, ks)
         self.stats.counter("sidx_builds_inline").add()
         self.job_durations[(ks.name, f"sidx:{config.name}")] = self.env.now - t0
-        journal_event(
-            self.env,
-            "sidx.build_end",
+        self._journal("sidx.build_end",
             keyspace=ks.name,
             index=config.name,
             mode="inline",
@@ -1278,9 +1272,7 @@ class KvCsdDevice:
             else None
         )
         try:
-            journal_event(
-                self.env,
-                "sidx.build_begin",
+            self._journal("sidx.build_begin",
                 keyspace=ks.name,
                 index=config.name,
                 mode="scan",
@@ -1338,9 +1330,7 @@ class KvCsdDevice:
             yield from self._metadata_update(ctx, ks)
             self.stats.counter("sidx_builds").add()
             self.job_durations[(ks.name, f"sidx:{config.name}")] = self.env.now - t0
-            journal_event(
-                self.env,
-                "sidx.build_end",
+            self._journal("sidx.build_end",
                 keyspace=ks.name,
                 index=config.name,
                 mode="scan",

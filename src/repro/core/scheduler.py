@@ -85,11 +85,15 @@ class QueryScheduler:
         n_workers: int,
         queue_depth: int = 64,
         stats: Optional[StatsRegistry] = None,
+        owner: str = "kvcsd",
     ):
         if n_workers < 1:
             raise SimulationError("query scheduler needs at least one worker")
         self.env = env
         self.board = board
+        #: owning device's name, stamped on journal events (cluster runs
+        #: share one journal across N schedulers)
+        self.owner = owner
         self.n_workers = n_workers
         self.queue = BoundedQueue(env, queue_depth, name="soc.query_queue")
         self.stats = stats
@@ -117,7 +121,10 @@ class QueryScheduler:
         self._admitted += 1
         tracer = env.tracer
         tctx = tracer.capture() if tracer is not None else None
-        journal_event(env, "query.admit", op=op, seq=seq, depth=len(self.queue))
+        journal_event(
+            env, "query.admit", dev=self.owner, op=op, seq=seq,
+            depth=len(self.queue),
+        )
         if self.stats is not None:
             self.stats.counter("query_admitted").add()
             self.stats.histogram("query_queue_depth").record(float(len(self.queue)))
@@ -145,7 +152,10 @@ class QueryScheduler:
                         "soc.query_queue", "queue", item.admit_at, env.now,
                         item.waiter_op, item.waiter_root, item.admit_holders,
                     )
-            journal_event(env, "query.dispatch", op=item.op, seq=item.seq, worker=idx)
+            journal_event(
+                env, "query.dispatch", dev=self.owner, op=item.op,
+                seq=item.seq, worker=idx,
+            )
             if self.stats is not None:
                 self.stats.counter("query_dispatched").add()
             ctx = self.board.firmware_ctx()

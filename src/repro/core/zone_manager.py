@@ -167,7 +167,9 @@ class ZoneManager:
         its current state; removes it from the free pool if present."""
         self._free = [z for z in self._free if z != zone_id]
         self.allocated_clusters += 1
-        journal_event(self.ssd.env, "cluster.reserve", zones=[zone_id])
+        journal_event(
+            self.ssd.env, "cluster.reserve", dev=self.ssd.name, zones=[zone_id]
+        )
         self._record_grant(1)
         return ZoneCluster(self.ssd, [zone_id], rotation=0)
 
@@ -230,7 +232,10 @@ class ZoneManager:
         self._free = [z for z in self._free if z not in chosen_set]
         rotation = int(self.rng.integers(0, want))
         self.allocated_clusters += 1
-        journal_event(self.ssd.env, "cluster.allocate", zones=sorted(chosen))
+        journal_event(
+            self.ssd.env, "cluster.allocate", dev=self.ssd.name,
+            zones=sorted(chosen),
+        )
         self._record_grant(len(chosen))
         return ZoneCluster(self.ssd, chosen, rotation)
 
@@ -241,7 +246,8 @@ class ZoneManager:
         self._free.extend(cluster.zone_ids)
         self.allocated_clusters -= 1
         journal_event(
-            self.ssd.env, "cluster.release", zones=sorted(cluster.zone_ids)
+            self.ssd.env, "cluster.release", dev=self.ssd.name,
+            zones=sorted(cluster.zone_ids),
         )
         critpath = self.ssd.env.critpath
         if critpath is not None:

@@ -286,6 +286,7 @@ class KvQueuePair:
         capsule_bytes: Callable[[NvmeCommand], int],
         result_bytes: Callable[[NvmeCommand, Any], int],
         depth: int = 32,
+        name: str = "host-kv",
     ):
         if depth < 1:
             raise SimulationError("queue depth must be >= 1")
@@ -296,6 +297,18 @@ class KvQueuePair:
         self.capsule_bytes = capsule_bytes
         self.result_bytes = result_bytes
         self.depth = depth
+        #: label for critpath resources + journal events; cluster routers
+        #: name each device's pair (e.g. ``dev3.host-kv``) so blocked-by
+        #: edges and explain blockers identify the device, not just "the QP"
+        self.name = name
+        #: optional factory of device-side execution contexts.  By default
+        #: commands execute on the submitting thread's context — the
+        #: io_uring-style borrowing a direct-attached device gets away with.
+        #: An NVMe-oF target runs commands on its *own* cores: cluster
+        #: testbeds set this to the device board's ``firmware_ctx`` so N
+        #: devices burn N SoCs' worth of CPU instead of serializing their
+        #: execution on the posting host core.
+        self.device_ctx: Optional[Callable[[], Any]] = None
         self._slots = Resource(env, capacity=depth)
         self.submitted = 0
         self.completed = 0
@@ -337,7 +350,7 @@ class KvQueuePair:
             t0 = env.now
             critpath = env.critpath
             if critpath is not None:
-                slot_holders = critpath.holders("qp.host-kv")
+                slot_holders = critpath.holders(f"qp.{self.name}")
             yield req
             if post_span is not None:
                 post_span.args["wait"] = env.now - t0
@@ -346,7 +359,7 @@ class KvQueuePair:
                 waiter_op, waiter_root = critpath.actor()
                 if env.now > t0:
                     critpath.record_edge(
-                        "qp.host-kv", "qp_slot", t0, env.now,
+                        f"qp.{self.name}", "qp_slot", t0, env.now,
                         waiter_op, waiter_root, slot_holders,
                     )
                 ticket.cp_token = (
@@ -354,7 +367,7 @@ class KvQueuePair:
                     if waiter_root is None
                     else f"{waiter_op}#{waiter_root}"
                 )
-                critpath.acquire("qp.host-kv", ticket.cp_token)
+                critpath.acquire(f"qp.{self.name}", ticket.cp_token)
             yield from ctx.execute(
                 self.costs.per_command + self.costs.pack_per_byte * payload
             )
@@ -364,7 +377,7 @@ class KvQueuePair:
         if env.journal is not None:
             journal_event(
                 env, "sq.post",
-                cid=cid, op=op, inflight=self.inflight,
+                cid=cid, op=op, qp=self.name, inflight=self.inflight,
                 thread=ctx.where() if hasattr(ctx, "where") else "?",
             )
         # The device-side process inherits the command's span, then the
@@ -392,6 +405,8 @@ class KvQueuePair:
     def _device_side(self, ticket: CommandTicket, ctx: Any) -> Generator:
         """Decode + execute + result DMA for one in-flight command."""
         env = self.env
+        if self.device_ctx is not None:
+            ctx = self.device_ctx()
         try:
             completion = yield from self.executor.execute(ticket.command, ctx)
             if completion.ok:
@@ -419,7 +434,7 @@ class KvQueuePair:
         if ticket.cp_token is not None:
             critpath = self.env.critpath
             if critpath is not None:
-                critpath.release("qp.host-kv", ticket.cp_token)
+                critpath.release(f"qp.{self.name}", ticket.cp_token)
             ticket.cp_token = None
 
     def submit(
@@ -464,8 +479,9 @@ class KvQueuePair:
         yield from self.link.send(COMMAND_WIRE_BYTES + payload)
         ticket.submitted_at = env.now
         self.submitted += 1
+        exec_ctx = self.device_ctx() if self.device_ctx is not None else ctx
         try:
-            completion = yield from self.executor.execute(command, ctx)
+            completion = yield from self.executor.execute(command, exec_ctx)
             if completion.ok:
                 nbytes = self.result_bytes(command, completion.value)
                 yield from self.link.receive(nbytes)
@@ -568,9 +584,9 @@ class KvQueuePair:
             and self.env.now > ticket.completed_at
         ):
             critpath.record_edge(
-                "cq.host-kv", "cq_reap", ticket.completed_at, self.env.now,
+                f"cq.{self.name}", "cq_reap", ticket.completed_at, self.env.now,
                 ticket.span.name, ticket.span.span_id,
-                critpath.holders("qp.host-kv"),
+                critpath.holders(f"qp.{self.name}"),
             )
 
     def _reap(self, ticket: CommandTicket) -> None:
@@ -584,7 +600,7 @@ class KvQueuePair:
         queued, executed = ticket.latency_split()
         journal_event(
             self.env, "cq.reap",
-            cid=ticket.cid, op=ticket.op,
+            cid=ticket.cid, op=ticket.op, qp=self.name,
             status=ticket.completion.status if ticket.completion else "FAILED",
             queued=queued, executed=executed,
         )

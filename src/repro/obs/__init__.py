@@ -73,6 +73,8 @@ __all__ = [
     "MetricsHub",
     "install_tracer",
     "install_observability",
+    "install_cluster_observability",
+    "register_device_metrics",
     "trace_span",
     "trace_wait",
     "DEFAULT_RULES",
@@ -138,12 +140,62 @@ def __getattr__(name: str) -> Any:
     return value
 
 
+def register_device_metrics(
+    hub: MetricsHub,
+    device: Optional[Any] = None,
+    ssd: Optional[Any] = None,
+    link: Optional[Any] = None,
+    prefix: str = "",
+) -> None:
+    """Register one device's stats/gauges on ``hub`` under ``prefix``.
+
+    ``prefix`` scopes every registration name (``dev0.`` gives
+    ``dev0.kvcsd``, ``dev0.host-kv``, ``dev0.soc.query_queue_depth``, ...)
+    so N-device cluster runs never collide on the hub's series keys — a
+    collision silently overwrites the earlier gauge.  The default empty
+    prefix keeps single-device names byte-identical to what they always
+    were.  SSD and link registrations use the component's own ``name``
+    (cluster testbeds already name those per device), not the prefix.
+    """
+    if device is not None:
+        hub.register_registry(f"{prefix}kvcsd", device.stats)
+        cache = getattr(device, "block_cache", None)
+        if cache is not None:
+            hub.register_registry(f"{prefix}block_cache", cache.stats)
+        board = getattr(device, "board", None)
+        if board is not None:
+            hub.register_queue_pair(f"{prefix}soc-ssd", board.qp)
+            dram = getattr(board, "dram", None)
+            if dram is not None:
+                for name, fn in dram.metric_gauges().items():
+                    hub.register_gauge(f"{prefix}{name}", fn)
+        for i, qp in enumerate(getattr(device, "host_qps", [])):
+            hub.register_queue_pair(
+                f"{prefix}host-kv" if i == 0 else f"{prefix}host-kv-{i}", qp
+            )
+        scheduler = getattr(device, "query_scheduler", None)
+        if scheduler is not None:
+            for name, fn in scheduler.metric_gauges().items():
+                hub.register_gauge(f"{prefix}{name}", fn)
+        zones = getattr(device, "zone_manager", None)
+        if zones is not None:
+            for name, fn in zones.metric_gauges().items():
+                hub.register_gauge(f"{prefix}{name}", fn)
+    if ssd is not None:
+        ssd_name = getattr(ssd, "name", "ssd")
+        hub.register_io(ssd_name, ssd.stats)
+        hub.register_faults(ssd_name, ssd)
+    if link is not None:
+        hub.register_link(getattr(link, "name", "link"), link)
+
+
 def install_observability(
     env: Any,
     device: Optional[Any] = None,
     ssd: Optional[Any] = None,
     link: Optional[Any] = None,
     retain_spans: bool = True,
+    prefix: str = "",
 ) -> tuple[Tracer, MetricsHub]:
     """Wire a tracer + hub onto one testbed's components.
 
@@ -154,35 +206,42 @@ def install_observability(
     depth gauges, and the instantaneous gauges (scheduler queue depth,
     DRAM budget pressure, zone-pool occupancy) the timeline samples, then
     installs a tracer feeding per-op latency histograms into the hub.
+    ``prefix`` scopes the registration names (see
+    :func:`register_device_metrics`).
     """
     hub = MetricsHub()
-    if device is not None:
-        hub.register_registry("kvcsd", device.stats)
-        cache = getattr(device, "block_cache", None)
-        if cache is not None:
-            hub.register_registry("block_cache", cache.stats)
-        board = getattr(device, "board", None)
-        if board is not None:
-            hub.register_queue_pair("soc-ssd", board.qp)
-            dram = getattr(board, "dram", None)
-            if dram is not None:
-                for name, fn in dram.metric_gauges().items():
-                    hub.register_gauge(name, fn)
-        for i, qp in enumerate(getattr(device, "host_qps", [])):
-            hub.register_queue_pair("host-kv" if i == 0 else f"host-kv-{i}", qp)
-        scheduler = getattr(device, "query_scheduler", None)
-        if scheduler is not None:
-            for name, fn in scheduler.metric_gauges().items():
-                hub.register_gauge(name, fn)
-        zones = getattr(device, "zone_manager", None)
-        if zones is not None:
-            for name, fn in zones.metric_gauges().items():
-                hub.register_gauge(name, fn)
-    if ssd is not None:
-        ssd_name = getattr(ssd, "name", "ssd")
-        hub.register_io(ssd_name, ssd.stats)
-        hub.register_faults(ssd_name, ssd)
-    if link is not None:
-        hub.register_link(getattr(link, "name", "link"), link)
+    register_device_metrics(hub, device=device, ssd=ssd, link=link, prefix=prefix)
+    tracer = install_tracer(env, hub=hub, retain_spans=retain_spans)
+    return tracer, hub
+
+
+def install_cluster_observability(
+    env: Any,
+    nodes: Any,
+    router: Optional[Any] = None,
+    retain_spans: bool = True,
+) -> tuple[Tracer, MetricsHub]:
+    """One tracer + hub spanning every device of a cluster testbed.
+
+    ``nodes`` is an iterable of objects with ``name``/``device``/``ssd``/
+    ``link`` attributes (the cluster testbed's per-device nodes).  Each
+    node's registrations are scoped by ``f"{node.name}."`` so eight
+    devices publish eight distinct ``devN.host-kv`` queue gauges instead
+    of silently overwriting one.  When ``router`` is given its ring/
+    migration gauges are registered unprefixed (they are cluster-level,
+    not per-device).
+    """
+    hub = MetricsHub()
+    for node in nodes:
+        register_device_metrics(
+            hub,
+            device=node.device,
+            ssd=node.ssd,
+            link=node.link,
+            prefix=f"{node.name}.",
+        )
+    if router is not None:
+        for name, fn in router.metric_gauges().items():
+            hub.register_gauge(name, fn)
     tracer = install_tracer(env, hub=hub, retain_spans=retain_spans)
     return tracer, hub

@@ -78,6 +78,12 @@ EVENT_TYPES = frozenset(
         # SLO watchdog (timeline alert transitions)
         "slo.alert_fire",
         "slo.alert_clear",
+        # cluster router: ring changes + online keyspace migration
+        "ring.change_begin",
+        "ring.change_end",
+        "migrate.slice_begin",
+        "migrate.slice_end",
+        "migrate.cutover",
     }
 )
 

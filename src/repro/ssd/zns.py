@@ -102,7 +102,8 @@ class ZnsSsd:
                 self.faults.check_write()
             except StorageError:
                 journal_event(
-                    self.env, "fault.trip", op="write", zone=zone_id
+                    self.env, "fault.trip", dev=self.name, op="write",
+                    zone=zone_id,
                 )
                 raise
         offset = zone.append(bytes(data))  # validates state/space, claims range
@@ -119,7 +120,10 @@ class ZnsSsd:
             try:
                 self.faults.check_read()
             except StorageError:
-                journal_event(self.env, "fault.trip", op="read", zone=zone_id)
+                journal_event(
+                    self.env, "fault.trip", dev=self.name, op="read",
+                    zone=zone_id,
+                )
                 raise
         data = zone.read(offset, length)  # validates the range
         yield from self._occupy_channel(

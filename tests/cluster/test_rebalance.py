@@ -1,0 +1,183 @@
+"""Online rebalancing: ring changes migrate data without losing reads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import build_cluster_testbed, execute_ring_change, plan_ring_change
+from repro.errors import SimulationError
+from repro.workloads import SyntheticSpec, generate_pairs, load_phase, run_phase
+
+
+def _pairs(n: int, seed: int = 17):
+    return generate_pairs(
+        SyntheticSpec(n_pairs=n, key_bytes=16, value_bytes=32, seed=seed)
+    )
+
+
+def _sealed_cluster(n_devices: int, ring_devices: tuple[str, ...], pairs):
+    from repro.cluster import HashRing
+
+    tb = build_cluster_testbed(
+        n_devices=n_devices, seed=17, ring=HashRing(ring_devices)
+    )
+    load_phase(tb.env, tb.adapter, [("ks", pairs, tb.thread_ctx(0))])
+
+    def ready():
+        yield from tb.adapter.prepare_queries("ks", tb.thread_ctx(0))
+
+    tb.env.run(tb.env.process(ready()))
+    return tb
+
+
+class TestPlan:
+    def test_plan_lists_sealed_keyspaces(self):
+        pairs = _pairs(256)
+        tb = _sealed_cluster(3, ("dev0", "dev1"), pairs)
+        new_ring = tb.router.ring.add_device("dev2")
+        change = plan_ring_change(tb.router, new_ring)
+        assert "ks" in change.keyspaces
+        assert "dev2" in change.devices_added
+
+    def test_plan_rejects_devices_outside_fleet(self):
+        pairs = _pairs(256)
+        tb = _sealed_cluster(2, ("dev0", "dev1"), pairs)
+        with pytest.raises(SimulationError):
+            plan_ring_change(tb.router, tb.router.ring.add_device("dev7"))
+
+
+class TestExecute:
+    def test_migration_preserves_every_pair(self):
+        pairs = _pairs(768)
+        tb = _sealed_cluster(3, ("dev0", "dev1"), pairs)
+        new_ring = tb.router.ring.add_device("dev2")
+
+        def migrate():
+            return (
+                yield from execute_ring_change(
+                    tb.router, new_ring, tb.thread_ctx(1)
+                )
+            )
+
+        out = {}
+
+        def body():
+            out["report"] = yield from migrate()
+
+        tb.env.run(tb.env.process(body()))
+        report = out["report"]
+        assert report.moved_pairs > 0
+        assert report.mismatches == 0
+        assert report.verified_pairs == report.moved_pairs
+        # ~1/3 of keys move to the new device; consistent hashing bounds it
+        assert 0.15 < report.moved_pairs / len(pairs) < 0.55
+        # the new device physically received the fragment
+        assert tb.node("dev2").ssd.stats.bytes_written > 0
+        assert tb.router.ring is new_ring
+
+        def verify():
+            ctx = tb.thread_ctx(2)
+            for key, value in pairs:
+                got = yield from tb.router.get("ks", key, ctx)
+                assert got == value
+            rows = yield from tb.router.range_query(
+                "ks", b"", b"\xff" * 17, ctx
+            )
+            assert rows == sorted(pairs)
+            return True
+
+        ok = {}
+
+        def vbody():
+            ok["v"] = yield from verify()
+
+        tb.env.run(tb.env.process(vbody()))
+        assert ok["v"]
+
+    def test_foreground_reads_survive_migration(self):
+        pairs = _pairs(768)
+        tb = _sealed_cluster(3, ("dev0", "dev1"), pairs)
+        new_ring = tb.router.ring.add_device("dev2")
+        state = {"done": False, "reads": 0}
+
+        def migrator():
+            yield from execute_ring_change(tb.router, new_ring, tb.thread_ctx(0))
+            state["done"] = True
+
+        def reader(t: int):
+            ctx = tb.thread_ctx(1 + t)
+            i = t
+            while not state["done"]:
+                key, value = pairs[i % len(pairs)]
+                got = yield from tb.router.get("ks", key, ctx)
+                assert got == value
+                state["reads"] += 1
+                i += 7
+
+        run_phase(tb.env, [migrator(), reader(0), reader(1)])
+        assert state["reads"] > 0
+        assert tb.router.counters["stale_reads"] == 0
+
+    def test_noop_ring_change_moves_nothing(self):
+        pairs = _pairs(256)
+        tb = _sealed_cluster(2, ("dev0", "dev1"), pairs)
+        same_ring = tb.router.ring.with_devices(("dev0", "dev1"))
+
+        out = {}
+
+        def body():
+            out["report"] = yield from execute_ring_change(
+                tb.router, same_ring, tb.thread_ctx(0)
+            )
+
+        tb.env.run(tb.env.process(body()))
+        assert out["report"].moved_pairs == 0
+
+    def test_unsealed_keyspaces_are_skipped(self):
+        pairs = _pairs(256)
+        tb = _sealed_cluster(3, ("dev0", "dev1"), pairs)
+
+        def make_open():
+            ctx = tb.thread_ctx(0)
+            yield from tb.router.create_keyspace("open-ks", ctx)
+            yield from tb.router.open_keyspace("open-ks", ctx)
+            yield from tb.router.put("open-ks", b"k", b"v", ctx)
+
+        tb.env.run(tb.env.process(make_open()))
+        change = plan_ring_change(
+            tb.router, tb.router.ring.add_device("dev2")
+        )
+        assert "open-ks" in change.skipped
+        assert "ks" in change.keyspaces
+
+    def test_second_migration_chains_epochs(self):
+        """dev2 joins, then dev3: the epoch chain resolves every key."""
+        pairs = _pairs(512)
+        tb = _sealed_cluster(4, ("dev0", "dev1"), pairs)
+
+        def grow(name):
+            def body():
+                yield from execute_ring_change(
+                    tb.router, tb.router.ring.add_device(name), tb.thread_ctx(0)
+                )
+
+            tb.env.run(tb.env.process(body()))
+
+        grow("dev2")
+        grow("dev3")
+
+        def verify():
+            ctx = tb.thread_ctx(1)
+            for key, value in pairs[::5]:
+                got = yield from tb.router.get("ks", key, ctx)
+                assert got == value
+            return True
+
+        out = {}
+
+        def vbody():
+            out["v"] = yield from verify()
+
+        tb.env.run(tb.env.process(vbody()))
+        assert out["v"]
+        assert len(tb.router.keyspaces["ks"].rings) == 3
