@@ -21,6 +21,7 @@ Regenerate baselines (only when a change is *supposed* to move them)::
     PYTHONPATH=src python -m repro qd-bench    --smoke --out results/baselines/smoke/BENCH_qd.json
     PYTHONPATH=src python -m repro scale-bench --smoke --out results/baselines/smoke/BENCH_scale.json
     PYTHONPATH=src python -m repro cluster-bench --smoke --out results/baselines/smoke/BENCH_cluster.json
+    PYTHONPATH=src python -m repro crash-bench --smoke --out results/baselines/smoke/BENCH_crash.json
 
 Usage::
 
@@ -58,6 +59,11 @@ GATES: list[tuple[str, str, str, float]] = [
     ("BENCH_cluster.json", "get_speedup_max", "higher", 0.10),
     ("BENCH_cluster.json", "put_speedup_max", "higher", 0.10),
     ("BENCH_cluster.json", "rebalance.p99_ratio", "lower", 0.10),
+    # Crash campaign: every sampled power cut must remount clean (no
+    # tolerance — a single lost ack is a durability bug, not a perf wobble),
+    # and staged-mount latency on the recovery curve must not creep.
+    ("BENCH_crash.json", "campaign.clean_fraction", "higher", 0.0),
+    ("BENCH_crash.json", "mount.max_seconds", "lower", 0.05),
 ]
 
 #: Reported for context in the comparison artifact, never gated.

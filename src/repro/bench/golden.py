@@ -425,6 +425,87 @@ def _fp_cluster_router() -> dict:
     return fp
 
 
+def _fp_crash_recovery() -> dict:
+    """Durable metadata + staged mount: power cycle mid-life, then serve.
+
+    Pins the durability determinism contract: the v2 metadata checkpoint
+    stream, the bloom annex, and the five-stage ``recover()`` pipeline must
+    replay to the same virtual-clock checkpoints and the same bytes every
+    run.  A compacted keyspace and a writable delta keyspace are built, the
+    SoC is replaced (DRAM gone, NAND intact — the same remount recipe the
+    crash campaign uses), and the mounted device serves GETs whose values
+    are digest-pinned along with per-stage mount timings.
+    """
+    from repro.core import KvCsdClient, KvCsdDevice
+    from repro.errors import KeyNotFoundError
+    from repro.soc import SocBoard
+
+    pairs = _pairs(2048, seed=61)
+    delta = [(b"d-" + k, v) for k, v in pairs[:256]]
+    kv = build_kvcsd_testbed(seed=61, durable_meta=True, bloom_bits_per_key=10)
+    fp: dict = {}
+    load_phase(kv.env, kv.adapter, [("ks", pairs, kv.thread_ctx(0))])
+    fp["now_after_load"] = _hx(kv.env.now)
+
+    def ready():
+        yield from kv.adapter.prepare_queries("ks", kv.thread_ctx(0))
+        # a writable delta keyspace exercises the KLOG rescan stage
+        yield from kv.client.create_keyspace("delta", kv.thread_ctx(0))
+        yield from kv.client.open_keyspace("delta", kv.thread_ctx(0))
+        yield from kv.client.bulk_put("delta", delta, kv.thread_ctx(0))
+        yield from kv.client.fsync("delta", kv.thread_ctx(0))
+        # a dropped keyspace forces an A/B metadata checkpoint (epoch bump)
+        yield from kv.client.create_keyspace("scratch", kv.thread_ctx(0))
+        yield from kv.client.open_keyspace("scratch", kv.thread_ctx(0))
+        yield from kv.client.bulk_put("scratch", delta[:32], kv.thread_ctx(0))
+        yield from kv.client.fsync("scratch", kv.thread_ctx(0))
+        yield from kv.client.delete_keyspace("scratch", kv.thread_ctx(0))
+
+    kv.env.run(kv.env.process(ready()))
+    fp["now_after_prepare"] = _hx(kv.env.now)
+    fp["meta_epoch_before"] = kv.device.introspect()["metadata_zone"]["epoch"]
+
+    # Power cycle: a fresh SoC + device mount the same (non-volatile) flash.
+    kv.board = SocBoard(kv.env, kv.ssd, spec=kv.board.spec)
+    kv.device = KvCsdDevice(kv.board, rng=np.random.default_rng(62))
+    kv.client = KvCsdClient(kv.device, kv.link)
+    t0 = kv.env.now
+    kv.env.run(kv.env.process(kv.device.recover(kv.thread_ctx(0))))
+    fp["mount_seconds"] = _hx(kv.env.now - t0)
+    snap = kv.device.introspect()
+    fp["mount_stages"] = _jsonable(snap["mount_stages"])
+    fp["meta_epoch_after"] = snap["metadata_zone"]["epoch"]
+
+    rng = np.random.default_rng(61)
+    keys = [pairs[i][0] for i in rng.integers(0, len(pairs), size=96)]
+    keys += [delta[i][0] for i in rng.integers(0, len(delta), size=32)]
+    names = ["ks"] * 96 + ["delta"] * 32
+    out: list = []
+
+    def serve():
+        # a recovered writable keyspace compacts from its rescanned KLOG
+        yield from kv.client.compact("delta", kv.thread_ctx(0))
+        yield from kv.client.wait_for_device("delta", kv.thread_ctx(0))
+        for name, key in zip(names, keys):
+            out.append((yield from kv.client.get(name, key, kv.thread_ctx(1))))
+        # absent probes prove the annex-reloaded blooms still filter
+        for i in rng.integers(0, len(pairs), size=64):
+            missing = pairs[i][0][:-1] + b"\xff"
+            try:
+                yield from kv.client.get("ks", missing, kv.thread_ctx(1))
+            except KeyNotFoundError:
+                continue
+            raise AssertionError("absent probe unexpectedly found a value")
+
+    kv.env.run(kv.env.process(serve()))
+    fp["now_after_recovered_gets"] = _hx(kv.env.now)
+    fp["get_values"] = _digest(out)
+    fp["io"] = _io_fp(kv)
+    fp["link"] = _link_fp(kv)
+    fp["device_stats"] = _jsonable(kv.device.stats.as_dict())
+    return fp
+
+
 def _fp_lsm_baseline() -> dict:
     """The RocksDB-style baseline: memtable flushes + compaction + GETs."""
     pairs = _pairs(1024, seed=7)
@@ -456,6 +537,7 @@ GOLDEN_WORKLOADS = {
     "async_qd16": _fp_async_qd,
     "mixed_contention": _fp_mixed_contention,
     "cluster_router_2dev": _fp_cluster_router,
+    "crash_recovery": _fp_crash_recovery,
     "lsm_baseline": _fp_lsm_baseline,
 }
 

@@ -16,6 +16,10 @@ Commands:
   read/update run (``--out results/BENCH_scale.json``);
 * ``cluster-bench``        — scale-out router sweep over 1..N devices plus
   online rebalancing under load (``--out results/BENCH_cluster.json``);
+* ``crash-bench``          — randomized crash-injection campaign (power cuts
+  at arbitrary journal events plus torn metadata/log appends) with staged
+  remount verification and recovery-time-vs-data-volume curves
+  (``--out results/BENCH_crash.json``);
 * ``trace``                — run a traced workload, dump a Chrome-trace
   timeline and print the per-command latency-attribution table;
 * ``metrics``              — run a traced workload and dump a
@@ -248,6 +252,36 @@ def _cmd_cluster_bench(args) -> int:
     for check in result.checks():
         print(check)
         ok = ok and check.passed
+    if args.out:
+        write_json(result, args.out)
+        print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+def _cmd_crash_bench(args) -> int:
+    from dataclasses import replace
+
+    from repro.bench.crash import CrashBenchConfig, run_crash_bench, write_json
+
+    config = CrashBenchConfig.smoke() if args.smoke else CrashBenchConfig()
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    if args.event_points is not None:
+        config = replace(config, n_event_points=args.event_points)
+    if args.torn_points is not None:
+        config = replace(config, n_torn_points=args.torn_points)
+    result = run_crash_bench(config)
+    print(result.table())
+    ok = True
+    for check in result.checks():
+        print(check)
+        ok = ok and check.passed
+    for point in result.failed_points:
+        print(
+            f"FAILED {point['workload']} {point['kind']}@{point['at']}: "
+            f"{'; '.join(point['failures'])}",
+            file=sys.stderr,
+        )
     if args.out:
         write_json(result, args.out)
         print(f"wrote {args.out}")
@@ -755,6 +789,28 @@ def build_parser() -> argparse.ArgumentParser:
         "report with device-labeled resources",
     )
     cluster.set_defaults(func=_cmd_cluster_bench)
+    crash = sub.add_parser(
+        "crash-bench",
+        help="randomized crash-injection campaign + recovery-time curves",
+    )
+    crash.add_argument(
+        "--smoke", action="store_true", help="reduced configuration for CI"
+    )
+    crash.add_argument(
+        "--seed", type=int, default=None, help="campaign RNG seed"
+    )
+    crash.add_argument(
+        "--event-points", type=int, default=None,
+        help="power-cut points per workload (sampled journal events)",
+    )
+    crash.add_argument(
+        "--torn-points", type=int, default=None,
+        help="torn-append points per workload (sampled flash writes)",
+    )
+    crash.add_argument(
+        "--out", default=None, help="write JSON results to this path"
+    )
+    crash.set_defaults(func=_cmd_crash_bench)
     trace = sub.add_parser(
         "trace",
         help="run a traced workload, export a Chrome-trace timeline",

@@ -40,6 +40,8 @@ class CsdCostModel:
     cache_lookup: float = nsec(150)  #: probe the SoC DRAM block cache
     bloom_probe: float = nsec(90)  #: hash + test one key against a block bloom
     bloom_build_per_key: float = nsec(110)  #: hash + set bits for one key
+    checksum_per_byte: float = nsec(0.3)  #: CRC a durable metadata frame
+    bloom_reload_per_byte: float = nsec(0.5)  #: deserialize a persisted bloom
 
     def __post_init__(self) -> None:
         for field_name, value in self.__dict__.items():

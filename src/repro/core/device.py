@@ -24,9 +24,13 @@ import numpy as np
 from repro.core.block_cache import BlockCache
 from repro.core.costs import CsdCostModel
 from repro.core.keyspace import Keyspace, KeyspaceState
-from repro.core.klog import pack_klog_records, unpack_klog_records
+from repro.core.klog import (
+    pack_klog_records,
+    unpack_klog_records,
+    unpack_klog_records_prefix,
+)
 from repro.core.membuf import MEMBUF_BYTES, MemBuffer
-from repro.core.metadata import encode_delete, encode_upsert, replay_records
+from repro.core.meta import META_V1, META_V2, MetaCodec, MetaStream, choose_stream
 from repro.core.pidx import (
     PidxSketch,
     build_pidx_blocks,
@@ -50,6 +54,7 @@ from repro.errors import (
     KeyspaceExistsError,
     KeyspaceNotFoundError,
     KeyspaceStateError,
+    ReproError,
     SecondaryIndexError,
     ZoneFullError,
 )
@@ -71,6 +76,12 @@ __all__ = ["KvCsdDevice"]
 FLUSH_GROUP_BYTES = 48 * KiB
 #: The fixed zone holding the keyspace table (Section IV's metadata zone).
 METADATA_ZONE_ID = 0
+#: The checkpoint standby zone (``durable_meta`` only): checkpoints are
+#: written here sealed, then the zones swap roles — a crash anywhere inside
+#: a checkpoint leaves the previous sealed stream intact.
+METADATA_STANDBY_ZONE_ID = 1
+#: Mount pipeline stage names, in execution order.
+MOUNT_STAGES = ("scan", "replay", "indexes", "rescan", "reclaim")
 
 
 class KvCsdDevice:
@@ -162,9 +173,26 @@ class KvCsdDevice:
         #: host-side KV queue pairs registered by clients, so the auditor's
         #: queue-accounting invariant covers the host in-flight set too
         self.host_qps: list = []
+        #: durable-metadata mode: v2 checksummed records, persisted blooms,
+        #: A/B checkpoint zones.  Off (default) keeps the legacy v1 stream
+        #: byte-identical.
+        self.durable_meta = board.spec.durable_meta
+        self.meta_codec = MetaCodec(META_V2 if self.durable_meta else META_V1)
+        #: checkpoint epoch of the active metadata stream (durable mode)
+        self._meta_epoch = 0
+        #: per-stage virtual-time latency of the most recent mount
+        self._mount_stages: dict[str, float] = {}
+        #: errors raised by offloaded jobs, surfaced by :meth:`wait_for_jobs`
+        self._job_errors: dict[str, list[Exception]] = {}
         #: the keyspace table's backing store is a fixed, well-known zone so
         #: a remounted device finds it after a power cycle
         self._metadata_cluster = self.zone_manager.reserve_zone(METADATA_ZONE_ID)
+        #: the A/B partner zone for sealed checkpoints (durable mode only)
+        self._metadata_standby = (
+            self.zone_manager.reserve_zone(METADATA_STANDBY_ZONE_ID)
+            if self.durable_meta
+            else None
+        )
 
     # ------------------------------------------------------------------ plumbing
     def register_host_qp(self, qp) -> None:
@@ -251,11 +279,15 @@ class KvCsdDevice:
         reset, then snapshot every live keyspace.
         """
         if ks is not None:
-            record = encode_upsert(ks, self._seqs.get(ks.name, 0))
+            record = self.meta_codec.encode_upsert(ks, self._seqs.get(ks.name, 0))
         else:
             record = None
         try:
             if record is not None:
+                if self.durable_meta:
+                    yield from self._exec(
+                        ctx, self.costs.checksum_per_byte * len(record)
+                    )
                 yield from self._metadata_cluster.append_group(record)
             else:
                 yield from self._checkpoint_metadata(ctx)
@@ -265,21 +297,68 @@ class KvCsdDevice:
 
     def _metadata_delete(self, ctx: ThreadCtx, name: str) -> Generator:
         """Record a keyspace deletion."""
+        record = self.meta_codec.encode_delete(name)
         try:
-            yield from self._metadata_cluster.append_group(encode_delete(name))
+            if self.durable_meta:
+                yield from self._exec(ctx, self.costs.checksum_per_byte * len(record))
+            yield from self._metadata_cluster.append_group(record)
         except ZoneFullError:
             yield from self._checkpoint_metadata(ctx)
         self.stats.counter("metadata_updates").add()
 
     def _checkpoint_metadata(self, ctx: ThreadCtx) -> Generator:
-        """Reset the metadata zone and snapshot the whole keyspace table."""
-        for zone_id in self._metadata_cluster.zone_ids:
-            yield from self.ssd.reset_zone(zone_id)
+        """Snapshot the whole keyspace table into a fresh metadata stream.
+
+        Legacy mode rewrites the single metadata zone in place (reset, then
+        snapshot every live keyspace) — the historical byte-identical path,
+        with a crash window between reset and rewrite.  Durable mode closes
+        that window with A/B checkpointing: the snapshot is written to the
+        *standby* zone as ``EPOCH(n+1) | upserts | COMMIT(n+1)``, the zones
+        swap roles, and only then is the old stream erased.  A crash at any
+        point leaves at least one sealed stream for mount to choose.
+        """
+        if not self.durable_meta:
+            for zone_id in self._metadata_cluster.zone_ids:
+                yield from self.ssd.reset_zone(zone_id)
+            for name in sorted(self.keyspaces):
+                snapshot = self.meta_codec.encode_upsert(
+                    self.keyspaces[name], self._seqs.get(name, 0)
+                )
+                yield from self._metadata_cluster.append_group(snapshot)
+            self.stats.counter("metadata_checkpoints").add()
+            self._journal("metadata.checkpoint", keyspaces=len(self.keyspaces))
+            return
+        target = self._metadata_standby
+        for zone_id in target.zone_ids:
+            if self.ssd.zone(zone_id).write_pointer:
+                yield from self.ssd.reset_zone(zone_id)
+        epoch = self._meta_epoch + 1
+        records = [self.meta_codec.encode_epoch(epoch)]
         for name in sorted(self.keyspaces):
-            snapshot = encode_upsert(self.keyspaces[name], self._seqs.get(name, 0))
-            yield from self._metadata_cluster.append_group(snapshot)
+            records.append(
+                self.meta_codec.encode_upsert(
+                    self.keyspaces[name], self._seqs.get(name, 0)
+                )
+            )
+        records.append(self.meta_codec.encode_commit(epoch))
+        yield from self._exec(
+            ctx, self.costs.checksum_per_byte * sum(len(r) for r in records)
+        )
+        for record in records:
+            yield from target.append_group(record)
+        # The commit landed: swap roles, then retire the old stream.
+        self._metadata_cluster, self._metadata_standby = (
+            target,
+            self._metadata_cluster,
+        )
+        for zone_id in self._metadata_standby.zone_ids:
+            yield from self.ssd.reset_zone(zone_id)
+        self._meta_epoch = epoch
         self.stats.counter("metadata_checkpoints").add()
-        self._journal("metadata.checkpoint", keyspaces=len(self.keyspaces))
+        self._journal("metadata.checkpoint",
+            keyspaces=len(self.keyspaces),
+            epoch=epoch,
+        )
 
     def _append_stream(
         self,
@@ -346,6 +425,13 @@ class KvCsdDevice:
         ks.deletion_pending = True
         for job in list(self._jobs.get(name, [])):
             yield job
+        if self.durable_meta:
+            # Crash-safe ordering: persist the delete record *before*
+            # touching the data zones.  A cut before the record leaves the
+            # keyspace fully intact; a cut after it leaves orphan zones the
+            # next mount reclaims.  (The legacy path keeps its historical
+            # release-then-record order byte-identical.)
+            yield from self._metadata_delete(ctx, name)
         for cluster in ks.all_clusters():
             yield from self._release_cluster(cluster)
         bloom_bytes = self._bloom_dram.pop(name, 0)
@@ -356,7 +442,8 @@ class KvCsdDevice:
         self._write_locks.pop(name, None)
         self._seqs.pop(name, None)
         self._jobs.pop(name, None)
-        yield from self._metadata_delete(ctx, name)
+        if not self.durable_meta:
+            yield from self._metadata_delete(ctx, name)
         self.stats.counter("keyspaces_deleted").add()
         self._journal("keyspace.delete", keyspace=name)
 
@@ -365,75 +452,260 @@ class KvCsdDevice:
         return sorted(self.keyspaces)
 
     # ------------------------------------------------------------------ mount/recovery
+    @contextmanager
+    def _mount_stage(self, stage: str, fields: dict | None = None):
+        """Bracket one mount stage with journal events + latency accounting.
+
+        ``fields`` is a caller-owned dict the stage body may fill in; its
+        contents ride on the ``mount.stage_end`` event.  Stage events record
+        no simulation events, so an instrumented mount's virtual timeline is
+        identical to an uninstrumented one.
+        """
+        t0 = self.env.now
+        self._journal("mount.stage_begin", stage=stage)
+        yield
+        seconds = self.env.now - t0
+        self._mount_stages[stage] = seconds
+        self._journal(
+            "mount.stage_end", stage=stage, seconds=seconds, **(fields or {})
+        )
+
     def recover(self, ctx: ThreadCtx) -> Generator:
         """Rebuild the keyspace table after a device power cycle.
 
-        Replays the metadata zone to restore keyspace states, zone-cluster
-        mappings and index sketches; re-derives sequence numbers and pair
-        counts of WRITABLE keyspaces by scanning their KLOGs (the log tail
-        may postdate the last table write); reverts keyspaces that were
-        COMPACTING to WRITABLE (their logs are intact, the job is simply
-        re-run); and resets orphan zones (partial compaction outputs).
+        A staged, auditable mount pipeline; each stage emits
+        ``mount.stage_begin``/``mount.stage_end`` journal events, records
+        its virtual-time latency in :attr:`_mount_stages`, and leaves the
+        device snapshot-able via ``repro.obs.inspect.device_snapshot``:
+
+        1. **scan** — read the metadata zone(s).  Durable devices parse
+           both A/B streams and mount the sealed stream with the highest
+           epoch, so a crash inside a checkpoint falls back to the previous
+           sealed snapshot; a torn record tail is detected (v2 CRC frames)
+           and the intact prefix applied.
+        2. **replay** — rebuild the keyspace table: states, zone-cluster
+           maps, sketches, sequence numbers.  Keyspaces caught COMPACTING
+           revert to WRITABLE (their logs are intact, the job re-runs).
+        3. **indexes** — re-attach persisted PIDX/SIDX block blooms (v2
+           annexes), charging DRAM for them; COMPACTED keyspaces whose
+           stream carried no blooms fall back to a bounded reconstruction
+           from the PIDX blocks themselves.
+        4. **rescan** — re-derive seq/pair-count/key-bounds of WRITABLE
+           keyspaces from their KLOG tails (the log may postdate the last
+           table write).
+        5. **reclaim** — reset orphan zones (partial job outputs nobody
+           references) and reconcile the zone manager's free list through
+           the public :meth:`ZoneManager.reconcile_free_list` API.
 
         Data buffered in the 192 KB membuf at power loss is gone — the same
         volatility window a real device has unless it flushes on plug-pull.
         """
         if self.keyspaces:
             raise DbError("recover() requires a freshly constructed device")
-        wp = self.ssd.zone(METADATA_ZONE_ID).write_pointer
-        blob = b""
-        if wp:
-            blob = yield from self.ssd.read(METADATA_ZONE_ID, 0, wp)
-        table = replay_records(blob, self.ssd)
-        used_zones: set[int] = set(self._metadata_cluster.zone_ids)
-        for name, (ks, last_seq) in table.items():
-            if ks.state is KeyspaceState.COMPACTING:
-                # The job died with the power; its inputs (KLOG/VLOG) are
-                # referenced by the recovered record, its partial outputs are
-                # orphans cleaned below.
-                ks.state = KeyspaceState.WRITABLE
-            self.keyspaces[name] = ks
-            self._membufs[name] = MemBuffer(self.membuf_bytes)
-            self._write_locks[name] = Resource(self.env, capacity=1)
-            self._jobs[name] = []
-            self._seqs[name] = last_seq
-            for cluster in ks.all_clusters():
-                used_zones.update(cluster.zone_ids)
-            if ks.state is KeyspaceState.WRITABLE and ks.klog_clusters:
-                yield from self._rescan_klog(ks, ctx)
-            self._journal(
-                "keyspace.recover", keyspace=name, state=ks.state.value
-            )
-        self.zone_manager.mark_used(sorted(used_zones))
-        # Orphans: written zones nobody references (failed jobs, torn flushes).
         from repro.ssd.zone import ZoneState
 
-        for zone in self.ssd.zones:
-            if zone.state is not ZoneState.EMPTY and zone.zone_id not in used_zones:
-                yield from self.ssd.reset_zone(zone.zone_id)
-                self.stats.counter("orphan_zones_reclaimed").add()
-        self.zone_manager.rebuild_free_list()
-        for zone in self.ssd.zones:
-            if (
-                zone.state is ZoneState.EMPTY
-                and zone.zone_id not in used_zones
-                and zone.zone_id not in self.zone_manager._free
-            ):
-                self.zone_manager._free.append(zone.zone_id)
+        self._mount_stages = {}
+
+        # ---- stage 1: superblock / metadata-zone scan
+        scan_fields: dict = {}
+        with self._mount_stage("scan", scan_fields):
+            zone_ids = [METADATA_ZONE_ID]
+            if self.durable_meta:
+                zone_ids.append(METADATA_STANDBY_ZONE_ID)
+            streams: list[MetaStream] = []
+            stream_zone: dict[int, int] = {}
+            for zone_id in zone_ids:
+                wp = self.ssd.zone(zone_id).write_pointer
+                blob = b""
+                if wp:
+                    blob = yield from self.ssd.read(zone_id, 0, wp)
+                if self.durable_meta and blob:
+                    yield from self._exec(
+                        ctx, self.costs.checksum_per_byte * len(blob)
+                    )
+                stream = self.meta_codec.parse_stream(blob, self.ssd)
+                stream_zone[id(stream)] = zone_id
+                streams.append(stream)
+            chosen = choose_stream(streams)
+            active_zone = stream_zone.get(id(chosen), METADATA_ZONE_ID)
+            if self.durable_meta and active_zone != METADATA_ZONE_ID:
+                # The sealed checkpoint lives in the standby zone: the dying
+                # device crashed after a swap; adopt its role assignment.
+                self._metadata_cluster, self._metadata_standby = (
+                    self._metadata_standby,
+                    self._metadata_cluster,
+                )
+            self._meta_epoch = chosen.epoch
+            scan_fields.update(
+                zones=len(streams),
+                active_zone=active_zone,
+                epoch=chosen.epoch,
+                records=chosen.records,
+                torn=chosen.torn,
+                crc_failures=sum(s.crc_failures for s in streams),
+            )
+            if chosen.torn or chosen.crc_failures:
+                self.stats.counter("metadata_torn_tails").add()
+
+        # ---- stage 2: keyspace-table replay
+        replay_fields: dict = {}
+        with self._mount_stage("replay", replay_fields):
+            used_zones: set[int] = set(self._metadata_cluster.zone_ids)
+            if self._metadata_standby is not None:
+                used_zones.update(self._metadata_standby.zone_ids)
+            for name, (ks, last_seq) in chosen.table.items():
+                if ks.state is KeyspaceState.COMPACTING:
+                    # The job died with the power; its inputs (KLOG/VLOG) are
+                    # referenced by the recovered record, its partial outputs
+                    # are orphans reclaimed in stage 5.
+                    ks.state = KeyspaceState.WRITABLE
+                self.keyspaces[name] = ks
+                self._membufs[name] = MemBuffer(self.membuf_bytes)
+                self._write_locks[name] = Resource(self.env, capacity=1)
+                self._jobs[name] = []
+                self._seqs[name] = last_seq
+                for cluster in ks.all_clusters():
+                    used_zones.update(cluster.zone_ids)
+                self._journal(
+                    "keyspace.recover", keyspace=name, state=ks.state.value
+                )
+            replay_fields["keyspaces"] = len(self.keyspaces)
+
+        # ---- stage 3: sketch/bloom reload (durable annexes), with bounded
+        # reconstruction fallback for COMPACTED keyspaces that lack blooms
+        indexes_fields: dict = {}
+        with self._mount_stage("indexes", indexes_fields):
+            reloaded = 0
+            reloaded_bytes = 0
+            rebuilt = 0
+            for name in sorted(self.keyspaces):
+                ks = self.keyspaces[name]
+                annex_bytes = chosen.bloom_bytes.get(name, 0)
+                if annex_bytes:
+                    n_blooms = (
+                        len(ks.pidx_sketch.blooms)
+                        if ks.pidx_sketch is not None
+                        else 0
+                    ) + sum(len(sk.blooms) for _cfg, sk in ks.sidx.values())
+                    yield from self._exec(
+                        ctx, self.costs.bloom_reload_per_byte * annex_bytes
+                    )
+                    yield from self.board.dram.reserve(annex_bytes)
+                    self._bloom_dram[name] = (
+                        self._bloom_dram.get(name, 0) + annex_bytes
+                    )
+                    reloaded += n_blooms
+                    reloaded_bytes += annex_bytes
+                    self._journal("sketch.reload",
+                        keyspace=name,
+                        blooms=n_blooms,
+                        bytes=annex_bytes,
+                    )
+                elif (
+                    self.durable_meta
+                    and self.bloom_bits_per_key
+                    and ks.state is KeyspaceState.COMPACTED
+                    and ks.pidx_sketch is not None
+                    and len(ks.pidx_sketch)
+                    and not ks.pidx_sketch.blooms
+                ):
+                    ok = yield from self._rebuild_blooms_bounded(ks, ctx)
+                    if ok:
+                        rebuilt += len(ks.pidx_sketch.blooms)
+            if reloaded:
+                self.stats.counter("blooms_reloaded").add(reloaded)
+                self.stats.counter("bloom_reload_bytes").add(reloaded_bytes)
+            indexes_fields.update(
+                blooms_reloaded=reloaded,
+                bloom_bytes=reloaded_bytes,
+                blooms_reconstructed=rebuilt,
+            )
+
+        # ---- stage 4: KLOG tail rescan
+        rescan_fields: dict = {}
+        with self._mount_stage("rescan", rescan_fields):
+            rescanned = 0
+            for name, (ks, _last_seq) in chosen.table.items():
+                ks = self.keyspaces[name]
+                if ks.state is KeyspaceState.WRITABLE and ks.klog_clusters:
+                    yield from self._rescan_klog(ks, ctx)
+                    rescanned += 1
+            rescan_fields["keyspaces"] = rescanned
+
+        # ---- stage 5: orphan-zone reclamation + free-list reconciliation
+        reclaim_fields: dict = {}
+        with self._mount_stage("reclaim", reclaim_fields):
+            self.zone_manager.mark_used(sorted(used_zones))
+            # Orphans: written zones nobody references (failed jobs, torn
+            # flushes, released-after-persist compaction inputs).
+            orphans = 0
+            for zone in self.ssd.zones:
+                if (
+                    zone.state is not ZoneState.EMPTY
+                    and zone.zone_id not in used_zones
+                ):
+                    yield from self.ssd.reset_zone(zone.zone_id)
+                    self.stats.counter("orphan_zones_reclaimed").add()
+                    self._journal("zone.orphan_reclaim", zone=zone.zone_id)
+                    orphans += 1
+            self.zone_manager.reconcile_free_list(used_zones)
+            reclaim_fields["orphan_zones"] = orphans
+
         self.stats.counter("recoveries").add()
+        # Invariants only fully hold once every stage has run (the free list
+        # is reconciled last), so the audit boundary sits at mount exit.
+        self._audit_boundary("mount")
+
+    def _rebuild_blooms_bounded(self, ks: Keyspace, ctx: ThreadCtx) -> Generator:
+        """Reconstruct per-block PIDX blooms by re-reading the index blocks.
+
+        The fallback of mount stage 3 for durable devices whose metadata
+        stream carried no bloom annex (e.g. a legacy v1 stream mounted after
+        an upgrade).  Bounded: reads at most ``sort_budget_bytes`` of PIDX
+        blocks; returns False (leaving the keyspace bloom-less, which is
+        correct, just slower) if the index exceeds the budget.  Bloom
+        hashing is deterministic, so reconstructed filters are byte-identical
+        to the lost originals.
+        """
+        sketch = ks.pidx_sketch
+        budget = self.board.spec.sort_budget_bytes
+        spent = 0
+        for pointer in sketch.block_pointers:
+            spent += pointer[2]
+            if spent > budget:
+                return False
+        keys_per_block: list[list[bytes]] = []
+        for zone_id, offset, length in sketch.block_pointers:
+            blob = yield from self.ssd.read(zone_id, offset, length)
+            keys_per_block.append(
+                [key for key, _ptr in read_block_entries(blob)]
+            )
+        yield from self._attach_blooms(ks, sketch, keys_per_block, ctx)
+        self.stats.counter("blooms_reconstructed").add(len(keys_per_block))
+        return True
 
     def _rescan_klog(self, ks: Keyspace, ctx: ThreadCtx) -> Generator:
         """Re-derive seq/pair-count/key-bounds from a WRITABLE keyspace's log."""
         max_seq = self._seqs[ks.name]
         n_pairs = 0
+        torn_zones: list[int] = []
         for cluster in ks.klog_clusters:
             contents = yield from cluster.read_all()
-            for blob in contents.values():
-                for key, seq, pointer in unpack_klog_records(blob):
+            for zone_id, blob in contents.items():
+                records, torn_bytes = unpack_klog_records_prefix(blob)
+                if torn_bytes:
+                    torn_zones.append(zone_id)
+                for key, seq, pointer in records:
                     max_seq = max(max_seq, seq)
                     if pointer is not None:
                         n_pairs += 1
                         ks.observe_key(key)
+        for zone_id in torn_zones:
+            # A power cut tore the final append mid-record.  Seal the zone:
+            # appending after the garbage suffix would make every future
+            # rescan of this zone unparseable.
+            yield from self.ssd.finish_zone(zone_id)
+            self.stats.counter("klog_torn_tails").add()
         yield from self._exec(ctx, self.costs.record_parse * max(1, n_pairs))
         self._seqs[ks.name] = max_seq
         ks.n_pairs = n_pairs
@@ -486,6 +758,40 @@ class KvCsdDevice:
             "job_durations": dict(self.job_durations),
         }
 
+    def metric_gauges(self) -> dict:
+        """Instantaneous recovery/durability gauges for MetricsHub sampling.
+
+        Covers mount outcomes — recovery count, orphan zones reclaimed,
+        persisted-bloom reload counters, and per-stage mount latency — so
+        the timeline sampler and ``repro metrics`` see recovery health
+        without reaching into private fields.
+        """
+        counters = self.stats.counter_values
+
+        def counter_gauge(name: str):
+            return lambda: float(counters().get(name, 0))
+
+        gauges = {
+            "recovery.count": counter_gauge("recoveries"),
+            "recovery.orphan_zones_reclaimed": counter_gauge(
+                "orphan_zones_reclaimed"
+            ),
+            "recovery.blooms_reloaded": counter_gauge("blooms_reloaded"),
+            "recovery.bloom_reload_bytes": counter_gauge("bloom_reload_bytes"),
+            "recovery.blooms_reconstructed": counter_gauge(
+                "blooms_reconstructed"
+            ),
+            "recovery.mount_seconds": lambda: float(
+                sum(self._mount_stages.values())
+            ),
+            "meta.epoch": lambda: float(self._meta_epoch),
+        }
+        for stage in MOUNT_STAGES:
+            gauges[f"recovery.stage_seconds.{stage}"] = (
+                lambda s=stage: float(self._mount_stages.get(s, 0.0))
+            )
+        return gauges
+
     def introspect(self) -> dict:
         """Deep structural snapshot of every stateful firmware component.
 
@@ -513,7 +819,16 @@ class KvCsdDevice:
             "metadata_zone": {
                 "zone_ids": list(self._metadata_cluster.zone_ids),
                 "bytes_stored": self._metadata_cluster.bytes_stored(),
+                "durable": self.durable_meta,
+                "format_version": self.meta_codec.version,
+                "epoch": self._meta_epoch,
+                "standby_zone_ids": (
+                    list(self._metadata_standby.zone_ids)
+                    if self._metadata_standby is not None
+                    else []
+                ),
             },
+            "mount_stages": dict(self._mount_stages),
             "ssd": self.ssd.introspect(),
             "soc": self.board.introspect(),
             "block_cache": (
@@ -740,13 +1055,21 @@ class KvCsdDevice:
         Loops until the job list drains, so jobs that *other jobs* spawn
         (e.g. per-index fallback scans launched by a combined compaction)
         are waited on too.
+
+        A job that failed (media error mid-compaction/index-build) parks
+        its exception in ``_job_errors``; the first parked error re-raises
+        here, so the host's wait ticket — and only that ticket — completes
+        with the error status.
         """
         while True:
             jobs = list(self._jobs.get(name, []))
             if not jobs:
-                return
+                break
             for job in jobs:
                 yield from trace_wait(self.env, job, "dev.wait_jobs")
+        errors = self._job_errors.pop(name, None)
+        if errors:
+            raise errors[0]
 
     def _compact_job(
         self,
@@ -764,6 +1087,14 @@ class KvCsdDevice:
             if tracer is not None
             else None
         )
+        # Pre-job snapshot for fault containment: a ReproError mid-job (e.g.
+        # an injected media error) unwinds the partial outputs back to this.
+        n_pairs0 = ks.n_pairs
+        sketch0 = ks.pidx_sketch
+        n_sorted0 = len(ks.sorted_value_clusters)
+        n_pidx0 = len(ks.pidx_clusters)
+        sidx0 = set(ks.sidx)
+        bloom_dram0 = self._bloom_dram.get(ks.name, 0)
         try:
             # ---- step 1: read back the unordered KLOG records
             records: list[tuple[bytes, tuple[int, ZonePointer | None]]] = []
@@ -775,7 +1106,11 @@ class KvCsdDevice:
                     contents = yield from cluster.read_all()
                     for blob in contents.values():
                         klog_bytes += len(blob)
-                        for key, seq, pointer in unpack_klog_records(blob):
+                        # Prefix-tolerant: a zone sealed by mount after a
+                        # torn power-cut append legally carries a garbage
+                        # suffix behind its intact records.
+                        parsed, _torn = unpack_klog_records_prefix(blob)
+                        for key, seq, pointer in parsed:
                             records.append((key, (seq, pointer)))
                 yield from self._exec(ctx, self.costs.record_parse * len(records))
 
@@ -972,12 +1307,27 @@ class KvCsdDevice:
             with self._compact_phase(ks, "cleanup"), trace_span(
                 self.env, "compact.cleanup", "stage"
             ):
-                for cluster in ks.klog_clusters + ks.vlog_clusters:
-                    yield from self._release_cluster(cluster)
-                ks.klog_clusters = []
-                ks.vlog_clusters = []
-                ks.finish_compaction()
-                yield from self._metadata_update(ctx, ks)
+                if self.durable_meta:
+                    # Persist the compacted table entry *before* releasing
+                    # the log zones: a crash between the two leaves orphan
+                    # zones (reclaimed at mount) instead of a table entry
+                    # pointing at erased logs.
+                    stale = ks.klog_clusters + ks.vlog_clusters
+                    ks.klog_clusters = []
+                    ks.vlog_clusters = []
+                    ks.finish_compaction()
+                    try:
+                        yield from self._metadata_update(ctx, ks)
+                    finally:
+                        for cluster in stale:
+                            yield from self._release_cluster(cluster)
+                else:
+                    for cluster in ks.klog_clusters + ks.vlog_clusters:
+                        yield from self._release_cluster(cluster)
+                    ks.klog_clusters = []
+                    ks.vlog_clusters = []
+                    ks.finish_compaction()
+                    yield from self._metadata_update(ctx, ks)
             self.stats.counter("compactions").add()
             self.job_durations[(ks.name, "compaction")] = self.env.now - t0
             self._journal("keyspace.compaction_end",
@@ -1018,6 +1368,51 @@ class KvCsdDevice:
                                 self._sidx_job(ks, config, fallback),
                                 name=f"sidx-{ks.name}-{config.name}",
                             )
+        except ReproError as exc:
+            # Fault containment: unwind the partial outputs so the keyspace
+            # returns to a legal state, then park the error for
+            # wait_for_jobs() to surface on the host's wait ticket.  A
+            # PowerCut is not a ReproError and propagates — a dead device
+            # does not unwind.
+            if ks.state is KeyspaceState.COMPACTING:
+                for cluster in ks.sorted_value_clusters[n_sorted0:]:
+                    yield from self._release_cluster(cluster)
+                del ks.sorted_value_clusters[n_sorted0:]
+                for cluster in ks.pidx_clusters[n_pidx0:]:
+                    yield from self._release_cluster(cluster)
+                del ks.pidx_clusters[n_pidx0:]
+                new_sidx = set(ks.sidx) | set(ks.sidx_clusters)
+                for name in sorted(new_sidx - sidx0):
+                    ks.sidx.pop(name, None)
+                    for cluster in ks.sidx_clusters.pop(name, []):
+                        yield from self._release_cluster(cluster)
+                ks.pidx_sketch = sketch0
+                ks.n_pairs = n_pairs0
+                added = self._bloom_dram.get(ks.name, 0) - bloom_dram0
+                if added > 0:
+                    yield from self.board.dram.release(added)
+                    self._bloom_dram[ks.name] = bloom_dram0
+                ks.state = KeyspaceState.WRITABLE
+            else:
+                # The compaction itself completed (the failure hit the
+                # inline-sidx step or the final metadata write): unwind only
+                # the partial secondary indexes.
+                new_sidx = set(ks.sidx) | set(ks.sidx_clusters)
+                for name in sorted(new_sidx - sidx0):
+                    entry = ks.sidx.pop(name, None)
+                    for cluster in ks.sidx_clusters.pop(name, []):
+                        yield from self._release_cluster(cluster)
+                    if entry is not None and entry[1].bloom_bytes:
+                        yield from self.board.dram.release(
+                            entry[1].bloom_bytes
+                        )
+                        self._bloom_dram[ks.name] = max(
+                            0,
+                            self._bloom_dram.get(ks.name, 0)
+                            - entry[1].bloom_bytes,
+                        )
+            self.stats.counter("compaction_failures").add()
+            self._job_errors.setdefault(ks.name, []).append(exc)
         finally:
             if job_span is not None:
                 tracer.finish(job_span)
@@ -1036,8 +1431,10 @@ class KvCsdDevice:
         Works for PIDX sketches (member = primary key) and SIDX sketches
         (member = encoded secondary key) alike.  The filter bytes are
         reserved against the SoC DRAM budget and tracked per keyspace so
-        deletion returns them; blooms are DRAM-only (not persisted), so a
-        recovered device simply runs without them.
+        deletion returns them.  Under ``durable_meta`` the blooms ride the
+        keyspace's next metadata record (the v2 bloom annex) and survive a
+        power cycle; on legacy devices they are DRAM-only and a recovered
+        device simply runs without them.
         """
         bits = self.bloom_bits_per_key
         if not bits or not keys_per_block:
@@ -1214,11 +1611,12 @@ class KvCsdDevice:
                 ctx,
                 self.costs.block_build_per_byte * sum(len(b) for _p, b in blocks),
             )
-            clusters: list[ZoneCluster] = []
+            # Registered before the appends so fault unwinding can find (and
+            # release) a partially written index.
+            clusters = ks.sidx_clusters.setdefault(config.name, [])
             block_ptrs = yield from self._append_stream(
                 clusters, [blob for _p, blob in blocks], ctx
             )
-            ks.sidx_clusters[config.name] = clusters
             sketch = SidxSketch(skey_width=config.width)
             for (pivot, _blob), pointer in zip(blocks, block_ptrs):
                 sketch.add_block(pivot, pointer)
@@ -1271,6 +1669,7 @@ class KvCsdDevice:
             if tracer is not None
             else None
         )
+        bloom_dram0 = self._bloom_dram.get(ks.name, 0)
         try:
             self._journal("sidx.build_begin",
                 keyspace=ks.name,
@@ -1317,11 +1716,12 @@ class KvCsdDevice:
                 self.costs.block_build_per_byte
                 * sum(len(blob) for _p, blob in blocks),
             )
-            clusters: list[ZoneCluster] = []
+            # Registered before the appends so fault unwinding can find (and
+            # release) a partially written index.
+            clusters = ks.sidx_clusters.setdefault(config.name, [])
             block_ptrs = yield from self._append_stream(
                 clusters, [blob for _p, blob in blocks], ctx
             )
-            ks.sidx_clusters[config.name] = clusters
             sketch = SidxSketch(skey_width=config.width)
             for (pivot, _blob), pointer in zip(blocks, block_ptrs):
                 sketch.add_block(pivot, pointer)
@@ -1337,6 +1737,19 @@ class KvCsdDevice:
                 n_blocks=len(sketch),
             )
             self._audit_boundary("sidx")
+        except ReproError as exc:
+            # Fault containment (see _compact_job): drop the partial index,
+            # return its zones and bloom DRAM, park the error for the wait
+            # ticket.  The keyspace stays COMPACTED and queryable.
+            ks.sidx.pop(config.name, None)
+            for cluster in ks.sidx_clusters.pop(config.name, []):
+                yield from self._release_cluster(cluster)
+            added = self._bloom_dram.get(ks.name, 0) - bloom_dram0
+            if added > 0:
+                yield from self.board.dram.release(added)
+                self._bloom_dram[ks.name] = bloom_dram0
+            self.stats.counter("sidx_build_failures").add()
+            self._job_errors.setdefault(ks.name, []).append(exc)
         finally:
             if job_span is not None:
                 tracer.finish(job_span)

@@ -35,6 +35,7 @@ __all__ = [
     "TOMBSTONE_LEN",
     "pack_klog_records",
     "unpack_klog_records",
+    "unpack_klog_records_prefix",
     "klog_record_size",
 ]
 
@@ -179,3 +180,36 @@ def unpack_klog_records(blob: bytes) -> list[KlogRecord]:
         else:
             out.append((key, seq, (zone_id, offset, length)))
     return out
+
+
+def unpack_klog_records_prefix(blob: bytes) -> tuple[list[KlogRecord], int]:
+    """Tolerant parse for mount rescans: the longest intact record prefix.
+
+    A power cut can tear the final KLOG append mid-record.  Every record
+    before the tear was durably acknowledged (or is a harmless prefix of an
+    unacknowledged flush) and is returned; the byte count of the torn
+    suffix comes back alongside so the caller can account for it and seal
+    the zone.  Well-formed extents parse exactly as
+    :func:`unpack_klog_records` with a zero suffix.
+    """
+    try:
+        return unpack_klog_records(blob), 0
+    except DbError:
+        pass
+    out: list[KlogRecord] = []
+    pos = 0
+    n = len(blob)
+    while pos < n:
+        if pos + _KLEN.size > n:
+            break
+        (klen,) = _KLEN.unpack_from(blob, pos)
+        end = pos + _KLEN.size + klen + _BODY.size
+        if end > n:
+            break
+        key = blob[pos + _KLEN.size : pos + _KLEN.size + klen]
+        seq, zone_id, offset, length = _BODY.unpack_from(blob, pos + _KLEN.size + klen)
+        out.append(
+            (key, seq, None if length == TOMBSTONE_LEN else (zone_id, offset, length))
+        )
+        pos = end
+    return out, n - pos

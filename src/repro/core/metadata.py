@@ -1,4 +1,9 @@
-"""Keyspace-table serialization for the metadata zone.
+"""Keyspace-table serialization for the metadata zone (compatibility shim).
+
+The codec now lives in :mod:`repro.core.meta` — a layered, versioned
+subsystem with checksummed v2 framing, bloom-filter annexes, and checkpoint
+stream sealing.  This module re-exports the legacy v1 entry points so
+existing imports keep working; the byte format they produce is unchanged.
 
 Section IV: the keyspace manager "maintain[s] an in-memory keyspace table
 backed by a metadata zone in the underlying ZNS SSD for data persistence".
@@ -8,7 +13,7 @@ every live keyspace).  Replaying the records after a power cycle rebuilds
 the table — states, zone-cluster mappings, and the PIDX/SIDX sketches that
 are the query starting points.
 
-Record framing::
+Legacy record framing::
 
     u32 record_len | u8 type(1=upsert, 2=delete) | body
 
@@ -17,227 +22,12 @@ Upsert bodies serialize the whole keyspace; delete bodies carry the name.
 
 from __future__ import annotations
 
-import struct
-from typing import TYPE_CHECKING
+from repro.core.meta import (
+    DELETE,
+    UPSERT,
+    encode_delete,
+    encode_upsert,
+    replay_records,
+)
 
-from repro.core.keyspace import Keyspace, KeyspaceState
-from repro.core.pidx import PidxSketch
-from repro.core.sidx import SidxConfig, SidxSketch
-from repro.core.zone_manager import ZoneCluster
-from repro.errors import DbError
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.ssd.zns import ZnsSsd
-
-__all__ = ["encode_upsert", "encode_delete", "replay_records"]
-
-_U32 = struct.Struct("<I")
-_U16 = struct.Struct("<H")
-_PTR = struct.Struct("<IQI")
-
-UPSERT = 1
-DELETE = 2
-
-
-def _pack_bytes(blob: bytes) -> bytes:
-    return _U16.pack(len(blob)) + blob
-
-
-def _unpack_bytes(blob: bytes, pos: int) -> tuple[bytes, int]:
-    (length,) = _U16.unpack_from(blob, pos)
-    pos += _U16.size
-    return blob[pos : pos + length], pos + length
-
-
-def _pack_opt_bytes(blob: bytes | None) -> bytes:
-    if blob is None:
-        return _U16.pack(0xFFFF)
-    if len(blob) >= 0xFFFF:
-        raise DbError("key too large for metadata record")
-    return _pack_bytes(blob)
-
-
-def _unpack_opt_bytes(blob: bytes, pos: int) -> tuple[bytes | None, int]:
-    (length,) = _U16.unpack_from(blob, pos)
-    if length == 0xFFFF:
-        return None, pos + _U16.size
-    return _unpack_bytes(blob, pos)
-
-
-def _pack_cluster(cluster: ZoneCluster) -> bytes:
-    parts = [_U16.pack(len(cluster.zone_ids))]
-    for zone_id in cluster.zone_ids:
-        parts.append(_U32.pack(zone_id))
-    parts.append(_U16.pack(cluster.rotation))
-    parts.append(_U16.pack(cluster._next % max(1, len(cluster.zone_ids))))
-    return b"".join(parts)
-
-
-def _unpack_cluster(blob: bytes, pos: int, ssd: "ZnsSsd") -> tuple[ZoneCluster, int]:
-    (n,) = _U16.unpack_from(blob, pos)
-    pos += _U16.size
-    zone_ids = []
-    for _ in range(n):
-        (zone_id,) = _U32.unpack_from(blob, pos)
-        pos += _U32.size
-        zone_ids.append(zone_id)
-    (rotation,) = _U16.unpack_from(blob, pos)
-    pos += _U16.size
-    (nxt,) = _U16.unpack_from(blob, pos)
-    pos += _U16.size
-    cluster = ZoneCluster(ssd, zone_ids, rotation)
-    cluster._next = nxt
-    return cluster, pos
-
-
-def _pack_clusters(clusters: list[ZoneCluster]) -> bytes:
-    return _U16.pack(len(clusters)) + b"".join(_pack_cluster(c) for c in clusters)
-
-
-def _unpack_clusters(blob: bytes, pos: int, ssd) -> tuple[list[ZoneCluster], int]:
-    (n,) = _U16.unpack_from(blob, pos)
-    pos += _U16.size
-    out = []
-    for _ in range(n):
-        cluster, pos = _unpack_cluster(blob, pos, ssd)
-        out.append(cluster)
-    return out, pos
-
-
-def _pack_pidx_sketch(sketch: PidxSketch | None) -> bytes:
-    if sketch is None:
-        return _U32.pack(0xFFFFFFFF)
-    parts = [_U32.pack(len(sketch))]
-    for pivot, pointer in zip(sketch.pivots, sketch.block_pointers):
-        parts.append(_pack_bytes(pivot))
-        parts.append(_PTR.pack(*pointer))
-    return b"".join(parts)
-
-
-def _unpack_pidx_sketch(blob: bytes, pos: int) -> tuple[PidxSketch | None, int]:
-    (n,) = _U32.unpack_from(blob, pos)
-    pos += _U32.size
-    if n == 0xFFFFFFFF:
-        return None, pos
-    sketch = PidxSketch()
-    for _ in range(n):
-        pivot, pos = _unpack_bytes(blob, pos)
-        pointer = _PTR.unpack_from(blob, pos)
-        pos += _PTR.size
-        sketch.add_block(pivot, tuple(pointer))
-    return sketch, pos
-
-
-def _pack_sidx(ks: Keyspace) -> bytes:
-    parts = [_U16.pack(len(ks.sidx))]
-    for name, (config, sketch) in sorted(ks.sidx.items()):
-        parts.append(_pack_bytes(name.encode()))
-        parts.append(
-            struct.pack("<IHH", config.value_offset, config.width, len(config.dtype))
-        )
-        parts.append(config.dtype.encode())
-        parts.append(_U32.pack(len(sketch)))
-        for pivot, pointer in zip(sketch.pivots, sketch.block_pointers):
-            parts.append(_pack_bytes(pivot))
-            parts.append(_PTR.pack(*pointer))
-        parts.append(_pack_clusters(ks.sidx_clusters.get(name, [])))
-    return b"".join(parts)
-
-
-def _unpack_sidx(blob: bytes, pos: int, ks: Keyspace, ssd) -> int:
-    (n,) = _U16.unpack_from(blob, pos)
-    pos += _U16.size
-    for _ in range(n):
-        name_b, pos = _unpack_bytes(blob, pos)
-        value_offset, width, dtype_len = struct.unpack_from("<IHH", blob, pos)
-        pos += 8
-        dtype = blob[pos : pos + dtype_len].decode()
-        pos += dtype_len
-        config = SidxConfig(
-            name=name_b.decode(), value_offset=value_offset, width=width, dtype=dtype
-        )
-        (n_blocks,) = _U32.unpack_from(blob, pos)
-        pos += _U32.size
-        sketch = SidxSketch(skey_width=width)
-        for _ in range(n_blocks):
-            pivot, pos = _unpack_bytes(blob, pos)
-            pointer = _PTR.unpack_from(blob, pos)
-            pos += _PTR.size
-            sketch.add_block(pivot, tuple(pointer))
-        clusters, pos = _unpack_clusters(blob, pos, ssd)
-        ks.sidx[config.name] = (config, sketch)
-        ks.sidx_clusters[config.name] = clusters
-    return pos
-
-
-def encode_upsert(ks: Keyspace, last_seq: int) -> bytes:
-    """Serialize one keyspace's full table entry."""
-    body = [
-        bytes([UPSERT]),
-        _pack_bytes(ks.name.encode()),
-        _pack_bytes(ks.state.value.encode()),
-        struct.pack("<QQ", ks.n_pairs, last_seq),
-        _pack_opt_bytes(ks.min_key),
-        _pack_opt_bytes(ks.max_key),
-        _pack_clusters(ks.klog_clusters),
-        _pack_clusters(ks.vlog_clusters),
-        _pack_clusters(ks.pidx_clusters),
-        _pack_clusters(ks.sorted_value_clusters),
-        _pack_pidx_sketch(ks.pidx_sketch),
-        _pack_sidx(ks),
-    ]
-    payload = b"".join(body)
-    return _U32.pack(len(payload)) + payload
-
-
-def encode_delete(name: str) -> bytes:
-    payload = bytes([DELETE]) + _pack_bytes(name.encode())
-    return _U32.pack(len(payload)) + payload
-
-
-def replay_records(blob: bytes, ssd: "ZnsSsd") -> dict[str, tuple[Keyspace, int]]:
-    """Parse the metadata zone back into name -> (keyspace, last_seq).
-
-    Later records supersede earlier ones; deletes drop the entry.  A torn
-    tail record ends replay (all complete records before it are applied).
-    """
-    table: dict[str, tuple[Keyspace, int]] = {}
-    pos = 0
-    n = len(blob)
-    while pos + _U32.size <= n:
-        (record_len,) = _U32.unpack_from(blob, pos)
-        pos += _U32.size
-        if record_len == 0 or pos + record_len > n:
-            break
-        end = pos + record_len
-        record_type = blob[pos]
-        pos += 1
-        if record_type == DELETE:
-            name_b, pos = _unpack_bytes(blob, pos)
-            table.pop(name_b.decode(), None)
-        elif record_type == UPSERT:
-            name_b, pos = _unpack_bytes(blob, pos)
-            state_b, pos = _unpack_bytes(blob, pos)
-            n_pairs, last_seq = struct.unpack_from("<QQ", blob, pos)
-            pos += 16
-            min_key, pos = _unpack_opt_bytes(blob, pos)
-            max_key, pos = _unpack_opt_bytes(blob, pos)
-            ks = Keyspace(
-                name=name_b.decode(),
-                state=KeyspaceState(state_b.decode()),
-                n_pairs=n_pairs,
-                min_key=min_key,
-                max_key=max_key,
-            )
-            ks.klog_clusters, pos = _unpack_clusters(blob, pos, ssd)
-            ks.vlog_clusters, pos = _unpack_clusters(blob, pos, ssd)
-            ks.pidx_clusters, pos = _unpack_clusters(blob, pos, ssd)
-            ks.sorted_value_clusters, pos = _unpack_clusters(blob, pos, ssd)
-            ks.pidx_sketch, pos = _unpack_pidx_sketch(blob, pos)
-            pos = _unpack_sidx(blob, pos, ks, ssd)
-            table[ks.name] = (ks, last_seq)
-        else:
-            raise DbError(f"unknown metadata record type {record_type}")
-        if pos != end:
-            raise DbError("corrupt metadata record")
-    return table
+__all__ = ["encode_upsert", "encode_delete", "replay_records", "UPSERT", "DELETE"]

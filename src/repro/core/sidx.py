@@ -213,7 +213,9 @@ class SidxSketch:
     ``blooms`` optionally holds one per-block :class:`BloomFilter` over the
     block's *encoded secondary keys*, built during the index build when
     ``SocSpec.bloom_bits_per_key`` is set; an absent bloom answers "may
-    contain".  Like the PIDX blooms, these are DRAM-only and not persisted.
+    contain".  Like the PIDX blooms, these are persisted in the keyspace's
+    v2 metadata annex under ``SocSpec.durable_meta`` and DRAM-only on
+    legacy devices.
     """
 
     skey_width: int

@@ -43,13 +43,23 @@ class ZoneCluster:
         self._next = self.rotation
 
     # -- capacity ---------------------------------------------------------------
+    def _appendable(self, zone_id: int) -> int:
+        """Bytes appendable to one zone: 0 once it is sealed.
+
+        A FULL zone normally has no space left anyway, but mount seals
+        torn-tail zones at a partial write pointer — routing an append there
+        by raw ``remaining`` would hit the zone state machine.
+        """
+        zone = self.ssd.zone(zone_id)
+        return 0 if zone.state == ZoneState.FULL else zone.remaining
+
     def remaining(self) -> int:
         """Total bytes still appendable across the cluster."""
-        return sum(self.ssd.zone(z).remaining for z in self.zone_ids)
+        return sum(self._appendable(z) for z in self.zone_ids)
 
     def max_group(self) -> int:
         """Largest single group that currently fits in some zone."""
-        return max(self.ssd.zone(z).remaining for z in self.zone_ids)
+        return max(self._appendable(z) for z in self.zone_ids)
 
     def bytes_stored(self) -> int:
         return sum(self.ssd.zone(z).write_pointer for z in self.zone_ids)
@@ -64,7 +74,7 @@ class ZoneCluster:
         for _ in range(len(self.zone_ids)):
             zone_id = self.zone_ids[self._next % len(self.zone_ids)]
             self._next += 1
-            if self.ssd.zone(zone_id).remaining >= len(data):
+            if self._appendable(zone_id) >= len(data):
                 offset = yield from self.ssd.append(zone_id, data)
                 return (zone_id, offset, len(data))
         raise ZoneFullError(
@@ -88,7 +98,7 @@ class ZoneCluster:
             for _ in range(len(self.zone_ids)):
                 zone_id = self.zone_ids[self._next % len(self.zone_ids)]
                 self._next += 1
-                free = self.ssd.zone(zone_id).remaining - planned.get(zone_id, 0)
+                free = self._appendable(zone_id) - planned.get(zone_id, 0)
                 if free >= len(group):
                     chosen = zone_id
                     break
@@ -201,6 +211,39 @@ class ZoneManager:
             for z in self.ssd.zones
             if z.state == ZoneState.EMPTY and z.zone_id in currently_free
         ]
+
+    def reconcile_free_list(self, used_zones: set[int] | list[int]) -> list[int]:
+        """Rebuild the free pool against the set of zones in use.
+
+        The public recovery API: after mount has determined which zones the
+        metadata and every recovered keyspace own (``used_zones``) and has
+        reset any orphans, this recomputes the free pool as
+
+        * every currently-free zone that is still EMPTY and unused, in
+          existing pool order, followed by
+        * every other EMPTY, unused zone (reclaimed orphans and any zone
+          the pool lost track of), in zone-id order.
+
+        Returns the newly adopted zone ids — the reclaimed orphans — so the
+        caller can journal/count them.  Replaces the historical pattern of
+        ``rebuild_free_list()`` plus direct ``_free.append`` reach-ins.
+        """
+        used = set(used_zones)
+        kept = [
+            z
+            for z in self._free
+            if self.ssd.zone(z).state == ZoneState.EMPTY and z not in used
+        ]
+        have = set(kept)
+        reclaimed = [
+            z.zone_id
+            for z in self.ssd.zones
+            if z.state == ZoneState.EMPTY
+            and z.zone_id not in used
+            and z.zone_id not in have
+        ]
+        self._free = kept + reclaimed
+        return reclaimed
 
     def allocate_cluster(self, n_zones: int | None = None) -> ZoneCluster:
         """Take ``n_zones`` free zones (spread across channels) as a cluster."""

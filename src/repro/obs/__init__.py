@@ -181,6 +181,12 @@ def register_device_metrics(
         if zones is not None:
             for name, fn in zones.metric_gauges().items():
                 hub.register_gauge(f"{prefix}{name}", fn)
+        device_gauges = getattr(device, "metric_gauges", None)
+        if device_gauges is not None:
+            # recovery/durability health: mount latency per stage, orphan
+            # reclamation, persisted-bloom reload counters
+            for name, fn in device_gauges().items():
+                hub.register_gauge(f"{prefix}{name}", fn)
     if ssd is not None:
         ssd_name = getattr(ssd, "name", "ssd")
         hub.register_io(ssd_name, ssd.stats)

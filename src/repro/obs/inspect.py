@@ -28,7 +28,7 @@ __all__ = [
 
 #: Bump when a key is renamed/removed or its meaning changes; adding new
 #: keys is backward-compatible and does not require a bump.
-SNAPSHOT_SCHEMA_VERSION = 1
+SNAPSHOT_SCHEMA_VERSION = 2
 
 
 def device_snapshot(device: "KvCsdDevice") -> dict[str, Any]:

@@ -75,6 +75,12 @@ EVENT_TYPES = frozenset(
         "cache.invalidate",
         "fault.trip",
         "audit.run",
+        # durability: power loss + staged mount pipeline
+        "power.cut",
+        "mount.stage_begin",
+        "mount.stage_end",
+        "zone.orphan_reclaim",
+        "sketch.reload",
         # SLO watchdog (timeline alert transitions)
         "slo.alert_fire",
         "slo.alert_clear",
@@ -122,6 +128,11 @@ class EventJournal:
         self.events: deque[JournalEvent] = deque(maxlen=capacity)
         self.total_recorded = 0
         self.dropped = 0
+        #: optional observer called with every recorded event *after* it is
+        #: appended.  Crash harnesses hook :meth:`FaultPlan.observe_event`
+        #: here to cut power at an exact journal sequence number; the hook
+        #: may raise to abort the simulation at that point.
+        self.on_record = None
 
     def __len__(self) -> int:
         return len(self.events)
@@ -147,6 +158,8 @@ class EventJournal:
             self.dropped += 1
         self.events.append(event)
         self.total_recorded += 1
+        if self.on_record is not None:
+            self.on_record(event)
         return event
 
     # -- queries -------------------------------------------------------------

@@ -57,6 +57,10 @@ class SocSpec:
     bloom_bits_per_key: int = 0
     #: admission-queue depth of the query scheduler (backpressure bound).
     query_queue_depth: int = 64
+    #: route all on-flash metadata through the durable v2 codec (checksummed
+    #: frames, persisted blooms, A/B checkpoint zones); off keeps the legacy
+    #: v1 record stream byte-identical.
+    durable_meta: bool = False
 
     def __post_init__(self) -> None:
         if self.n_cores < 1:
@@ -113,6 +117,7 @@ class SocBoard:
             "compaction_shards": self.spec.compaction_shards,
             "query_workers": self.spec.query_workers,
             "bloom_bits_per_key": self.spec.bloom_bits_per_key,
+            "durable_meta": self.spec.durable_meta,
             "dram": self.dram.introspect(),
             "nvme_queue": self.qp.introspect(),
         }

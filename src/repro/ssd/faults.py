@@ -9,19 +9,45 @@ A :class:`FaultPlan` is armed on a device; each matching operation consumes
 one scheduled fault and raises :class:`~repro.errors.StorageError` (which
 the NVMe controller converts into an error completion, and the queue pair
 into :class:`~repro.errors.NvmeError`).
+
+Beyond media errors, a plan can *cut power*:
+
+* ``cut_at_event`` — after the Nth matching journal event (wire
+  :meth:`FaultPlan.observe_event` to ``EventJournal.on_record``), the plan
+  raises :class:`PowerCut`, aborting the simulation at an exact, replayable
+  journal sequence number.
+* ``torn_after_writes`` — the Nth SSD append is *torn*: only a prefix of
+  the data reaches flash before :class:`PowerCut` fires, modelling a
+  mid-write power loss (the classic torn metadata append).
+
+Once a cut fires the device is dead: every subsequent read/write raises
+:class:`PowerCut`, so no post-cut progress can masquerade as durable.
+:class:`PowerCut` is deliberately **not** a :class:`~repro.errors.ReproError`
+— the command dispatcher must not convert it into an error completion; it
+propagates out of ``env.run()`` so the crash harness can snapshot flash
+state and remount into a fresh environment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import StorageError
 
-__all__ = ["FaultPlan", "MediaError"]
+__all__ = ["FaultPlan", "MediaError", "PowerCut"]
 
 
 class MediaError(StorageError):
     """An injected unrecoverable media error."""
+
+
+class PowerCut(Exception):
+    """The simulated device lost power.
+
+    Not a :class:`~repro.errors.ReproError` on purpose: no layer is allowed
+    to "handle" a power loss — it unwinds the whole simulation run.
+    """
 
 
 @dataclass
@@ -31,16 +57,33 @@ class FaultPlan:
     ``fail_reads`` / ``fail_writes``: how many upcoming operations of that
     kind fail (each failure decrements the budget).  ``after`` skips that
     many successful operations first — e.g. "the 3rd read fails".
+
+    ``cut_at_event`` cuts power at the Nth journal event the plan observes
+    (optionally only counting events of ``cut_event_type``);
+    ``torn_after_writes`` cuts power mid-way through the Nth append,
+    leaving ``torn_keep_fraction`` of its bytes on flash.
     """
 
     fail_reads: int = 0
     fail_writes: int = 0
     after_reads: int = 0
     after_writes: int = 0
+    #: cut power at the Nth matching journal event (1 = the next one).
+    cut_at_event: Optional[int] = None
+    #: only journal events of this type count toward ``cut_at_event``.
+    cut_event_type: Optional[str] = None
+    #: tear the Nth SSD append (1 = the next one): a prefix lands, then cut.
+    torn_after_writes: Optional[int] = None
+    #: fraction of a torn append's bytes that reach flash (rounded down).
+    torn_keep_fraction: float = 0.5
+    #: set once a power cut fired; all subsequent I/O raises PowerCut.
+    power_cut: bool = False
     #: record of injected failures, for assertions
     injected: list[str] = field(default_factory=list)
 
     def check_read(self) -> None:
+        if self.power_cut:
+            raise PowerCut("device is powered off")
         if self.after_reads > 0:
             self.after_reads -= 1
             return
@@ -50,6 +93,8 @@ class FaultPlan:
             raise MediaError("injected read fault")
 
     def check_write(self) -> None:
+        if self.power_cut:
+            raise PowerCut("device is powered off")
         if self.after_writes > 0:
             self.after_writes -= 1
             return
@@ -57,6 +102,44 @@ class FaultPlan:
             self.fail_writes -= 1
             self.injected.append("write")
             raise MediaError("injected write fault")
+
+    def observe_event(self, event) -> None:
+        """Journal observer: cut power at the armed event sequence.
+
+        Wire onto ``EventJournal.on_record``.  Counts matching events down;
+        when the count reaches zero the plan flips to ``power_cut`` and
+        raises :class:`PowerCut` from inside whatever simulation step
+        emitted the event.
+        """
+        if self.power_cut or self.cut_at_event is None:
+            return
+        if self.cut_event_type is not None and event.type != self.cut_event_type:
+            return
+        self.cut_at_event -= 1
+        if self.cut_at_event <= 0:
+            self.power_cut = True
+            self.injected.append("power_cut")
+            raise PowerCut(
+                f"power cut at journal event #{event.seq} ({event.type})"
+            )
+
+    def check_torn_write(self, nbytes: int) -> Optional[int]:
+        """How many bytes of this append survive, or ``None`` for all.
+
+        Returns a byte count strictly less than ``nbytes`` when this append
+        is the armed torn write; the caller must persist exactly that prefix
+        and then raise :class:`PowerCut`.  Flips ``power_cut`` so no later
+        operation succeeds.
+        """
+        if self.power_cut or self.torn_after_writes is None:
+            return None
+        self.torn_after_writes -= 1
+        if self.torn_after_writes > 0:
+            return None
+        self.power_cut = True
+        self.injected.append("torn_write")
+        keep = int(nbytes * self.torn_keep_fraction)
+        return max(0, min(keep, nbytes - 1)) if nbytes else 0
 
     @property
     def exhausted(self) -> bool:
@@ -82,4 +165,8 @@ class FaultPlan:
             "trips_read": self.trips_read,
             "trips_write": self.trips_write,
             "exhausted": self.exhausted,
+            "cut_at_event": self.cut_at_event,
+            "cut_event_type": self.cut_event_type,
+            "torn_after_writes": self.torn_after_writes,
+            "power_cut": self.power_cut,
         }

@@ -16,6 +16,7 @@ from collections.abc import Generator
 
 from repro.errors import StorageError
 from repro.obs.journal import journal_event
+from repro.ssd.faults import PowerCut
 from repro.obs.trace import trace_span
 from repro.sim.core import Environment
 from repro.sim.resources import Resource
@@ -106,6 +107,21 @@ class ZnsSsd:
                     zone=zone_id,
                 )
                 raise
+            keep = self.faults.check_torn_write(len(data))
+            if keep is not None:
+                # Mid-write power loss: only a prefix reaches flash.  The
+                # journal line is best-effort (the environment dies with the
+                # PowerCut); the surviving evidence is the torn zone tail.
+                if keep:
+                    zone.append(bytes(data[:keep]))
+                journal_event(
+                    self.env, "power.cut", dev=self.name, op="torn_append",
+                    zone=zone_id, kept=keep, intended=len(data),
+                )
+                raise PowerCut(
+                    f"torn append to zone {zone_id}: "
+                    f"{keep}/{len(data)} bytes persisted"
+                )
         offset = zone.append(bytes(data))  # validates state/space, claims range
         yield from self._occupy_channel(
             zone.channel, self.latency.write_time(len(data)), "append", len(data)
@@ -134,6 +150,7 @@ class ZnsSsd:
 
     def reset_zone(self, zone_id: int) -> Generator:
         """Reset a zone: discard its data and rewind the write pointer."""
+        self._check_powered()
         zone = self.zone(zone_id)
         yield from self._occupy_channel(zone.channel, self.latency.erase_time(), "erase")
         zone.reset()
@@ -141,11 +158,51 @@ class ZnsSsd:
 
     def finish_zone(self, zone_id: int) -> Generator:
         """Transition a zone to FULL; costs one command overhead."""
+        self._check_powered()
         zone = self.zone(zone_id)
         yield from self._occupy_channel(
             zone.channel, self.latency.command_overhead, "finish"
         )
         zone.finish()
+
+    def _check_powered(self) -> None:
+        """Zone-management ops mutate flash state too: a power-cut device
+        must not erase or seal anything (cleanup paths unwinding through a
+        :class:`PowerCut` would otherwise destroy evidence the remount
+        needs)."""
+        if self.faults is not None and self.faults.power_cut:
+            raise PowerCut("device is powered off")
+
+    # -- power-cycle support ---------------------------------------------------
+    def flash_state(self) -> list[tuple[str, bytes]]:
+        """The power-safe state of every zone: ``(state, data)`` pairs.
+
+        Exactly what survives a power cut — zone contents and state machine
+        positions; everything else (channel queues, stats, fault plans) is
+        volatile.  Pure state read, no simulation events.
+        """
+        return [(zone.state.value, bytes(zone._data)) for zone in self.zones]
+
+    def load_flash_state(self, snapshot: list[tuple[str, bytes]]) -> None:
+        """Install a flash snapshot taken from an identical-geometry device.
+
+        Used by crash harnesses to model a power cycle: snapshot the dying
+        device's flash, construct a fresh SSD in a fresh environment, load
+        the snapshot, and mount.
+        """
+        if len(snapshot) != len(self.zones):
+            raise StorageError(
+                f"flash snapshot has {len(snapshot)} zones, "
+                f"device has {len(self.zones)}"
+            )
+        for zone, (state, data) in zip(self.zones, snapshot):
+            if len(data) > zone.capacity:
+                raise StorageError(
+                    f"snapshot zone {zone.zone_id} holds {len(data)} bytes, "
+                    f"capacity is {zone.capacity}"
+                )
+            zone._data = bytearray(data)
+            zone.state = ZoneState(state)
 
     # -- inspection ------------------------------------------------------------
     def zones_in_state(self, state: ZoneState) -> list[int]:

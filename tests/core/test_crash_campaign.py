@@ -1,0 +1,27 @@
+"""The randomized crash-injection campaign, at CI scale.
+
+Every sampled power-cut/torn-append point must remount auditor-clean with
+all acknowledged data byte-identical and persisted blooms intact — the
+same harness `repro crash-bench` runs at full scale.
+"""
+
+from repro.bench.crash import CrashBenchConfig, run_crash_bench
+
+
+def test_smoke_campaign_every_point_clean():
+    config = CrashBenchConfig.smoke()
+    result = run_crash_bench(config)
+    assert result.failed_points == []
+    assert result.clean_points == result.points >= config.min_points
+    assert result.event_points and result.torn_points
+    for check in result.checks():
+        assert check.passed, f"{check.description}: {check.observed}"
+    # every workload contributed crash points
+    assert set(result.per_workload) == set(config.workloads)
+    # recovery-time curves exist for both mount flavors at every volume
+    assert len(result.curve) == 2 * len(config.curve_volumes)
+    assert all(p["mount_seconds"] > 0 for p in result.curve)
+    # the JSON document is self-contained and serializable
+    doc = result.to_json()
+    assert doc["campaign"]["clean_fraction"] == 1.0
+    assert doc["mount"]["max_seconds"] > 0

@@ -1,0 +1,231 @@
+"""Durable-metadata mount pipeline: staged recovery, bloom reload, A/B
+checkpoints, torn-tail tolerance."""
+
+import numpy as np
+
+from repro.core import KvCsdClient, KvCsdDevice
+from repro.core.device import (
+    METADATA_STANDBY_ZONE_ID,
+    METADATA_ZONE_ID,
+    MOUNT_STAGES,
+)
+from repro.core.keyspace import KeyspaceState
+from repro.errors import KeyNotFoundError
+from repro.nvme import PcieLink
+from repro.obs.journal import install_journal
+from repro.soc import SocBoard
+from repro.ssd.zone import ZoneState
+
+from tests.core.conftest import CsdTestbed, make_pairs
+
+
+def durable_tb(**kwargs):
+    kwargs.setdefault("bloom_bits_per_key", 10)
+    return CsdTestbed(durable_meta=True, **kwargs)
+
+
+def power_cycle(tb):
+    """A fresh board + device over the same SSD (DRAM state is lost)."""
+    board2 = SocBoard(tb.env, tb.ssd, spec=tb.board.spec)
+    device2 = KvCsdDevice(
+        board2,
+        rng=np.random.default_rng(43),
+        membuf_bytes=tb.device.membuf_bytes,
+        cluster_zones=tb.device.cluster_zones,
+    )
+    client2 = KvCsdClient(device2, PcieLink(tb.env, lanes=16))
+
+    def mount():
+        yield from device2.recover(tb.ctx)
+
+    tb.run(mount())
+    return device2, client2
+
+
+def load_and_compact(tb, pairs, name="ks"):
+    def setup():
+        yield from tb.client.create_keyspace(name, tb.ctx)
+        yield from tb.client.open_keyspace(name, tb.ctx)
+        yield from tb.client.bulk_put(name, pairs, tb.ctx)
+        yield from tb.client.compact(name, tb.ctx)
+        yield from tb.client.wait_for_device(name, tb.ctx)
+
+    tb.run(setup())
+
+
+def test_blooms_survive_power_cycle():
+    """A recovered durable device keeps its persisted PIDX blooms — reads of
+    absent keys stay eliminated without any reconstruction I/O."""
+    tb = durable_tb()
+    pairs = make_pairs(3000)
+    load_and_compact(tb, pairs)
+    sketch = tb.device.keyspaces["ks"].pidx_sketch
+    assert len(sketch.blooms) == len(sketch) > 0
+
+    device2, client2 = power_cycle(tb)
+    recovered = device2.keyspaces["ks"].pidx_sketch
+    assert len(recovered.blooms) == len(recovered) == len(sketch)
+    assert device2.stats.counter("blooms_reloaded").value == len(sketch)
+    assert device2.stats.counter("blooms_reconstructed").value == 0
+
+    absent = [f"zz-{i:012d}".encode().ljust(16, b"0") for i in range(20)]
+    before = device2.stats.counter("pidx_block_reads").value
+
+    def probe():
+        hit = yield from client2.get("ks", pairs[42][0], tb.ctx)
+        misses = 0
+        for key in absent:
+            try:
+                yield from client2.get("ks", key, tb.ctx)
+            except KeyNotFoundError:
+                misses += 1
+        return hit, misses
+
+    hit, misses = tb.run(probe())
+    assert hit == pairs[42][1]
+    assert misses == len(absent)
+    # reloaded blooms eliminate (nearly) every absent-key block read
+    eliminated_misses = before + 1  # +1 block read for the present key
+    assert device2.stats.counter("pidx_block_reads").value <= eliminated_misses + 2
+
+
+def test_mount_stages_journaled_and_gauged():
+    tb = durable_tb()
+    journal = install_journal(tb.env)
+    load_and_compact(tb, make_pairs(1500))
+    device2, _client2 = power_cycle(tb)
+
+    assert set(device2._mount_stages) == set(MOUNT_STAGES)
+    begins = [e for e in journal.events if e.type == "mount.stage_begin"]
+    ends = [e for e in journal.events if e.type == "mount.stage_end"]
+    assert [e.fields["stage"] for e in begins] == list(MOUNT_STAGES)
+    assert [e.fields["stage"] for e in ends] == list(MOUNT_STAGES)
+
+    gauges = device2.metric_gauges()
+    assert gauges["recovery.count"]() == 1.0
+    assert gauges["recovery.mount_seconds"]() == sum(
+        device2._mount_stages.values()
+    )
+    for stage in MOUNT_STAGES:
+        assert gauges[f"recovery.stage_seconds.{stage}"]() >= 0.0
+
+
+def test_ab_checkpoint_swaps_zones_and_survives_torn_target():
+    tb = durable_tb()
+    load_and_compact(tb, make_pairs(1000))
+
+    def checkpoint():
+        yield from tb.device._checkpoint_metadata(tb.ctx)
+
+    tb.run(checkpoint())
+    assert tb.device._meta_epoch == 1
+    # the snapshot went to the standby zone; roles swapped
+    assert tb.device._metadata_cluster.zone_ids == [METADATA_STANDBY_ZONE_ID]
+    assert tb.ssd.zone(METADATA_ZONE_ID).write_pointer == 0
+
+    # a crash mid-way through the *next* checkpoint: EPOCH(2) lands in the
+    # new standby zone but COMMIT never does
+    torn = tb.device.meta_codec.encode_epoch(2)
+
+    def tear():
+        yield from tb.ssd.append(METADATA_ZONE_ID, torn)
+
+    tb.run(tear())
+    device2, client2 = power_cycle(tb)
+    # mount fell back to the sealed epoch-1 stream, data intact
+    assert device2._meta_epoch == 1
+    assert device2.keyspaces["ks"].n_pairs == 1000
+
+    def query():
+        return (yield from client2.get("ks", make_pairs(1000)[5][0], tb.ctx))
+
+    assert tb.run(query()) == make_pairs(1000)[5][1]
+
+
+def test_torn_metadata_append_applies_intact_prefix():
+    tb = durable_tb()
+    pairs = make_pairs(1200)
+    load_and_compact(tb, pairs)
+    ks = tb.device.keyspaces["ks"]
+    record = tb.device.meta_codec.encode_upsert(ks, 9999)
+
+    def tear():
+        zone_id = tb.device._metadata_cluster.zone_ids[0]
+        yield from tb.ssd.append(zone_id, record[: len(record) // 2])
+
+    tb.run(tear())
+    device2, client2 = power_cycle(tb)
+    assert device2.stats.counter("metadata_torn_tails").value == 1
+    assert device2.keyspaces["ks"].state == KeyspaceState.COMPACTED
+    assert device2.keyspaces["ks"].n_pairs == 1200
+
+    def query():
+        return (yield from client2.get("ks", pairs[7][0], tb.ctx))
+
+    assert tb.run(query()) == pairs[7][1]
+
+
+def test_torn_klog_tail_sealed_on_mount():
+    tb = durable_tb()
+    pairs = make_pairs(9000)  # > membuf, so KLOG zones hold flushed data
+
+    def setup():
+        yield from tb.client.create_keyspace("ks", tb.ctx)
+        yield from tb.client.open_keyspace("ks", tb.ctx)
+        yield from tb.client.bulk_put("ks", pairs, tb.ctx)
+
+    tb.run(setup())
+    ks = tb.device.keyspaces["ks"]
+    target = next(
+        z for z in ks.klog_clusters[0].zone_ids
+        if tb.ssd.zone(z).write_pointer
+        and tb.ssd.zone(z).state is ZoneState.OPEN
+    )
+
+    def tear():
+        # half a KLOG record: a 16-byte key length prefix with no body
+        yield from tb.ssd.append(target, b"\x10\x00" + b"xx")
+
+    tb.run(tear())
+    device2, client2 = power_cycle(tb)
+    assert device2.stats.counter("klog_torn_tails").value >= 1
+    # the torn zone was sealed so later appends cannot corrupt rescans
+    assert tb.ssd.zone(target).state is ZoneState.FULL
+    recovered = device2.keyspaces["ks"]
+    assert recovered.state == KeyspaceState.WRITABLE
+    assert recovered.n_pairs > 0
+
+    more = make_pairs(500, key_bytes=24, prefix="late")
+
+    def continue_ingest():
+        yield from client2.bulk_put("ks", more, tb.ctx)
+        yield from client2.compact("ks", tb.ctx)
+        yield from client2.wait_for_device("ks", tb.ctx)
+        v_new = yield from client2.get("ks", more[123][0], tb.ctx)
+        v_old = yield from client2.get("ks", pairs[0][0], tb.ctx)
+        return v_new, v_old
+
+    v_new, v_old = tb.run(continue_ingest())
+    assert v_new == more[123][1]
+    assert v_old == pairs[0][1]
+
+
+def test_durable_delete_then_power_cycle_reclaims_orphans():
+    tb = durable_tb()
+    install_journal(tb.env)
+
+    def setup():
+        for name in ("keep", "drop"):
+            yield from tb.client.create_keyspace(name, tb.ctx)
+            yield from tb.client.open_keyspace(name, tb.ctx)
+            yield from tb.client.bulk_put(
+                name, make_pairs(3000, key_bytes=24, prefix=name), tb.ctx
+            )
+        yield from tb.client.delete_keyspace("drop", tb.ctx)
+
+    tb.run(setup())
+    device2, _client2 = power_cycle(tb)
+    assert device2.list_keyspaces() == ["keep"]
+    assert device2.zone_manager.free_zone_count == (
+        tb.device.zone_manager.free_zone_count
+    )

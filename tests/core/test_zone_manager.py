@@ -202,3 +202,76 @@ def test_cluster_size_validation():
     ssd = ZnsSsd(env, geometry=SsdGeometry(n_channels=2, n_zones=4, zone_size=MiB))
     with pytest.raises(StorageError):
         ZoneManager(ssd, np.random.default_rng(0), cluster_zones=0)
+
+
+def test_reconcile_free_list_preserves_pool_order():
+    env = Environment()
+    zm, _ = make_zm(env)
+    cluster = zm.allocate_cluster(4)
+    order_before = list(zm._free)
+    reclaimed = zm.reconcile_free_list(set(cluster.zone_ids))
+    assert reclaimed == []
+    assert zm._free == order_before
+
+
+def test_reconcile_free_list_adopts_reclaimed_orphans():
+    """EMPTY zones the pool lost track of (reset orphans) are re-adopted in
+    zone-id order behind the surviving pool."""
+    env = Environment()
+    zm, ssd = make_zm(env)
+    keep = zm.allocate_cluster(4)
+    orphaned = zm.allocate_cluster(4)
+
+    def write_then_reset():
+        for zone_id in orphaned.zone_ids:
+            yield from ssd.append(zone_id, b"partial job output")
+        for zone_id in orphaned.zone_ids:
+            yield from ssd.reset_zone(zone_id)
+
+    run(env, write_then_reset())
+    survivors = list(zm._free)
+    reclaimed = zm.reconcile_free_list(set(keep.zone_ids))
+    assert reclaimed == sorted(orphaned.zone_ids)
+    assert zm._free == survivors + sorted(orphaned.zone_ids)
+
+
+def test_reconcile_free_list_drops_used_and_nonempty_zones():
+    env = Environment()
+    zm, ssd = make_zm(env)
+    dirty = zm._free[0]
+
+    def write():
+        yield from ssd.append(dirty, b"data the pool must not hand out")
+
+    run(env, write())
+    reclaimed = zm.reconcile_free_list(set())
+    assert reclaimed == []
+    assert dirty not in zm._free
+    # every pooled zone really is EMPTY and allocatable
+    from repro.ssd.zone import ZoneState
+
+    assert all(ssd.zone(z).state == ZoneState.EMPTY for z in zm._free)
+
+
+def test_sealed_partial_zone_not_appendable():
+    """finish_zone at a partial write pointer (mount sealing a torn tail)
+    removes the zone from append routing but keeps its data readable."""
+    env = Environment()
+    zm, ssd = make_zm(env)
+    cluster = zm.allocate_cluster(2)
+
+    def seal_and_append():
+        zone_id, _off, _len = yield from cluster.append_group(b"x" * 1024)
+        yield from ssd.finish_zone(zone_id)
+        before = cluster.remaining()
+        # appends route around the sealed zone instead of faulting
+        for _ in range(4):
+            yield from cluster.append_group(b"y" * 512)
+        return zone_id, before
+
+    target, before = run(env, seal_and_append())
+    other = next(z for z in cluster.zone_ids if z != target)
+    # the sealed zone contributed nothing; the later appends all landed on
+    # the surviving zone
+    assert before == ssd.zone(other).remaining + 4 * 512
+    assert ssd.zone(target).write_pointer == 1024

@@ -26,13 +26,14 @@ DEVICE_KEYS = {
     "query_workers",
     "query_scheduler",
     "bloom_dram_bytes",
+    "mount_stages",
 }
 
 
 def test_snapshot_schema_version_and_top_level(compacted_kv):
     kv, _auditor, _report = compacted_kv
     snapshot = device_snapshot(kv.device)
-    assert snapshot["schema_version"] == SNAPSHOT_SCHEMA_VERSION == 1
+    assert snapshot["schema_version"] == SNAPSHOT_SCHEMA_VERSION == 2
     assert set(snapshot) == TOP_LEVEL_KEYS
     assert snapshot["time"] == kv.env.now
 

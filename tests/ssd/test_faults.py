@@ -129,3 +129,91 @@ def test_kvcsd_query_fault_reaches_client():
         return value
 
     assert tb.run(retry()) == pairs[0][1]
+
+
+def test_event_cut_kills_device_at_exact_sequence():
+    from repro.obs.journal import install_journal, journal_event
+    from repro.ssd.faults import PowerCut
+
+    env = Environment()
+    journal = install_journal(env)
+    ssd = ZnsSsd(env, geometry=SsdGeometry(n_channels=2, n_zones=4, zone_size=MiB))
+    plan = FaultPlan(cut_at_event=2)
+    ssd.faults = plan
+    journal.on_record = plan.observe_event
+
+    def proc():
+        yield from ssd.append(0, b"first")
+        journal_event(env, "membuf.flush")
+        journal_event(env, "metadata.checkpoint")  # the cut fires here
+
+    env.process(proc())
+    with pytest.raises(PowerCut):
+        env.run()
+    assert plan.power_cut
+    assert "power_cut" in plan.injected
+    # the device is dead: reads, writes, and zone management all refuse
+    for op in (ssd.append(0, b"x"), ssd.read(0, 0, 5),
+               ssd.reset_zone(0), ssd.finish_zone(0)):
+        with pytest.raises(PowerCut):
+            env.run(env.process(op))
+    # pre-cut data is intact on flash
+    assert bytes(ssd.zone(0)._data) == b"first"
+
+
+def test_torn_append_persists_exact_prefix():
+    from repro.ssd.faults import PowerCut
+
+    env = Environment()
+    ssd = ZnsSsd(env, geometry=SsdGeometry(n_channels=2, n_zones=4, zone_size=MiB))
+    ssd.faults = FaultPlan(torn_after_writes=2, torn_keep_fraction=0.25)
+
+    def proc():
+        yield from ssd.append(0, b"A" * 100)  # write 1 lands fully
+        yield from ssd.append(0, b"B" * 100)  # write 2 tears at 25%
+
+    env.process(proc())
+    with pytest.raises(PowerCut):
+        env.run()
+    assert bytes(ssd.zone(0)._data) == b"A" * 100 + b"B" * 25
+    assert ssd.faults.power_cut
+
+
+def test_flash_state_survives_power_cycle():
+    from repro.ssd.faults import PowerCut
+
+    env = Environment()
+    ssd = ZnsSsd(env, geometry=SsdGeometry(n_channels=2, n_zones=4, zone_size=MiB))
+    ssd.faults = FaultPlan(torn_after_writes=2)
+
+    def proc():
+        yield from ssd.append(1, b"durable")
+        yield from ssd.append(2, b"torn in half")
+
+    env.process(proc())
+    with pytest.raises(PowerCut):
+        env.run()
+    snapshot = ssd.flash_state()
+
+    env2 = Environment()
+    ssd2 = ZnsSsd(env2, geometry=SsdGeometry(n_channels=2, n_zones=4, zone_size=MiB))
+    ssd2.load_flash_state(snapshot)
+
+    def read_back():
+        whole = yield from ssd2.read(1, 0, 7)
+        prefix = yield from ssd2.read(2, 0, ssd2.zone(2).write_pointer)
+        return whole, prefix
+
+    whole, prefix = env2.run(env2.process(read_back()))
+    assert whole == b"durable"
+    assert prefix == b"torn i"  # half of the 12-byte append
+
+
+def test_fault_plan_introspects_power_cut_state():
+    plan = FaultPlan(cut_at_event=5, cut_event_type="membuf.flush",
+                     torn_after_writes=3)
+    state = plan.introspect()
+    assert state["cut_at_event"] == 5
+    assert state["cut_event_type"] == "membuf.flush"
+    assert state["torn_after_writes"] == 3
+    assert state["power_cut"] is False
