@@ -120,6 +120,8 @@ class KvCsdDevice:
         #: async job completion events per keyspace (compaction + sidx builds)
         self._jobs: dict[str, list[Event]] = {}
         self._inflight = Resource(self.env, capacity=max_inflight)
+        #: serializes metadata writers in durable mode (see ``_meta_locked``)
+        self._meta_lock = Resource(self.env, capacity=1)
         #: key-range shards for the compaction sort, bounded by the cores
         #: that could actually run them concurrently
         self.compaction_shards = max(
@@ -270,6 +272,23 @@ class KvCsdDevice:
                 )
         yield from self.zone_manager.release_cluster(cluster)
 
+    def _meta_locked(self, body: Generator) -> Generator:
+        """Run one metadata write under the device metadata lock.
+
+        The durable A/B checkpoint yields many times between encoding the
+        snapshot and retiring the old stream; an unserialized concurrent
+        append (another keyspace's compaction cleanup, say) could land on
+        the pre-swap active cluster and be erased by the post-swap reset —
+        silently losing a durably-acknowledged record.  Legacy mode takes
+        no lock, keeping its historical timeline byte-identical (its
+        reset-then-rewrite crash window is a documented legacy property).
+        """
+        if not self.durable_meta:
+            return (yield from body)
+        with self._meta_lock.request() as lock:
+            yield from trace_wait(self.env, lock, "dev.meta_lock_wait")
+            return (yield from body)
+
     def _metadata_update(self, ctx: ThreadCtx, ks: Keyspace | None = None) -> Generator:
         """Persist a keyspace-table change to the metadata zone.
 
@@ -278,6 +297,9 @@ class KvCsdDevice:
         is already gone from the table).  A full zone triggers a checkpoint:
         reset, then snapshot every live keyspace.
         """
+        yield from self._meta_locked(self._metadata_update_impl(ctx, ks))
+
+    def _metadata_update_impl(self, ctx: ThreadCtx, ks: Keyspace | None) -> Generator:
         if ks is not None:
             record = self.meta_codec.encode_upsert(ks, self._seqs.get(ks.name, 0))
         else:
@@ -297,6 +319,9 @@ class KvCsdDevice:
 
     def _metadata_delete(self, ctx: ThreadCtx, name: str) -> Generator:
         """Record a keyspace deletion."""
+        yield from self._meta_locked(self._metadata_delete_impl(ctx, name))
+
+    def _metadata_delete_impl(self, ctx: ThreadCtx, name: str) -> Generator:
         record = self.meta_codec.encode_delete(name)
         try:
             if self.durable_meta:
@@ -304,6 +329,13 @@ class KvCsdDevice:
             yield from self._metadata_cluster.append_group(record)
         except ZoneFullError:
             yield from self._checkpoint_metadata(ctx)
+            if name in self.keyspaces:
+                # Durable ordering persists the delete before the keyspace
+                # leaves the table (see delete_keyspace), so the checkpoint
+                # just written still snapshots the dying keyspace: re-append
+                # the delete so the fresh stream cannot resurrect it over
+                # zones that are about to be released and reused.
+                yield from self._metadata_cluster.append_group(record)
         self.stats.counter("metadata_updates").add()
 
     def _checkpoint_metadata(self, ctx: ThreadCtx) -> Generator:
@@ -316,6 +348,10 @@ class KvCsdDevice:
         *standby* zone as ``EPOCH(n+1) | upserts | COMMIT(n+1)``, the zones
         swap roles, and only then is the old stream erased.  A crash at any
         point leaves at least one sealed stream for mount to choose.
+
+        Durable-mode callers reach here with ``_meta_lock`` held (via
+        ``_meta_locked``), so no other metadata writer can interleave with
+        the snapshot/swap/reset sequence.
         """
         if not self.durable_meta:
             for zone_id in self._metadata_cluster.zone_ids:

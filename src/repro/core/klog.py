@@ -23,7 +23,7 @@ import struct
 from typing import Optional
 
 from repro.core.zone_manager import ZonePointer
-from repro.errors import DbError
+from repro.errors import DbError, KlogTruncatedError
 
 try:  # codec fast path; the format itself never requires numpy
     import numpy as _np
@@ -166,11 +166,11 @@ def unpack_klog_records(blob: bytes) -> list[KlogRecord]:
     n = len(blob)
     while pos < n:
         if pos + _KLEN.size > n:
-            raise DbError("truncated KLOG record header")
+            raise KlogTruncatedError("truncated KLOG record header")
         (klen,) = _KLEN.unpack_from(blob, pos)
         pos += _KLEN.size
         if pos + klen + _BODY.size > n:
-            raise DbError("truncated KLOG record body")
+            raise KlogTruncatedError("truncated KLOG record body")
         key = blob[pos : pos + klen]
         pos += klen
         seq, zone_id, offset, length = _BODY.unpack_from(blob, pos)
@@ -191,10 +191,15 @@ def unpack_klog_records_prefix(blob: bytes) -> tuple[list[KlogRecord], int]:
     suffix comes back alongside so the caller can account for it and seal
     the zone.  Well-formed extents parse exactly as
     :func:`unpack_klog_records` with a zero suffix.
+
+    Only tail truncation (:class:`~repro.errors.KlogTruncatedError`) is
+    tolerated; any other :class:`~repro.errors.DbError` the strict parser
+    raises is mid-extent corruption, not a torn append, and propagates
+    rather than being laundered into a shorter record list.
     """
     try:
         return unpack_klog_records(blob), 0
-    except DbError:
+    except KlogTruncatedError:
         pass
     out: list[KlogRecord] = []
     pos = 0

@@ -36,10 +36,14 @@ Payloads start with a type byte:
   with the highest epoch, so a crash anywhere inside a checkpoint falls
   back to the previous, still-sealed stream.
 
-:func:`MetaCodec.parse_stream` auto-detects the framing per record (the
-``KM`` magic cannot collide with a plausible v1 length prefix), so one
-reader mounts legacy streams, durable streams, and devices upgraded
-mid-life.
+:func:`MetaCodec.parse_stream` auto-detects the framing per record: a
+record is treated as v2 only when the full frame validates (magic,
+version, bounds, CRC); otherwise it is retried under the v1 length-prefix
+interpretation before the stream is declared torn.  A v1 record whose
+little-endian length happens to start with the ``KM`` bytes (length ≡
+19,787 mod 65,536 — an entirely plausible ~19 KB record) therefore still
+parses, so one reader mounts legacy streams, durable streams, and devices
+upgraded mid-life.
 """
 
 from __future__ import annotations
@@ -75,9 +79,11 @@ __all__ = [
 META_V1 = 1
 META_V2 = 2
 
-#: v2 frame magic.  As the first two bytes of a v1 length prefix this would
-#: mean a ~5 MB record — far beyond any metadata zone — so auto-detection
-#: cannot misread a v1 stream as v2.
+#: v2 frame magic.  A v1 little-endian length prefix *can* start with these
+#: two bytes (any length ≡ 0x4D4B mod 2**16, e.g. a ~19 KB record), so the
+#: magic alone never decides the framing: ``parse_stream`` requires the full
+#: v2 frame to validate (version, bounds, CRC) and otherwise retries the
+#: record under the v1 interpretation.
 MAGIC = b"KM"
 
 _U32 = struct.Struct("<I")
@@ -438,41 +444,52 @@ class MetaCodec:
         n = len(blob)
         while pos < n:
             annexed = False
-            if blob[pos : pos + len(MAGIC)] == MAGIC:
-                if pos + _FRAME.size > n:
-                    stream.torn = True
-                    break
+            payload = None
+            next_pos = pos
+            crc_mismatch = False
+            if blob[pos : pos + len(MAGIC)] == MAGIC and pos + _FRAME.size <= n:
                 _magic, version, length, crc = _FRAME.unpack_from(blob, pos)
                 start = pos + _FRAME.size
-                if version != META_V2 or length == 0 or start + length > n:
-                    stream.torn = True
-                    break
-                payload = blob[start : start + length]
-                if zlib.crc32(payload) != crc:
-                    stream.crc_failures += 1
-                    stream.torn = True
-                    break
-                pos = start + length
-                annexed = True
-            else:
+                if version == META_V2 and length != 0 and start + length <= n:
+                    candidate = blob[start : start + length]
+                    if zlib.crc32(candidate) == crc:
+                        payload = candidate
+                        next_pos = start + length
+                        annexed = True
+                    else:
+                        crc_mismatch = True
+            if payload is None:
+                # Either no v2 frame starts here, or one failed validation.
+                # The magic bytes can be the low bytes of a v1 little-endian
+                # length prefix (length ≡ 0x4D4B mod 2**16, a ~19 KB record),
+                # so retry under the v1 interpretation before declaring a
+                # tear.  A genuinely torn v2 frame reads as a v1 length of
+                # ≥ 0x024D4B (~147 KB) and fails the bounds check below —
+                # or, in a stream that large, yields a garbage payload that
+                # fails to decode — so real tears are still detected.
                 if pos + _U32.size > n:
                     stream.torn = True
                     break
                 (length,) = _U32.unpack_from(blob, pos)
                 start = pos + _U32.size
                 if length == 0 or start + length > n:
+                    if crc_mismatch:
+                        stream.crc_failures += 1
                     stream.torn = True
                     break
                 payload = blob[start : start + length]
-                pos = start + length
+                next_pos = start + length
             try:
                 self._apply(payload, stream, ssd, annexed)
             except Exception:
                 # A frame that passed its length (and CRC, for v2) check but
                 # fails to decode is a torn v1 tail or corruption; replay
                 # keeps the intact prefix.
+                if crc_mismatch:
+                    stream.crc_failures += 1
                 stream.torn = True
                 break
+            pos = next_pos
             stream.records += 1
         return stream
 

@@ -104,6 +104,15 @@ class KeyspaceStateError(KeyspaceError):
     """
 
 
+class KlogTruncatedError(DbError):
+    """A KLOG extent ended mid-record (torn tail).
+
+    Distinguished from other :class:`DbError` corruption so mount rescans
+    can tolerate exactly this case — the longest intact prefix is
+    recoverable — while any other parse failure still surfaces.
+    """
+
+
 class SecondaryIndexError(DbError):
     """Raised for invalid secondary-index configuration or lookups."""
 

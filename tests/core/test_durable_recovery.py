@@ -165,6 +165,75 @@ def test_torn_metadata_append_applies_intact_prefix():
     assert tb.run(query()) == pairs[7][1]
 
 
+def test_delete_surviving_zone_full_checkpoint_is_not_resurrected():
+    """A delete whose record append overflows the metadata zone falls back
+    to a checkpoint taken while the dying keyspace is still in the table
+    (durable ordering persists the delete *before* releasing data zones).
+    The delete record must be re-appended after that checkpoint — otherwise
+    a later mount replays the snapshot and resurrects the keyspace pointing
+    at freed, reusable zones."""
+    from repro.units import KiB
+
+    tb = durable_tb(zone_size=256 * KiB)
+    load_and_compact(tb, make_pairs(1000), name="victim")
+    dev = tb.device
+    delete_len = len(dev.meta_codec.encode_delete("victim"))
+    meta_zone = tb.ssd.zone(dev._metadata_cluster.zone_ids[0])
+
+    def pad(size):
+        # a valid v2 delete record of a nonexistent name: harmless filler
+        # (frame = 11 bytes, payload = type byte + u16 length + name)
+        return dev.meta_codec.encode_delete("x" * (size - 14))
+
+    def fill():
+        # leave less free space than one "victim" delete record, so the
+        # delete's append raises ZoneFullError and checkpoints instead
+        while True:
+            room = meta_zone.capacity - meta_zone.write_pointer
+            if room < delete_len:
+                break
+            size = max(14, min(room - 14, 0xFF00))
+            yield from tb.ssd.append(meta_zone.zone_id, pad(size))
+
+    tb.run(fill())
+
+    def drop():
+        yield from tb.client.delete_keyspace("victim", tb.ctx)
+
+    tb.run(drop())
+    assert dev.stats.counter("metadata_checkpoints").value == 1
+    assert "victim" not in dev.keyspaces
+
+    device2, _client2 = power_cycle(tb)
+    assert device2._meta_epoch == 1
+    assert device2.list_keyspaces() == []
+
+
+def test_metadata_writers_serialized_by_meta_lock():
+    """The durable A/B checkpoint yields many times between snapshot and
+    swap; a concurrent metadata append landing on the pre-swap cluster
+    would be erased by the post-swap reset.  All durable-mode metadata
+    writers therefore queue on the device metadata lock."""
+    tb = durable_tb()
+    load_and_compact(tb, make_pairs(500))
+    dev = tb.device
+    zone = tb.ssd.zone(dev._metadata_cluster.zone_ids[0])
+
+    hold = dev._meta_lock.request()  # granted synchronously: lock is ours
+
+    def update():
+        yield from dev._metadata_update(tb.ctx, dev.keyspaces["ks"])
+
+    proc = tb.env.process(update())
+    tb.env.run(until=tb.env.now + 1e-3)
+    assert proc.is_alive  # blocked behind the held metadata lock
+    wp_before = zone.write_pointer
+
+    dev._meta_lock.release(hold)
+    tb.env.run(until=proc)
+    assert zone.write_pointer > wp_before  # the queued upsert landed
+
+
 def test_torn_klog_tail_sealed_on_mount():
     tb = durable_tb()
     pairs = make_pairs(9000)  # > membuf, so KLOG zones hold flushed data

@@ -5,7 +5,12 @@ import struct
 import numpy as np
 import pytest
 
-from repro.core.klog import pack_klog_records, unpack_klog_records, klog_record_size
+from repro.core.klog import (
+    klog_record_size,
+    pack_klog_records,
+    unpack_klog_records,
+    unpack_klog_records_prefix,
+)
 from repro.core.membuf import MemBuffer
 from repro.core.pidx import (
     PidxSketch,
@@ -32,7 +37,7 @@ from repro.core.wire import (
     split_into_messages,
     unpack_pairs,
 )
-from repro.errors import DbError, SecondaryIndexError
+from repro.errors import DbError, KlogTruncatedError, SecondaryIndexError
 
 
 # ------------------------------------------------------------------ wire
@@ -90,8 +95,25 @@ def test_klog_roundtrip():
 
 def test_klog_truncated_rejected():
     blob = pack_klog_records([(b"k", 1, (0, 0, 4))])
-    with pytest.raises(DbError):
+    with pytest.raises(KlogTruncatedError):
         unpack_klog_records(blob[:-3])
+    assert issubclass(KlogTruncatedError, DbError)
+
+
+def test_klog_prefix_parse_tolerates_tail_truncation_only():
+    """The mount-rescan parser returns the longest intact prefix of a torn
+    extent; the tolerance is scoped to tail truncation
+    (:class:`KlogTruncatedError`), never other parse failures."""
+    records = [(f"k{i:03d}".encode(), i, (1, i * 64, 64)) for i in range(10)]
+    blob = pack_klog_records(records)
+    assert unpack_klog_records_prefix(blob) == (records, 0)
+
+    torn = blob[:-5]  # power cut mid-way through the final record
+    parsed, suffix = unpack_klog_records_prefix(torn)
+    assert parsed == records[:-1]
+    assert suffix == len(torn) - sum(
+        klog_record_size(k) for k, _, _ in records[:-1]
+    )
 
 
 def test_klog_tombstone_sentinel_collision_rejected():

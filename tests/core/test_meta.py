@@ -123,6 +123,24 @@ def test_v2_torn_tail_keeps_intact_prefix(ssd):
     assert "ks" in stream.table
 
 
+def test_v1_length_colliding_with_magic_still_parses(ssd):
+    """A v1 record whose little-endian length prefix starts with b"KM"
+    (length ≡ 0x4D4B mod 2**16 — a plausible ~19 KB record) must be retried
+    under the v1 interpretation, not misread as a torn v2 frame."""
+    codec = MetaCodec(META_V1)
+    # delete payload = type byte + u16 name length + name
+    name = "k" * (0x4D4B - 3)
+    blob = codec.encode_delete(name) + codec.encode_upsert(
+        make_keyspace(ssd, with_blooms=False), 5
+    )
+    assert blob.startswith(MAGIC)  # the collision is real
+    stream = codec.parse_stream(blob, ssd)
+    assert not stream.torn
+    assert stream.crc_failures == 0
+    assert stream.records == 2
+    assert "ks" in stream.table
+
+
 def test_v2_crc_failure_stops_replay(ssd):
     ks = make_keyspace(ssd)
     codec = MetaCodec(META_V2)
